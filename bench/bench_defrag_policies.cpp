@@ -1,0 +1,155 @@
+// bench_defrag_policies — reproduces the paper's Sec. 1/5 claims about
+// fragmentation and on-line rearrangement:
+//
+//   * without rearrangement, released areas "become so small that they
+//     fail to satisfy any request and ... remain unused";
+//   * rearrangement by halting functions (the [5] baseline) restores
+//     allocation but costs the moved applications downtime;
+//   * the paper's transparent relocation restores allocation with zero
+//     time overhead for running functions (only the config port works).
+//
+// Random on-line task sets on a small device (area pressure makes
+// fragmentation bite); one row per policy, plus a load sweep.
+#include <cstdio>
+
+#include "relogic/config/port.hpp"
+#include "relogic/reloc/cost.hpp"
+#include "relogic/sched/scheduler.hpp"
+
+using namespace relogic;
+using namespace relogic::sched;
+
+namespace {
+
+void print_row(const char* label, const RunStats& s) {
+  std::printf("%-24s %10.2f %10.2f %9d %8d %10.2f %8.3f %8.3f\n", label,
+              s.avg_allocation_delay_ms(), s.max_allocation_delay_ms(),
+              s.rejected, s.rearrangement_moves,
+              s.total_halted.milliseconds(), s.utilization_avg,
+              s.fragmentation_avg);
+}
+
+}  // namespace
+
+int main() {
+  const auto geom = fabric::DeviceGeometry::xcv200();
+  // SelectMAP for the management experiments: rearrangement only pays when
+  // the configuration port is reasonably fast relative to task lifetimes
+  // (the Boundary-Scan sensitivity section below quantifies that).
+  config::SelectMapPort smap;
+  config::BoundaryScanPort jtag;
+  const reloc::RelocationCostModel cost(geom, smap);
+  const reloc::RelocationCostModel cost_jtag(geom, jtag);
+
+  std::printf("# Sec. 1/5 — fragmentation and on-line rearrangement "
+              "(24x24 CLB device, SelectMAP)\n\n");
+
+  RandomTaskParams params;
+  params.task_count = 300;
+  params.mean_interarrival_ms = 140.0;
+  params.min_side = 4;
+  params.max_side = 10;
+  params.mean_duration_ms = 2000.0;
+  params.seed = 42;
+  const auto tasks = random_tasks(params);
+  const SimTime max_wait = SimTime::ms(4000);
+
+  std::printf("%-24s %10s %10s %9s %8s %10s %8s %8s\n", "policy",
+              "avgdel/ms", "maxdel/ms", "rejected", "moves", "halted/ms",
+              "util", "frag");
+
+  for (const ManagementPolicy policy :
+       {ManagementPolicy::kNoRearrange, ManagementPolicy::kHaltAndMove,
+        ManagementPolicy::kTransparent}) {
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    cfg.max_wait = max_wait;
+    Scheduler sched(24, 24, cost, cfg);
+    print_row(to_string(policy).c_str(), sched.run_tasks(tasks));
+  }
+
+  // Load sweep: rejection rate vs offered load for the three policies.
+  std::printf("\n## rejection rate vs offered load\n");
+  std::printf("%-16s %18s %18s %18s\n", "interarrival/ms", "no-rearrange",
+              "halt-and-move", "transparent");
+  for (const double ia : {400.0, 300.0, 200.0, 140.0, 100.0}) {
+    RandomTaskParams p = params;
+    p.mean_interarrival_ms = ia;
+    const auto load = random_tasks(p);
+    double rates[3];
+    int idx = 0;
+    for (const ManagementPolicy policy :
+         {ManagementPolicy::kNoRearrange, ManagementPolicy::kHaltAndMove,
+          ManagementPolicy::kTransparent}) {
+      SchedulerConfig cfg;
+      cfg.policy = policy;
+      cfg.max_wait = max_wait;
+      Scheduler sched(24, 24, cost, cfg);
+      const auto stats = sched.run_tasks(load);
+      rates[idx++] =
+          100.0 * stats.rejected / static_cast<double>(p.task_count);
+    }
+    std::printf("%-16.0f %17.1f%% %17.1f%% %17.1f%%\n", ia, rates[0],
+                rates[1], rates[2]);
+  }
+
+  // Port sensitivity: the paper's Boundary-Scan set-up makes whole-function
+  // moves expensive; rearrangement pays only with a fast port or when the
+  // moved functions are small/long-lived.
+  std::printf("\n## configuration-port sensitivity (transparent policy)\n");
+  std::printf("%-14s %12s %10s %8s\n", "port", "avgdel/ms", "rejected",
+              "moves");
+  for (int which = 0; which < 2; ++which) {
+    SchedulerConfig cfg;
+    cfg.policy = ManagementPolicy::kTransparent;
+    cfg.max_wait = max_wait;
+    Scheduler sched(24, 24, which == 0 ? cost : cost_jtag, cfg);
+    const auto stats = sched.run_tasks(tasks);
+    std::printf("%-14s %12.2f %10d %8d\n",
+                which == 0 ? "SelectMAP" : "BoundaryScan",
+                stats.avg_allocation_delay_ms(), stats.rejected,
+                stats.rearrangement_moves);
+  }
+
+  // Defrag trigger ablation (DESIGN.md §6.3): on-demand (move only when a
+  // request fails) vs proactive (compact with idle port time whenever
+  // fragmentation crosses a threshold).
+  std::printf("\n## defragmentation trigger ablation (transparent policy)\n");
+  std::printf("%-22s %12s %10s %8s %8s\n", "trigger", "avgdel/ms",
+              "rejected", "moves", "frag");
+  for (const double thresh : {0.0, 0.7, 0.5, 0.3}) {
+    SchedulerConfig cfg;
+    cfg.policy = ManagementPolicy::kTransparent;
+    cfg.max_wait = max_wait;
+    cfg.proactive_frag_threshold = thresh;
+    Scheduler sched(24, 24, cost, cfg);
+    const auto stats = sched.run_tasks(tasks);
+    char label[64];
+    if (thresh <= 0) {
+      std::snprintf(label, sizeof label, "on-demand");
+    } else {
+      std::snprintf(label, sizeof label, "proactive > %.1f", thresh);
+    }
+    std::printf("%-22s %12.2f %10d %8d %8.3f\n", label,
+                stats.avg_allocation_delay_ms(), stats.rejected,
+                stats.rearrangement_moves, stats.fragmentation_avg);
+  }
+
+  // Rearrangement effort ablation (DESIGN.md §6.3).
+  std::printf("\n## rearrangement effort ablation (max moves per request)\n");
+  std::printf("%-12s %12s %10s %10s\n", "max_moves", "avgdel/ms", "rejected",
+              "moves");
+  for (const int mm : {0, 1, 2, 4, 8, 16}) {
+    SchedulerConfig cfg;
+    cfg.policy = mm == 0 ? ManagementPolicy::kNoRearrange
+                         : ManagementPolicy::kTransparent;
+    cfg.defrag.max_moves = mm;
+    cfg.max_wait = max_wait;
+    Scheduler sched(24, 24, cost, cfg);
+    const auto stats = sched.run_tasks(tasks);
+    std::printf("%-12d %12.2f %10d %10d\n", mm,
+                stats.avg_allocation_delay_ms(), stats.rejected,
+                stats.rearrangement_moves);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// bench_fig2_two_phase — reproduces Fig. 2: the two-phase CLB relocation
+// procedure.
+//
+// Relocates one combinational cell and one free-running-clock FF cell and
+// prints the transaction trace: phase, op label, frames, columns, port
+// time — showing phase 1 (copy configuration + parallel inputs) and
+// phase 2 (parallel outputs, then disconnect original, outputs first).
+#include <cstdio>
+
+#include "relogic/common/logging.hpp"
+#include "relogic/config/controller.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/reloc/engine.hpp"
+#include "relogic/sim/harness.hpp"
+
+using namespace relogic;
+
+namespace {
+
+/// Controller wrapper that traces each transaction.
+class TracingListener final : public fabric::FabricListener {
+ public:
+  void on_cell_changed(ClbCoord, int, const fabric::LogicCellConfig&,
+                       const fabric::LogicCellConfig&) override {
+    ++cell_writes;
+  }
+  void on_net_changed(fabric::NetId) override { ++net_changes; }
+  int cell_writes = 0;
+  int net_changes = 0;
+};
+
+void run_case(const char* title, const netlist::Netlist& nl) {
+  fabric::Fabric fab(fabric::DeviceGeometry::tiny(12, 12));
+  const fabric::DelayModel dm;
+  config::BoundaryScanPort jtag;
+  config::ConfigController controller(fab, jtag);
+  sim::FabricSim sim(fab, dm);
+  sim.add_clock(sim::ClockSpec{});
+  place::Implementer implementer(fab, dm);
+  place::Router router(fab, dm);
+  reloc::RelocationEngine engine(controller, router, &sim);
+
+  const auto mapped = netlist::map_netlist(nl);
+  place::ImplementOptions opts;
+  opts.region = place::suggest_region(mapped, ClbCoord{2, 2}, fab.geometry());
+  auto impl = implementer.implement(mapped, opts);
+
+  sim::CircuitHarness harness(sim, nl, impl);
+  Rng rng(17);
+  for (int i = 0; i < 8; ++i) harness.step_random(rng);
+
+  set_log_level(LogLevel::kDebug);  // emits one line per config op
+  const auto before = controller.totals();
+  const auto report =
+      engine.relocate_cell(impl, 0, place::CellSite{ClbCoord{9, 9}, 0});
+  set_log_level(LogLevel::kOff);
+  const auto after = controller.totals();
+
+  for (int i = 0; i < 8; ++i) harness.step_random(rng);
+
+  std::printf("%s\n", title);
+  std::printf("  %s\n", report.to_string().c_str());
+  std::printf("  transactions %d, frames %d, columns %d, port time %s\n",
+              after.ops - before.ops,
+              after.frames_written - before.frames_written,
+              after.columns_touched - before.columns_touched,
+              (after.time - before.time).to_string().c_str());
+  std::printf("  lockstep after relocation: %s, monitor: %s\n\n",
+              harness.total_mismatches() == 0 ? "clean" : "MISMATCH",
+              sim.monitor().clean() ? "clean" : "DIRTY");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Fig. 2 — two-phase CLB relocation procedure\n");
+  std::printf("# (op-by-op trace on stderr: phase 1 = copy config + parallel "
+              "inputs,\n#  phase 2 = parallel outputs, disconnect original "
+              "outputs, then inputs)\n\n");
+  run_case("combinational cell:",
+           netlist::bench::random_logic("comb", 8, 4, 2, 21));
+  run_case("free-running-clock FF cell:",
+           netlist::bench::counter(
+               4, netlist::bench::ClockingStyle::kFreeRunning));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// bench_fig4_relocation_time — reproduces the paper's headline
+// measurement: "The average relocation time of each CLB implementing
+// synchronous gated-clock circuits is about 22,6 ms, when the Boundary
+// Scan infrastructure is used to perform the reconfiguration, at a test
+// clock frequency of 20 MHz."
+//
+// Method (matching Sec. 2): implement ITC'99-class circuits on an XCV200
+// model, run them under random stimuli, and relocate their cells one by
+// one with the Fig. 4 gated-clock procedure, measuring configuration-port
+// time per relocated cell. The same run verifies the qualitative claim:
+// no loss of state information, no output glitches.
+//
+// SelectMAP numbers are printed for contrast, and the analytical cost
+// model (used by the scheduler) is validated against the measured values.
+#include <cstdio>
+#include <string>
+
+#include "relogic/config/controller.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/reloc/cost.hpp"
+#include "relogic/reloc/engine.hpp"
+#include "relogic/sim/harness.hpp"
+
+using namespace relogic;
+using netlist::bench::ClockingStyle;
+
+namespace {
+
+struct Result {
+  std::string name;
+  int ffs = 0;
+  int cells_moved = 0;
+  double total_ms = 0;
+  bool clean = true;
+  double per_cell_ms() const { return total_ms / cells_moved; }
+};
+
+Result run_circuit(const netlist::bench::SuiteEntry& entry,
+                   const config::ConfigPort& port, int max_cells) {
+  fabric::Fabric fab(fabric::DeviceGeometry::xcv200());
+  const fabric::DelayModel dm;
+  config::ConfigController controller(fab, port, /*column_granular=*/true);
+  sim::FabricSim sim(fab, dm);
+  sim.add_clock(sim::ClockSpec{});
+  place::Implementer implementer(fab, dm);
+  place::Router router(fab, dm);
+  reloc::RelocationEngine engine(controller, router, &sim);
+
+  const auto mapped = netlist::map_netlist(entry.circuit);
+  place::ImplementOptions opts;
+  opts.region = place::suggest_region(mapped, ClbCoord{2, 2}, fab.geometry());
+  auto impl = implementer.implement(mapped, opts);
+
+  sim::CircuitHarness harness(sim, entry.circuit, impl);
+  harness.watch_registered_outputs();
+  Rng rng(0xF16'4 + static_cast<unsigned>(impl.cell_count()));
+  bool ok = true;
+  for (int i = 0; i < 8 && ok; ++i) ok = harness.step_random(rng).ok();
+
+  Result r;
+  r.name = entry.name;
+  r.ffs = entry.circuit.ff_count();
+  const int n = std::min(max_cells, impl.cell_count());
+  for (int i = 0; i < n; ++i) {
+    const place::CellSite dest{
+        ClbCoord{impl.region.row + 14, impl.region.col + 18 + (i / 4)},
+        i % 4};
+    const auto rep = engine.relocate_cell(impl, i, dest);
+    r.total_ms += rep.config_time.milliseconds();
+    ++r.cells_moved;
+  }
+  for (int i = 0; i < 10 && ok; ++i) ok = harness.step_random(rng).ok();
+  r.clean = ok && sim.monitor().clean();
+  if (!r.clean) {
+    for (const auto& line : harness.mismatch_log())
+      std::fprintf(stderr, "  [%s] %s\n", entry.name.c_str(), line.c_str());
+    for (const auto& v : sim.monitor().violations())
+      std::fprintf(stderr, "  [%s] %s: %s\n", entry.name.c_str(),
+                   to_string(v.kind).c_str(), v.description.c_str());
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick bounds per-circuit sampling for CI-style runs.
+  int max_cells = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") max_cells = 1 << 20;
+  }
+
+  const auto suite = netlist::bench::itc99_suite(ClockingStyle::kGatedClock);
+  config::BoundaryScanPort jtag;  // 20 MHz TCK — the paper's configuration
+  config::SelectMapPort smap;
+
+  std::printf("# Fig. 3/4 — dynamic relocation of gated-clock CLB cells\n");
+  std::printf("# device XCV200, Boundary Scan @ 20 MHz (paper set-up)\n\n");
+  std::printf("%-6s %5s %7s %14s %16s  %s\n", "ckt", "FFs", "moved",
+              "total/ms", "per-cell/ms", "verdict");
+
+  double sum_ms = 0;
+  int sum_cells = 0;
+  bool all_clean = true;
+  for (const auto& entry : suite) {
+    const Result r = run_circuit(entry, jtag, max_cells);
+    std::printf("%-6s %5d %7d %14.2f %16.2f  %s\n", r.name.c_str(), r.ffs,
+                r.cells_moved, r.total_ms, r.per_cell_ms(),
+                r.clean ? "no state loss, no glitches" : "FAILED");
+    sum_ms += r.total_ms;
+    sum_cells += r.cells_moved;
+    all_clean = all_clean && r.clean;
+  }
+  const double avg = sum_ms / sum_cells;
+  std::printf("\naverage per relocated gated-clock cell: %.1f ms "
+              "(paper: ~22.6 ms)\n",
+              avg);
+
+  // SelectMAP contrast: the same procedure through the parallel port.
+  {
+    const Result r = run_circuit(suite[0], smap, std::min(max_cells, 5));
+    std::printf("SelectMAP contrast (%s): %.2f ms per cell — the port, not "
+                "the procedure, dominates\n",
+                r.name.c_str(), r.per_cell_ms());
+  }
+
+  // Cost-model validation (the scheduler prices moves with this model).
+  {
+    const auto geom = fabric::DeviceGeometry::xcv200();
+    const reloc::RelocationCostModel model(geom, jtag);
+    const double modelled =
+        model.cell_time(fabric::RegMode::kFF, /*gated=*/true).milliseconds();
+    std::printf("analytical cost model: %.1f ms per gated cell "
+                "(measured %.1f ms, error %+.0f%%)\n",
+                modelled, avg, 100.0 * (modelled - avg) / avg);
+  }
+  return all_clean ? 0 : 1;
+}

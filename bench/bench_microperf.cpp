@@ -1,0 +1,132 @@
+// bench_microperf — google-benchmark micro-performance of the library's
+// hot paths: routing-graph construction, maze routing, event-driven
+// simulation throughput, and the relocation engine itself.
+//
+// These are tooling benchmarks (how fast is the *simulator*), not paper
+// reproductions; they bound how large an experiment the repository can
+// drive and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "relogic/area/defrag.hpp"
+#include "relogic/config/controller.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/reloc/engine.hpp"
+#include "relogic/sim/harness.hpp"
+
+namespace {
+
+using namespace relogic;
+
+void BM_RoutingGraphBuild(benchmark::State& state) {
+  const auto geom = fabric::DeviceGeometry::preset(
+      static_cast<fabric::DevicePreset>(state.range(0)));
+  for (auto _ : state) {
+    fabric::RoutingGraph graph(geom);
+    benchmark::DoNotOptimize(graph.node_count());
+  }
+  state.SetLabel(geom.name);
+}
+BENCHMARK(BM_RoutingGraphBuild)
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV50))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV200))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV1000))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MazeRoute(benchmark::State& state) {
+  const int span = static_cast<int>(state.range(0));
+  fabric::Fabric fab(fabric::DeviceGeometry::xcv200());
+  const fabric::DelayModel dm;
+  place::Router router(fab, dm);
+  const auto& g = fab.graph();
+  int k = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto net = fab.create_net("n" + std::to_string(k));
+    const int row = 2 + (k % 20);
+    fab.attach_source(net, g.out_pin({row, 2}, k % 4, false));
+    state.ResumeTiming();
+    router.route_sink(net,
+                      g.in_pin({row, 2 + span}, k % 4, fabric::CellPort::kI0));
+    state.PauseTiming();
+    fab.destroy_net(net);
+    state.ResumeTiming();
+    ++k;
+  }
+}
+BENCHMARK(BM_MazeRoute)->Arg(4)->Arg(16)->Arg(38)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  fabric::Fabric fab(fabric::DeviceGeometry::tiny(16, 16));
+  const fabric::DelayModel dm;
+  sim::FabricSim sim(fab, dm);
+  sim.add_clock(sim::ClockSpec{});
+  place::Implementer implementer(fab, dm);
+  const auto nl = netlist::bench::random_fsm("perf", 24, 4, 4, 5);
+  auto impl = implementer.implement(
+      netlist::map_netlist(nl),
+      place::ImplementOptions{ClbRect{1, 1, 6, 6}, 0, {}});
+  // Free-running stimulus through pads.
+  Rng rng(1);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    for (const auto& [sig, pad] : impl.input_pads) {
+      sim.drive_pad(pad, rng.next_bool());
+    }
+    sim.run_cycles(10);
+    cycles += 10;
+  }
+  state.SetItemsProcessed(cycles);
+}
+BENCHMARK(BM_SimulatorCycles);
+
+void BM_GatedCellRelocation(benchmark::State& state) {
+  // Wall-clock cost of one full gated-clock relocation (engine + sim),
+  // not the modelled configuration time.
+  for (auto _ : state) {
+    state.PauseTiming();
+    fabric::Fabric fab(fabric::DeviceGeometry::tiny(14, 14));
+    const fabric::DelayModel dm;
+    config::BoundaryScanPort port;
+    config::ConfigController controller(fab, port, true);
+    sim::FabricSim sim(fab, dm);
+    sim.add_clock(sim::ClockSpec{});
+    place::Implementer implementer(fab, dm);
+    place::Router router(fab, dm);
+    reloc::RelocationEngine engine(controller, router, &sim);
+    const auto nl = netlist::bench::shift_register(
+        2, netlist::bench::ClockingStyle::kGatedClock);
+    auto impl = implementer.implement(
+        netlist::map_netlist(nl),
+        place::ImplementOptions{ClbRect{2, 2, 2, 2}, 0, {}});
+    sim::CircuitHarness harness(sim, nl, impl);
+    harness.step({true, true});
+    state.ResumeTiming();
+
+    benchmark::DoNotOptimize(
+        engine.relocate_cell(impl, 0, place::CellSite{ClbCoord{10, 10}, 0}));
+  }
+}
+BENCHMARK(BM_GatedCellRelocation)->Unit(benchmark::kMillisecond);
+
+void BM_DefragPlan(benchmark::State& state) {
+  // Planning cost on a fragmented 32x32 grid.
+  area::AreaManager mgr(32, 32);
+  Rng rng(3);
+  std::vector<area::RegionId> live;
+  for (int i = 0; i < 40; ++i) {
+    const auto id =
+        mgr.allocate("r", rng.next_int(2, 7), rng.next_int(2, 7));
+    if (id != area::kNoRegion) live.push_back(id);
+  }
+  for (std::size_t i = 0; i < live.size(); i += 2) mgr.release(live[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(area::plan_for_request(mgr, 12, 12));
+  }
+}
+BENCHMARK(BM_DefragPlan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// itc99_live_migration — the paper's validation campaign, end to end.
+//
+// Implements the ITC'99-class circuit suite on an XCV200 model, runs each
+// under random stimuli, migrates it across the device while it operates
+// (gated-clock style, the hardest case), and reports per-circuit: cells
+// moved, frames written, configuration time per cell — alongside the
+// machine-checked "no state loss / no glitches" verdict.
+#include <cstdio>
+
+#include "relogic/config/controller.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/reloc/engine.hpp"
+#include "relogic/sim/harness.hpp"
+
+using namespace relogic;
+using netlist::bench::ClockingStyle;
+
+int main() {
+  const auto suite = netlist::bench::itc99_suite(ClockingStyle::kGatedClock);
+
+  std::printf("%-6s %6s %6s %7s %8s %12s %14s  %s\n", "ckt", "FFs", "cells",
+              "moved", "frames", "config/ms", "per-cell/ms", "verdict");
+
+  double total_ms = 0;
+  int total_cells = 0;
+  bool all_clean = true;
+
+  for (const auto& entry : suite) {
+    fabric::Fabric fab(fabric::DeviceGeometry::xcv200());
+    const fabric::DelayModel dm;
+    config::BoundaryScanPort jtag;  // 20 MHz TCK, as in the paper
+    config::ConfigController controller(fab, jtag);
+    sim::FabricSim sim(fab, dm);
+    sim.add_clock(sim::ClockSpec{});
+    place::Implementer implementer(fab, dm);
+    place::Router router(fab, dm);
+    reloc::RelocationEngine engine(controller, router, &sim);
+
+    const auto mapped = netlist::map_netlist(entry.circuit);
+    place::ImplementOptions opts;
+    opts.region =
+        place::suggest_region(mapped, ClbCoord{2, 2}, fab.geometry());
+    auto impl = implementer.implement(mapped, opts);
+
+    sim::CircuitHarness harness(sim, entry.circuit, impl);
+    harness.watch_registered_outputs();
+    Rng rng(0xCAFE + impl.cell_count());
+    bool ok = true;
+    for (int i = 0; i < 10 && ok; ++i) ok = harness.step_random(rng).ok();
+
+    // Migrate the whole circuit to the opposite corner of the device.
+    const ClbRect dest{impl.region.row + 12, impl.region.col + 20,
+                       impl.region.height, impl.region.width};
+    const auto report = engine.relocate_function(impl, dest);
+
+    for (int i = 0; i < 20 && ok; ++i) ok = harness.step_random(rng).ok();
+    ok = ok && sim.monitor().clean();
+    all_clean = all_clean && ok;
+
+    const double config_ms = report.config_time.milliseconds();
+    std::printf("%-6s %6d %6d %7zu %8d %12.2f %14.2f  %s\n",
+                entry.name.c_str(), entry.circuit.ff_count(),
+                impl.cell_count(), report.cells.size(),
+                report.frames_written, config_ms,
+                config_ms / static_cast<double>(report.cells.size()),
+                ok ? "no disturbance" : "FAILED");
+    total_ms += config_ms;
+    total_cells += static_cast<int>(report.cells.size());
+  }
+
+  std::printf("\naverage relocation time per gated-clock cell: %.1f ms "
+              "(paper: ~22.6 ms per CLB, Boundary Scan @ 20 MHz)\n",
+              total_ms / total_cells);
+  return all_clean ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+#include "relogic/area/defrag.hpp"
+
+#include <algorithm>
+
+namespace relogic::area {
+
+namespace {
+
+/// One greedy pass; `prefer_small_victims` selects the gain tie-break.
+std::optional<DefragPlan> greedy_plan(const AreaManager& mgr, int h, int w,
+                                      const DefragOptions& opt,
+                                      bool prefer_small_victims) {
+  AreaManager scratch = mgr;
+  DefragPlan plan;
+
+  while (!scratch.can_fit(h, w)) {
+    if (static_cast<int>(plan.moves.size()) >= opt.max_moves)
+      return std::nullopt;
+
+    // Greedy: the move that most enlarges the largest free rectangle.
+    std::optional<Move> best;
+    long best_gain = -1;
+    long best_dist = 0;
+    long best_area = 0;
+    for (const Region& r : scratch.regions()) {
+      // Candidate destinations: bottom-left and best-fit placements of the
+      // region's shape in the remaining free space (non-overlapping with
+      // its current rect, so plans execute move-by-move on the fabric).
+      for (PlacePolicy policy :
+           {PlacePolicy::kBottomLeft, PlacePolicy::kBestFit}) {
+        const auto dest =
+            scratch.find_free_rect(r.rect.height, r.rect.width, policy);
+        if (!dest || *dest == r.rect) continue;
+        AreaManager trial = scratch;
+        trial.move(r.id, *dest);
+        const long gain = trial.largest_free_rect().area();
+        const long dist =
+            std::abs(dest->row - r.rect.row) + std::abs(dest->col - r.rect.col);
+        // Relocation cost grows with the moved area (one procedure per
+        // cell), so by default prefer small victims on equal gain; the
+        // alternate pass prefers large ones (sometimes the small-victim
+        // move blocks the only escape of a large region).
+        const long area_penalty = r.rect.area();
+        bool better = false;
+        if (!best) {
+          better = true;
+        } else if (gain != best_gain) {
+          better = gain > best_gain;
+        } else if (area_penalty != best_area) {
+          better = prefer_small_victims ? area_penalty < best_area
+                                        : area_penalty > best_area;
+        } else if (opt.prefer_near) {
+          better = dist < best_dist;
+        }
+        if (better) {
+          best = Move{r.id, r.rect, *dest};
+          best_gain = gain;
+          best_dist = dist;
+          best_area = area_penalty;
+        }
+      }
+    }
+    if (!best) return std::nullopt;
+    scratch.move(best->region, best->to);
+    plan.moves.push_back(*best);
+  }
+
+  const auto slot = scratch.find_free_rect(h, w, PlacePolicy::kBottomLeft);
+  RELOGIC_CHECK(slot.has_value());
+  plan.request_slot = *slot;
+  return plan;
+}
+
+}  // namespace
+
+std::optional<DefragPlan> plan_for_request(const AreaManager& mgr, int h,
+                                           int w, const DefragOptions& opt) {
+  RELOGIC_CHECK(h >= 1 && w >= 1);
+  if (mgr.free_clbs() < h * w) return std::nullopt;
+
+  // Greedy with the cheap tie-break first, the alternate second, full
+  // bottom-left repacking as the last resort (still bounded by max_moves).
+  if (auto plan = greedy_plan(mgr, h, w, opt, /*prefer_small_victims=*/true))
+    return plan;
+  if (auto plan = greedy_plan(mgr, h, w, opt, /*prefer_small_victims=*/false))
+    return plan;
+  auto full = plan_full_compaction(mgr, {{h, w}});
+  if (full && static_cast<int>(full->moves.size()) <= opt.max_moves)
+    return full;
+  return std::nullopt;
+}
+
+std::optional<DefragPlan> plan_full_compaction(
+    const AreaManager& mgr, std::optional<std::pair<int, int>> pending) {
+  // Pack everything into a fresh grid: pending request first (it must end
+  // up placed), then regions by area descending.
+  AreaManager packed(mgr.rows(), mgr.cols());
+  DefragPlan plan;
+
+  if (pending) {
+    const auto slot = packed.find_free_rect(pending->first, pending->second,
+                                            PlacePolicy::kBottomLeft);
+    if (!slot) return std::nullopt;
+    packed.allocate_at("pending", *slot);
+    plan.request_slot = *slot;
+  }
+
+  std::vector<Region> order = mgr.regions();
+  std::sort(order.begin(), order.end(), [](const Region& a, const Region& b) {
+    if (a.rect.area() != b.rect.area()) return a.rect.area() > b.rect.area();
+    return a.id < b.id;
+  });
+
+  std::unordered_map<RegionId, ClbRect> target;
+  for (const Region& r : order) {
+    const auto slot =
+        packed.find_free_rect(r.rect.height, r.rect.width,
+                              PlacePolicy::kBottomLeft);
+    if (!slot) return std::nullopt;
+    packed.allocate_at(r.name, *slot);
+    target[r.id] = *slot;
+  }
+
+  // Order the moves so each destination is free when its turn comes;
+  // break cycles through temporary positions.
+  AreaManager current = mgr;
+  std::vector<RegionId> pending_moves;
+  for (const Region& r : order) {
+    if (target[r.id] != r.rect) pending_moves.push_back(r.id);
+  }
+  int stall_guard = 0;
+  while (!pending_moves.empty()) {
+    bool progress = false;
+    for (auto it = pending_moves.begin(); it != pending_moves.end();) {
+      const RegionId id = *it;
+      const ClbRect from = current.region(id).rect;
+      const ClbRect to = target[id];
+      if (current.can_move(id, to)) {
+        current.move(id, to);
+        plan.moves.push_back(Move{id, from, to});
+        it = pending_moves.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    if (progress) continue;
+    // Cycle: evict the first pending region to any free spot.
+    const RegionId id = pending_moves.front();
+    const ClbRect from = current.region(id).rect;
+    const auto tmp = current.find_free_rect(from.height, from.width,
+                                            PlacePolicy::kBestFit);
+    if (!tmp || ++stall_guard > 2 * static_cast<int>(mgr.region_count()) + 4)
+      return std::nullopt;
+    current.move(id, *tmp);
+    plan.moves.push_back(Move{id, from, *tmp});
+  }
+
+  if (!pending) {
+    const auto biggest = current.largest_free_rect();
+    plan.request_slot = biggest;
+  }
+  return plan;
+}
+
+}  // namespace relogic::area

@@ -1,0 +1,68 @@
+// Defragmentation planning: choosing which running functions to relocate,
+// and where, so that an incoming request finds contiguous space.
+//
+// The paper's contribution makes executing such plans free for the
+// applications (transparent relocation); the *planning* follows the partial
+// rearrangement ideas of Diessel et al. [5], which the paper builds on:
+// move as few functions as possible, to nearby positions, until the request
+// fits. Two planners are provided:
+//
+//  * plan_for_request — greedy minimal rearrangement: repeatedly move the
+//    region that most enlarges the largest free rectangle until the
+//    request fits;
+//  * plan_full_compaction — bottom-left repacking of every region (the
+//    expensive but thorough variant).
+//
+// Planners only compute Moves; executing them (and paying configuration
+// time) is the caller's business: the scheduler prices each move via
+// RelocationCostModel, and fabric-level users hand them to the
+// RelocationEngine.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "relogic/area/manager.hpp"
+
+namespace relogic::area {
+
+struct Move {
+  RegionId region = kNoRegion;
+  ClbRect from;
+  ClbRect to;
+};
+
+struct DefragPlan {
+  std::vector<Move> moves;
+  /// Where the pending request fits once the moves are done.
+  ClbRect request_slot;
+
+  int moved_clbs() const {
+    int n = 0;
+    for (const auto& m : moves) n += m.from.area();
+    return n;
+  }
+};
+
+struct DefragOptions {
+  /// Bound on the number of moved regions in plan_for_request.
+  int max_moves = 8;
+  /// Prefer destinations near the origin of each moved region (the paper:
+  /// relocate to nearby CLBs to limit path-delay growth).
+  bool prefer_near = true;
+};
+
+/// Plans a minimal rearrangement so an h x w request fits. Returns nullopt
+/// if total free area is insufficient or the bound is exceeded.
+std::optional<DefragPlan> plan_for_request(const AreaManager& mgr, int h,
+                                           int w,
+                                           const DefragOptions& opt = {});
+
+/// Plans bottom-left repacking of all regions (sorted by height, then
+/// width). Returns the moves in execution order; positions never overlap a
+/// yet-unmoved region's current rect, which a sequential executor requires.
+/// `pending` (optional) is reserved first so the request ends up placed.
+std::optional<DefragPlan> plan_full_compaction(
+    const AreaManager& mgr, std::optional<std::pair<int, int>> pending = {});
+
+}  // namespace relogic::area

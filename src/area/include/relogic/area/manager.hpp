@@ -1,0 +1,100 @@
+// On-line area manager: rectangle-granularity bookkeeping of the logic
+// space.
+//
+// The paper's motivation (Sec. 1): as functions of different sizes are
+// swapped in and out, "many small pools of resources are created as they
+// are released. These unallocated areas tend to become so small that they
+// fail to satisfy any request and for that reason remain unused, leading to
+// a fragmentation of the FPGA logic space." The manager tracks region
+// occupancy, answers allocation queries under several placement policies
+// and quantifies exactly that fragmentation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relogic/common/error.hpp"
+#include "relogic/common/geometry.hpp"
+
+namespace relogic::area {
+
+using RegionId = int;
+inline constexpr RegionId kNoRegion = 0;
+
+enum class PlacePolicy {
+  kBottomLeft,  ///< first position scanning rows top-to-bottom, then cols
+  kBestFit,     ///< position minimising leftover free space around the rect
+};
+
+struct Region {
+  RegionId id = kNoRegion;
+  std::string name;
+  ClbRect rect;
+};
+
+class AreaManager {
+ public:
+  AreaManager(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int total_clbs() const { return rows_ * cols_; }
+
+  // ---- allocation -----------------------------------------------------------
+  /// Position where an h x w rect fits entirely in free space, or nullopt.
+  std::optional<ClbRect> find_free_rect(int h, int w,
+                                        PlacePolicy policy) const;
+  /// Allocates a region; returns kNoRegion if nothing fits.
+  RegionId allocate(std::string name, int h, int w,
+                    PlacePolicy policy = PlacePolicy::kBottomLeft);
+  /// Allocates at an explicit position (throws if not free).
+  RegionId allocate_at(std::string name, ClbRect rect);
+  void release(RegionId id);
+  /// Moves a region to a new (free) position — the bookkeeping side of a
+  /// relocation.
+  void move(RegionId id, ClbRect to);
+  /// True if `move(id, to)` would succeed (cells free or the region's own).
+  bool can_move(RegionId id, ClbRect to) const;
+
+  bool exists(RegionId id) const { return regions_.contains(id); }
+  const Region& region(RegionId id) const;
+  std::vector<Region> regions() const;
+  std::size_t region_count() const { return regions_.size(); }
+
+  // ---- metrics ----------------------------------------------------------------
+  int free_clbs() const { return free_clbs_; }
+  int used_clbs() const { return total_clbs() - free_clbs_; }
+  double utilization() const {
+    return static_cast<double>(used_clbs()) / total_clbs();
+  }
+  /// Largest rectangle of entirely free CLBs.
+  ClbRect largest_free_rect() const;
+  /// 1 - largest_free_rect.area / free_clbs (0 when free space is one
+  /// rectangle; -> 1 as it shatters). 0 when no free space.
+  double fragmentation() const;
+  /// Would an h x w request fit right now?
+  bool can_fit(int h, int w) const {
+    return find_free_rect(h, w, PlacePolicy::kBottomLeft).has_value();
+  }
+  /// Occupant of one CLB (kNoRegion if free).
+  RegionId at(ClbCoord c) const;
+
+  /// ASCII rendering of the occupancy grid ('.' free, letters per region)
+  /// — the textual stand-in for the paper's Fig. 7 floorplan view.
+  std::string to_ascii() const;
+
+ private:
+  void fill(const ClbRect& r, RegionId id);
+  bool rect_free(const ClbRect& r) const;
+
+  int rows_;
+  int cols_;
+  std::vector<RegionId> grid_;  // row-major occupancy
+  std::unordered_map<RegionId, Region> regions_;
+  RegionId next_id_ = 1;
+  int free_clbs_;
+};
+
+}  // namespace relogic::area

@@ -1,0 +1,230 @@
+#include "relogic/area/manager.hpp"
+
+#include <algorithm>
+
+namespace relogic::area {
+
+AreaManager::AreaManager(int rows, int cols)
+    : rows_(rows), cols_(cols), free_clbs_(rows * cols) {
+  RELOGIC_CHECK(rows >= 1 && cols >= 1);
+  grid_.assign(static_cast<std::size_t>(rows) * cols, kNoRegion);
+}
+
+RegionId AreaManager::at(ClbCoord c) const {
+  RELOGIC_CHECK(c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_);
+  return grid_[static_cast<std::size_t>(c.row) * cols_ + c.col];
+}
+
+bool AreaManager::rect_free(const ClbRect& r) const {
+  if (r.row < 0 || r.col < 0 || r.row_end() > rows_ || r.col_end() > cols_)
+    return false;
+  for (int row = r.row; row < r.row_end(); ++row) {
+    const std::size_t base = static_cast<std::size_t>(row) * cols_;
+    for (int col = r.col; col < r.col_end(); ++col) {
+      if (grid_[base + col] != kNoRegion) return false;
+    }
+  }
+  return true;
+}
+
+void AreaManager::fill(const ClbRect& r, RegionId id) {
+  for (int row = r.row; row < r.row_end(); ++row) {
+    const std::size_t base = static_cast<std::size_t>(row) * cols_;
+    for (int col = r.col; col < r.col_end(); ++col) {
+      grid_[base + col] = id;
+    }
+  }
+}
+
+std::optional<ClbRect> AreaManager::find_free_rect(int h, int w,
+                                                   PlacePolicy policy) const {
+  RELOGIC_CHECK(h >= 1 && w >= 1);
+  if (h > rows_ || w > cols_) return std::nullopt;
+
+  // Per-cell count of consecutive free cells downward (for fast checks).
+  std::vector<int> down(grid_.size(), 0);
+  for (int col = 0; col < cols_; ++col) {
+    for (int row = rows_ - 1; row >= 0; --row) {
+      const std::size_t i = static_cast<std::size_t>(row) * cols_ + col;
+      if (grid_[i] != kNoRegion) {
+        down[i] = 0;
+      } else {
+        down[i] = 1 + (row + 1 < rows_
+                           ? down[i + static_cast<std::size_t>(cols_)]
+                           : 0);
+      }
+    }
+  }
+
+  std::optional<ClbRect> best;
+  long best_score = 0;
+  for (int row = 0; row + h <= rows_; ++row) {
+    int run = 0;  // consecutive columns where h cells fit downward
+    for (int col = 0; col + 1 <= cols_; ++col) {
+      const std::size_t i = static_cast<std::size_t>(row) * cols_ + col;
+      run = (down[i] >= h) ? run + 1 : 0;
+      if (run >= w) {
+        const ClbRect r{row, col - w + 1, h, w};
+        if (policy == PlacePolicy::kBottomLeft) return r;
+        // Best-fit: prefer positions hugging occupied space / edges —
+        // score = number of occupied-or-border cells adjacent to the rect.
+        long score = 0;
+        auto occupied = [&](int rr, int cc) {
+          if (rr < 0 || rr >= rows_ || cc < 0 || cc >= cols_) return true;
+          return grid_[static_cast<std::size_t>(rr) * cols_ + cc] != kNoRegion;
+        };
+        for (int cc = r.col; cc < r.col_end(); ++cc) {
+          score += occupied(r.row - 1, cc) ? 1 : 0;
+          score += occupied(r.row_end(), cc) ? 1 : 0;
+        }
+        for (int rr = r.row; rr < r.row_end(); ++rr) {
+          score += occupied(rr, r.col - 1) ? 1 : 0;
+          score += occupied(rr, r.col_end()) ? 1 : 0;
+        }
+        if (!best || score > best_score) {
+          best = r;
+          best_score = score;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+RegionId AreaManager::allocate(std::string name, int h, int w,
+                               PlacePolicy policy) {
+  const auto rect = find_free_rect(h, w, policy);
+  if (!rect) return kNoRegion;
+  const RegionId id = next_id_++;
+  fill(*rect, id);
+  free_clbs_ -= rect->area();
+  regions_.emplace(id, Region{id, std::move(name), *rect});
+  return id;
+}
+
+RegionId AreaManager::allocate_at(std::string name, ClbRect rect) {
+  RELOGIC_CHECK_MSG(rect_free(rect),
+                    "rect " + rect.to_string() + " is not free");
+  const RegionId id = next_id_++;
+  fill(rect, id);
+  free_clbs_ -= rect.area();
+  regions_.emplace(id, Region{id, std::move(name), rect});
+  return id;
+}
+
+void AreaManager::release(RegionId id) {
+  auto it = regions_.find(id);
+  RELOGIC_CHECK_MSG(it != regions_.end(), "unknown region");
+  fill(it->second.rect, kNoRegion);
+  free_clbs_ += it->second.rect.area();
+  regions_.erase(it);
+}
+
+void AreaManager::move(RegionId id, ClbRect to) {
+  auto it = regions_.find(id);
+  RELOGIC_CHECK_MSG(it != regions_.end(), "unknown region");
+  Region& r = it->second;
+  RELOGIC_CHECK_MSG(to.height == r.rect.height && to.width == r.rect.width,
+                    "move must preserve region shape");
+  // Free, then claim — the two rects may overlap (nearby relocation).
+  fill(r.rect, kNoRegion);
+  if (!rect_free(to)) {
+    fill(r.rect, id);  // roll back
+    throw IllegalOperationError("destination " + to.to_string() +
+                                " is not free for region " + r.name);
+  }
+  fill(to, id);
+  r.rect = to;
+}
+
+bool AreaManager::can_move(RegionId id, ClbRect to) const {
+  auto it = regions_.find(id);
+  RELOGIC_CHECK_MSG(it != regions_.end(), "unknown region");
+  const Region& r = it->second;
+  if (to.height != r.rect.height || to.width != r.rect.width) return false;
+  if (to.row < 0 || to.col < 0 || to.row_end() > rows_ ||
+      to.col_end() > cols_)
+    return false;
+  for (int row = to.row; row < to.row_end(); ++row) {
+    for (int col = to.col; col < to.col_end(); ++col) {
+      const RegionId occ = grid_[static_cast<std::size_t>(row) * cols_ + col];
+      if (occ != kNoRegion && occ != id) return false;
+    }
+  }
+  return true;
+}
+
+const Region& AreaManager::region(RegionId id) const {
+  auto it = regions_.find(id);
+  RELOGIC_CHECK_MSG(it != regions_.end(), "unknown region");
+  return it->second;
+}
+
+std::vector<Region> AreaManager::regions() const {
+  std::vector<Region> out;
+  out.reserve(regions_.size());
+  for (const auto& [id, r] : regions_) out.push_back(r);
+  std::sort(out.begin(), out.end(),
+            [](const Region& a, const Region& b) { return a.id < b.id; });
+  return out;
+}
+
+ClbRect AreaManager::largest_free_rect() const {
+  // Maximal rectangle under a histogram, per row.
+  std::vector<int> height(static_cast<std::size_t>(cols_), 0);
+  ClbRect best{0, 0, 0, 0};
+  for (int row = 0; row < rows_; ++row) {
+    for (int col = 0; col < cols_; ++col) {
+      const bool free =
+          grid_[static_cast<std::size_t>(row) * cols_ + col] == kNoRegion;
+      height[static_cast<std::size_t>(col)] =
+          free ? height[static_cast<std::size_t>(col)] + 1 : 0;
+    }
+    // Stack-based largest rectangle in histogram.
+    std::vector<int> stack;
+    for (int col = 0; col <= cols_; ++col) {
+      const int h = col < cols_ ? height[static_cast<std::size_t>(col)] : 0;
+      while (!stack.empty() &&
+             height[static_cast<std::size_t>(stack.back())] > h) {
+        const int top = stack.back();
+        stack.pop_back();
+        const int hh = height[static_cast<std::size_t>(top)];
+        const int left = stack.empty() ? 0 : stack.back() + 1;
+        const int ww = col - left;
+        if (hh * ww > best.area()) {
+          best = ClbRect{row - hh + 1, left, hh, ww};
+        }
+      }
+      // Zero-height columns stay on the stack as barriers; otherwise a
+      // later pop would wrongly extend across the gap.
+      if (col < cols_) stack.push_back(col);
+    }
+  }
+  return best;
+}
+
+std::string AreaManager::to_ascii() const {
+  // Stable letter per region id.
+  std::string out;
+  out.reserve(static_cast<std::size_t>((cols_ + 1) * rows_));
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const RegionId id = grid_[static_cast<std::size_t>(r) * cols_ + c];
+      if (id == kNoRegion) {
+        out += '.';
+      } else {
+        out += static_cast<char>('A' + (id - 1) % 26);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double AreaManager::fragmentation() const {
+  if (free_clbs_ == 0) return 0.0;
+  const int largest = largest_free_rect().area();
+  return 1.0 - static_cast<double>(largest) / free_clbs_;
+}
+
+}  // namespace relogic::area

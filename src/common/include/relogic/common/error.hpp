@@ -1,0 +1,60 @@
+// Error handling primitives for the relogic library.
+//
+// The library throws `relogic::Error` (and subclasses) for contract and
+// environment violations; hot paths use RELOGIC_CHECK which compiles to a
+// throwing check in all build types (relocation correctness is the whole
+// point of the library, so checks stay on in Release).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace relogic {
+
+/// Base class of all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// An operation is illegal in the current fabric/configuration state
+/// (e.g. relocating a LUT-RAM, routing through an occupied switch).
+class IllegalOperationError : public Error {
+ public:
+  explicit IllegalOperationError(const std::string& what) : Error(what) {}
+};
+
+/// A resource request cannot be satisfied (no free CLB, no route).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw ContractError(std::string("check failed: ") + expr + " at " + file +
+                      ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace relogic
+
+#define RELOGIC_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::relogic::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define RELOGIC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::relogic::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

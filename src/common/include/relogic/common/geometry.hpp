@@ -1,0 +1,68 @@
+// Planar geometry over the CLB array: coordinates and rectangles.
+//
+// Rows grow downward (row 0 at the top of the array) and columns grow to the
+// right, matching the Virtex configuration-column order used by
+// relogic::config.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace relogic {
+
+/// Location of a CLB in the array.
+struct ClbCoord {
+  int row = 0;
+  int col = 0;
+
+  constexpr auto operator<=>(const ClbCoord&) const = default;
+
+  std::string to_string() const {
+    return "R" + std::to_string(row) + "C" + std::to_string(col);
+  }
+};
+
+/// Manhattan distance between two CLBs — the routing-cost metric the paper's
+/// "relocate to nearby CLBs" guidance is expressed in.
+constexpr int manhattan(ClbCoord a, ClbCoord b) {
+  const int dr = a.row - b.row;
+  const int dc = a.col - b.col;
+  return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+}
+
+/// Half-open rectangle of CLBs: rows [row, row+height), cols [col, col+width).
+struct ClbRect {
+  int row = 0;
+  int col = 0;
+  int height = 0;
+  int width = 0;
+
+  constexpr auto operator<=>(const ClbRect&) const = default;
+
+  constexpr int area() const { return height * width; }
+  constexpr bool empty() const { return height <= 0 || width <= 0; }
+  constexpr int row_end() const { return row + height; }
+  constexpr int col_end() const { return col + width; }
+
+  constexpr bool contains(ClbCoord c) const {
+    return c.row >= row && c.row < row_end() && c.col >= col &&
+           c.col < col_end();
+  }
+  constexpr bool contains(const ClbRect& o) const {
+    return o.row >= row && o.col >= col && o.row_end() <= row_end() &&
+           o.col_end() <= col_end();
+  }
+  constexpr bool overlaps(const ClbRect& o) const {
+    return row < o.row_end() && o.row < row_end() && col < o.col_end() &&
+           o.col < col_end();
+  }
+
+  std::string to_string() const {
+    return "[" + std::to_string(row) + "," + std::to_string(col) + " " +
+           std::to_string(height) + "x" + std::to_string(width) + "]";
+  }
+};
+
+}  // namespace relogic

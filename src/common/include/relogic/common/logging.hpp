@@ -1,0 +1,48 @@
+// Minimal leveled logger used across the library.
+//
+// Off by default; benches/examples raise the level to narrate relocation
+// steps. Not thread-safe by design — the simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace relogic {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global log threshold; messages above the threshold are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: RELOGIC_LOG(kInfo) << "moved " << n;
+#define RELOGIC_LOG(level)                                             \
+  if (::relogic::LogLevel::level > ::relogic::log_level()) {           \
+  } else                                                               \
+    ::relogic::detail::LogLine(::relogic::LogLevel::level)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace relogic

@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// All stochastic components (workload generators, property tests, random
+// stimuli) draw from Rng seeded explicitly, so every experiment in
+// EXPERIMENTS.md is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace relogic {
+
+/// xoshiro256** — small, fast, high-quality; seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) using Lemire's rejection method. bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true = 0.5);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Geometric-ish discrete value in [lo, hi] biased toward lo.
+  int next_skewed(int lo, int hi);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace relogic

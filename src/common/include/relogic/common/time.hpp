@@ -1,0 +1,61 @@
+// Simulation time: a strong integer type counting picoseconds.
+//
+// All latencies in the library (logic delays, routing delays, configuration
+// port transfer times, scheduler horizons) are expressed as SimTime so that
+// heterogeneous models compose without unit mistakes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace relogic {
+
+/// Absolute time or duration in picoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ps) : ps_(ps) {}
+
+  static constexpr SimTime ps(std::int64_t v) { return SimTime(v); }
+  static constexpr SimTime ns(std::int64_t v) { return SimTime(v * 1000); }
+  static constexpr SimTime us(std::int64_t v) { return SimTime(v * 1000000); }
+  static constexpr SimTime ms(std::int64_t v) {
+    return SimTime(v * 1000000000);
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  /// Largest representable time; used as "never".
+  static constexpr SimTime never() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t picoseconds() const { return ps_; }
+  constexpr double nanoseconds() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double microseconds() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double milliseconds() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double seconds() const { return static_cast<double>(ps_) / 1e12; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ps_ + o.ps_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ps_ - o.ps_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ps_ * k); }
+  constexpr std::int64_t operator/(SimTime o) const { return ps_ / o.ps_; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime(ps_ / k); }
+
+  /// Human-readable rendering with an auto-selected unit (e.g. "22.6 ms").
+  std::string to_string() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+}  // namespace relogic

@@ -1,0 +1,38 @@
+#include "relogic/common/logging.hpp"
+
+#include <cstdio>
+
+namespace relogic {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kOff:
+      break;
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[relogic %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace relogic

@@ -1,0 +1,81 @@
+#include "relogic/common/rng.hpp"
+
+#include <cmath>
+
+#include "relogic/common/error.hpp"
+
+namespace relogic {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  RELOGIC_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (0ull - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+int Rng::next_int(int lo, int hi) {
+  RELOGIC_CHECK(lo <= hi);
+  return lo + static_cast<int>(next_below(
+                  static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::next_exponential(double mean) {
+  RELOGIC_CHECK(mean > 0);
+  double u = next_double();
+  if (u <= 0) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+int Rng::next_skewed(int lo, int hi) {
+  RELOGIC_CHECK(lo <= hi);
+  const double u = next_double();
+  const double span = static_cast<double>(hi - lo) + 1.0;
+  const int off = static_cast<int>(span * u * u);  // quadratic bias to lo
+  return lo + (off > hi - lo ? hi - lo : off);
+}
+
+}  // namespace relogic

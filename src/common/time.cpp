@@ -1,0 +1,26 @@
+#include "relogic/common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace relogic {
+
+std::string SimTime::to_string() const {
+  const double ps = static_cast<double>(ps_);
+  char buf[64];
+  const double abs = std::fabs(ps);
+  if (abs >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.3f s", ps / 1e12);
+  } else if (abs >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ps / 1e9);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ps / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", ps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(ps_));
+  }
+  return buf;
+}
+
+}  // namespace relogic

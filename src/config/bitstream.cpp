@@ -1,0 +1,134 @@
+#include "relogic/config/bitstream.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace relogic::config {
+
+namespace {
+
+constexpr std::uint32_t kSyncWord = 0xAA995566;  // Virtex sync word
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t mix64to32(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return static_cast<std::uint32_t>(x);
+}
+
+std::uint32_t frame_key(const FrameAddress& f) {
+  return (static_cast<std::uint32_t>(f.type) << 28) |
+         (static_cast<std::uint32_t>(static_cast<std::uint16_t>(f.column))
+          << 12) |
+         static_cast<std::uint32_t>(static_cast<std::uint16_t>(f.frame));
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BitstreamWriter::append_op(const ConfigOp& op,
+                                PartialBitstream& out) const {
+  const auto frames = controller_->frames_of(op);
+  const int words =
+      controller_->fabric().geometry().frame_length_bits() / 32;
+
+  // Op header packet: type-1 style marker + frame count.
+  put_u32(out.bytes, 0x30008001u);  // write to CMD register
+  put_u32(out.bytes, static_cast<std::uint32_t>(frames.size()));
+
+  for (const FrameAddress& f : frames) {
+    put_u32(out.bytes, 0x30002001u);  // write FAR
+    put_u32(out.bytes, frame_key(f));
+    put_u32(out.bytes, 0x30004000u | static_cast<std::uint32_t>(words));
+    // Deterministic payload synthesised from the frame address and the op
+    // label: stands in for the real configuration data.
+    std::uint64_t h = frame_key(f);
+    for (char ch : op.label) h = h * 1099511628211ull + static_cast<unsigned char>(ch);
+    for (int w = 0; w < words; ++w) {
+      h = h * 6364136223846793005ull + 1442695040888963407ull;
+      put_u32(out.bytes, mix64to32(h));
+    }
+    ++out.frame_count;
+  }
+}
+
+PartialBitstream BitstreamWriter::render(const ConfigOp& op) const {
+  return render(std::vector<ConfigOp>{op});
+}
+
+PartialBitstream BitstreamWriter::render(
+    const std::vector<ConfigOp>& ops) const {
+  PartialBitstream out;
+  put_u32(out.bytes, 0xFFFFFFFFu);  // dummy word
+  put_u32(out.bytes, kSyncWord);
+  for (const ConfigOp& op : ops) append_op(op, out);
+  out.crc = crc32(out.bytes.data(), out.bytes.size());
+  put_u32(out.bytes, 0x30000001u);  // write CRC register
+  put_u32(out.bytes, out.crc);
+  return out;
+}
+
+std::string BitstreamWriter::script(const std::vector<ConfigOp>& ops) const {
+  std::string out;
+  const int frame_bits = controller_->fabric().geometry().frame_length_bits();
+  SimTime total = SimTime::zero();
+  int total_frames = 0;
+  int index = 0;
+  for (const ConfigOp& op : ops) {
+    const auto frames = controller_->frames_of(op);
+    // Per-column transactions, mirroring ConfigController::apply.
+    std::set<std::pair<ColumnType, std::int16_t>> columns;
+    for (const FrameAddress& f : frames) columns.insert({f.type, f.column});
+    SimTime t = SimTime::zero();
+    for (const auto& col : columns) {
+      int n = 0;
+      for (const FrameAddress& f : frames)
+        if (f.type == col.first && f.column == col.second) ++n;
+      t += controller_->port().write_time(n, frame_bits);
+    }
+    char line[256];
+    std::snprintf(line, sizeof line, "%2d  %-48s %4zu frames  %3zu cols  %s\n",
+                  ++index, op.label.c_str(), frames.size(), columns.size(),
+                  t.to_string().c_str());
+    out += line;
+    total += t;
+    total_frames += static_cast<int>(frames.size());
+  }
+  char line[256];
+  std::snprintf(line, sizeof line, "    TOTAL %d ops, %d frames, %s\n",
+                static_cast<int>(ops.size()), total_frames,
+                total.to_string().c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace relogic::config

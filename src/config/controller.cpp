@@ -1,0 +1,189 @@
+#include "relogic/config/controller.hpp"
+
+#include <algorithm>
+
+#include "relogic/common/logging.hpp"
+
+namespace relogic::config {
+
+ConfigOp& ConfigOp::add_path(fabric::NetId net,
+                             const std::vector<fabric::NodeId>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    add_edge(net, fabric::RouteEdge{path[i - 1], path[i]});
+  }
+  return *this;
+}
+
+ConfigOp& ConfigOp::remove_path(fabric::NetId net,
+                                const std::vector<fabric::NodeId>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    remove_edge(net, fabric::RouteEdge{path[i - 1], path[i]});
+  }
+  return *this;
+}
+
+ConfigController::ConfigController(fabric::Fabric& fabric,
+                                   const ConfigPort& port,
+                                   bool column_granular)
+    : fabric_(&fabric),
+      port_(&port),
+      mapper_(fabric.geometry()),
+      column_granular_(column_granular) {}
+
+std::set<FrameAddress> ConfigController::frames_of(const ConfigOp& op) const {
+  std::set<FrameAddress> frames;
+  const auto& graph = fabric_->graph();
+  for (const ConfigAction& a : op.actions) {
+    if (const auto* cw = std::get_if<CellWrite>(&a)) {
+      for (const FrameAddress& f : mapper_.cell_frames(cw->clb, cw->cell))
+        frames.insert(f);
+    } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
+      frames.insert(mapper_.pip_frame(graph, ec->edge));
+    } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
+      // The output mux of a cell / pad enable lives in the node's own tile.
+      const auto info = graph.info(sc->node);
+      if (info.kind == fabric::NodeKind::kPad) {
+        const int col =
+            info.tile.col < fabric_->geometry().clb_cols / 2 ? 0 : 1;
+        frames.insert(FrameAddress{ColumnType::kIob,
+                                   static_cast<std::int16_t>(col), 0});
+      } else {
+        frames.insert(mapper_.pip_frame(
+            graph, fabric::RouteEdge{sc->node, sc->node}));
+      }
+    }
+  }
+  if (!column_granular_) return frames;
+  // Widen to whole columns.
+  std::set<FrameAddress> widened;
+  std::set<std::int16_t> clb_cols;
+  std::set<std::int16_t> iob_cols;
+  for (const FrameAddress& f : frames) {
+    switch (f.type) {
+      case ColumnType::kClb:
+        clb_cols.insert(f.column);
+        break;
+      case ColumnType::kIob:
+        iob_cols.insert(f.column);
+        break;
+      case ColumnType::kCenter:
+        widened.insert(f);
+        break;
+    }
+  }
+  const auto& g = fabric_->geometry();
+  for (std::int16_t c : clb_cols) {
+    for (int fr = 0; fr < g.frames_per_clb_column; ++fr)
+      widened.insert(
+          FrameAddress{ColumnType::kClb, c, static_cast<std::int16_t>(fr)});
+  }
+  for (std::int16_t c : iob_cols) {
+    for (int fr = 0; fr < g.frames_per_iob_column; ++fr)
+      widened.insert(
+          FrameAddress{ColumnType::kIob, c, static_cast<std::int16_t>(fr)});
+  }
+  return widened;
+}
+
+ApplyResult ConfigController::apply(const ConfigOp& op,
+                                    bool allow_lut_ram_columns) {
+  if (!allow_lut_ram_columns) check_lut_ram_columns(op);
+
+  ApplyResult result;
+  const std::set<FrameAddress> frames = frames_of(op);
+  result.frames_written = static_cast<int>(frames.size());
+
+  std::set<std::pair<ColumnType, std::int16_t>> columns;
+  for (const FrameAddress& f : frames) columns.insert({f.type, f.column});
+  result.columns_touched = static_cast<int>(columns.size());
+
+  // Port timing: one transaction per touched column (the frame-address
+  // register must be rewritten when the column changes).
+  const int frame_bits = fabric_->geometry().frame_length_bits();
+  for (const auto& col : columns) {
+    int n = 0;
+    for (const FrameAddress& f : frames)
+      if (f.type == col.first && f.column == col.second) ++n;
+    result.time += port_->write_time(n, frame_bits);
+  }
+
+  // Apply the structural actions in order.
+  for (const ConfigAction& a : op.actions) {
+    if (const auto* cw = std::get_if<CellWrite>(&a)) {
+      if (fabric_->set_cell_config(cw->clb, cw->cell, cw->cfg))
+        ++result.effective_actions;
+    } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
+      const auto& tree = fabric_->net(ec->net);
+      if (ec->add) {
+        if (!tree.has_edge(ec->edge)) {
+          fabric_->add_edge(ec->net, ec->edge);
+          ++result.effective_actions;
+        }
+      } else {
+        if (tree.has_edge(ec->edge)) {
+          fabric_->remove_edge(ec->net, ec->edge);
+          ++result.effective_actions;
+        }
+      }
+    } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
+      const auto& tree = fabric_->net(sc->net);
+      if (sc->attach) {
+        if (!tree.has_source(sc->node)) {
+          fabric_->attach_source(sc->net, sc->node);
+          ++result.effective_actions;
+        }
+      } else {
+        if (tree.has_source(sc->node)) {
+          fabric_->detach_source(sc->net, sc->node);
+          ++result.effective_actions;
+        }
+      }
+    }
+  }
+
+  ++totals_.ops;
+  totals_.frames_written += result.frames_written;
+  totals_.columns_touched += result.columns_touched;
+  totals_.time += result.time;
+
+  RELOGIC_LOG(kDebug) << "config op '" << op.label << "': "
+                      << result.frames_written << " frames, "
+                      << result.columns_touched << " columns, "
+                      << result.time.to_string();
+  return result;
+}
+
+void ConfigController::check_lut_ram_columns(const ConfigOp& op) const {
+  // Columns the op writes.
+  std::set<std::int16_t> cols;
+  for (const FrameAddress& f : frames_of(op))
+    if (f.type == ColumnType::kClb) cols.insert(f.column);
+  if (cols.empty()) return;
+
+  // Cells the op itself rewrites (those are intentional, hence exempt).
+  std::set<std::pair<int, int>> rewritten;  // (row, col*4+cell)
+  for (const ConfigAction& a : op.actions) {
+    if (const auto* cw = std::get_if<CellWrite>(&a))
+      rewritten.insert({cw->clb.row, cw->clb.col * 4 + cw->cell});
+  }
+
+  const auto& g = fabric_->geometry();
+  for (std::int16_t col : cols) {
+    for (int row = 0; row < g.clb_rows; ++row) {
+      const ClbCoord c{row, col};
+      for (int k = 0; k < g.cells_per_clb; ++k) {
+        const auto& cell = fabric_->cell(c, k);
+        if (cell.used && cell.lut_mode == fabric::LutMode::kRam &&
+            !rewritten.contains({row, col * 4 + k})) {
+          throw IllegalOperationError(
+              "config op '" + op.label + "' touches column " +
+              std::to_string(col) + " which holds a live LUT-RAM at " +
+              c.to_string() + " cell " + std::to_string(k) +
+              " (paper Sec. 2: LUT/RAMs must not lie in affected columns)");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace relogic::config

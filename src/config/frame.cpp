@@ -1,0 +1,96 @@
+#include "relogic/config/frame.hpp"
+
+#include "relogic/common/error.hpp"
+
+namespace relogic::config {
+
+namespace {
+// Deterministic mixing of a node id into a routing-frame slot.
+std::uint32_t mix(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352du;
+  x ^= x >> 15;
+  x *= 0x846ca68bu;
+  x ^= x >> 16;
+  return x;
+}
+}  // namespace
+
+std::string FrameAddress::to_string() const {
+  switch (type) {
+    case ColumnType::kCenter:
+      return "CENTER.f" + std::to_string(frame);
+    case ColumnType::kClb:
+      return "CLBCOL" + std::to_string(column) + ".f" + std::to_string(frame);
+    case ColumnType::kIob:
+      return "IOBCOL" + std::to_string(column) + ".f" + std::to_string(frame);
+  }
+  return "?";
+}
+
+std::vector<FrameAddress> FrameMapper::cell_frames(ClbCoord clb,
+                                                   int cell) const {
+  RELOGIC_CHECK(geom_->in_bounds(clb));
+  RELOGIC_CHECK(cell >= 0 && cell < geom_->cells_per_clb);
+  std::vector<FrameAddress> out;
+  out.reserve(static_cast<std::size_t>(geom_->frames_per_cell_config));
+  for (int f = 0; f < geom_->frames_per_cell_config; ++f) {
+    out.push_back(FrameAddress{
+        ColumnType::kClb, static_cast<std::int16_t>(clb.col),
+        static_cast<std::int16_t>(cell * geom_->frames_per_cell_config + f)});
+  }
+  return out;
+}
+
+FrameAddress FrameMapper::pip_frame(const fabric::RoutingGraph& graph,
+                                    fabric::RouteEdge edge) const {
+  using fabric::NodeKind;
+  const auto to_info = graph.info(edge.to);
+  const auto from_info = graph.info(edge.from);
+  // The controlling mux sits in the tile of the edge's destination; long
+  // lines have no tile of their own, so their entry PIPs are controlled at
+  // the source tile. IOB-column resources (pads) map to the IOB columns.
+  ClbCoord tile = to_info.tile;
+  bool is_iob = false;
+  if (to_info.kind == NodeKind::kLongRow || to_info.kind == NodeKind::kLongCol) {
+    tile = from_info.tile;
+  } else if (to_info.kind == NodeKind::kPad) {
+    is_iob = true;
+  }
+  if (from_info.kind == NodeKind::kPad &&
+      (to_info.kind == NodeKind::kSingle || to_info.kind == NodeKind::kHex)) {
+    is_iob = true;
+    tile = from_info.tile;
+  }
+  if (is_iob) {
+    // Left half of the device maps to IOB column 0, right half to column 1.
+    const int col = tile.col < geom_->clb_cols / 2 ? 0 : 1;
+    const int slot =
+        static_cast<int>(mix(edge.from ^ (edge.to * 0x9E3779B9u)) %
+                         static_cast<std::uint32_t>(geom_->frames_per_iob_column));
+    return FrameAddress{ColumnType::kIob, static_cast<std::int16_t>(col),
+                        static_cast<std::int16_t>(slot)};
+  }
+  const int routing_frames =
+      geom_->frames_per_clb_column - first_routing_frame();
+  RELOGIC_CHECK(routing_frames > 0);
+  const int slot = first_routing_frame() +
+                   static_cast<int>(mix(edge.from ^ (edge.to * 0x9E3779B9u)) %
+                                    static_cast<std::uint32_t>(routing_frames));
+  return FrameAddress{ColumnType::kClb, static_cast<std::int16_t>(tile.col),
+                      static_cast<std::int16_t>(slot)};
+}
+
+std::vector<FrameAddress> FrameMapper::column_frames(int clb_column) const {
+  RELOGIC_CHECK(clb_column >= 0 && clb_column < geom_->clb_cols);
+  std::vector<FrameAddress> out;
+  out.reserve(static_cast<std::size_t>(geom_->frames_per_clb_column));
+  for (int f = 0; f < geom_->frames_per_clb_column; ++f) {
+    out.push_back(FrameAddress{ColumnType::kClb,
+                               static_cast<std::int16_t>(clb_column),
+                               static_cast<std::int16_t>(f)});
+  }
+  return out;
+}
+
+}  // namespace relogic::config

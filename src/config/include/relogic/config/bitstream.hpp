@@ -1,0 +1,50 @@
+// Partial-bitstream serialisation.
+//
+// Substitutes for the JBits-generated partial configuration files: a
+// ConfigOp (or a sequence of them) is rendered into a compact binary image —
+// sync word, device id, then one packet per frame (address + payload) and a
+// trailing CRC — plus a human-readable script listing. The payload bits are
+// synthesised deterministically from the structural actions, so two
+// identical rearrangements produce byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relogic/config/controller.hpp"
+
+namespace relogic::config {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+struct PartialBitstream {
+  std::vector<std::uint8_t> bytes;
+  int frame_count = 0;
+  std::uint32_t crc = 0;
+};
+
+class BitstreamWriter {
+ public:
+  explicit BitstreamWriter(const ConfigController& controller)
+      : controller_(&controller) {}
+
+  /// Renders one op into a partial bitstream image.
+  PartialBitstream render(const ConfigOp& op) const;
+
+  /// Renders a whole rearrangement (sequence of ops) into one image with a
+  /// packet boundary per op.
+  PartialBitstream render(const std::vector<ConfigOp>& ops) const;
+
+  /// Human-readable listing of an op sequence: one line per op with label,
+  /// frames and per-op transfer time — the format the CLI tool prints.
+  std::string script(const std::vector<ConfigOp>& ops) const;
+
+ private:
+  void append_op(const ConfigOp& op, PartialBitstream& out) const;
+
+  const ConfigController* controller_;
+};
+
+}  // namespace relogic::config

@@ -1,0 +1,151 @@
+// ConfigController: the partial-reconfiguration engine.
+//
+// Every structural change to the fabric that would, on the real device, be
+// carried by configuration frames is expressed as a ConfigOp — an ordered
+// batch of cell writes and routing (PIP) changes applied atomically in one
+// configuration-port transaction. The controller:
+//
+//  * applies the actions to the Fabric (which suppresses identical
+//    rewrites, the glitch-free-rewrite property),
+//  * maps each action to its controlling frame(s) via FrameMapper,
+//  * optionally widens the frame set to whole columns (JBits-era tools
+//    rewrote entire CLB columns; the paper's 22.6 ms figure was measured in
+//    that regime — see DESIGN.md §6.1),
+//  * charges the configuration-port timing model and accumulates totals.
+//
+// The controller performs *configuration*; it never touches user state. The
+// interaction between configuration writes and live user logic is what the
+// relocation engine (relogic::reloc) choreographs on top of this class.
+#pragma once
+
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "relogic/common/time.hpp"
+#include "relogic/config/frame.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/fabric/fabric.hpp"
+
+namespace relogic::config {
+
+/// Write one logic cell's configuration.
+struct CellWrite {
+  ClbCoord clb;
+  int cell = 0;
+  fabric::LogicCellConfig cfg;
+};
+
+/// Turn one PIP on (add=true) or off for a net.
+struct EdgeChange {
+  fabric::NetId net = fabric::kNoNet;
+  fabric::RouteEdge edge;
+  bool add = true;
+};
+
+/// Attach or detach a net source (cell output pin / input pad).
+struct SourceChange {
+  fabric::NetId net = fabric::kNoNet;
+  fabric::NodeId node = fabric::kInvalidNode;
+  bool attach = true;
+};
+
+using ConfigAction = std::variant<CellWrite, EdgeChange, SourceChange>;
+
+/// One partial-reconfiguration transaction.
+struct ConfigOp {
+  std::string label;
+  std::vector<ConfigAction> actions;
+
+  ConfigOp() = default;
+  explicit ConfigOp(std::string label_) : label(std::move(label_)) {}
+
+  ConfigOp& write_cell(ClbCoord clb, int cell,
+                       const fabric::LogicCellConfig& cfg) {
+    actions.push_back(CellWrite{clb, cell, cfg});
+    return *this;
+  }
+  ConfigOp& clear_cell(ClbCoord clb, int cell) {
+    actions.push_back(CellWrite{clb, cell, fabric::LogicCellConfig{}});
+    return *this;
+  }
+  ConfigOp& add_edge(fabric::NetId net, fabric::RouteEdge e) {
+    actions.push_back(EdgeChange{net, e, true});
+    return *this;
+  }
+  ConfigOp& remove_edge(fabric::NetId net, fabric::RouteEdge e) {
+    actions.push_back(EdgeChange{net, e, false});
+    return *this;
+  }
+  ConfigOp& add_path(fabric::NetId net, const std::vector<fabric::NodeId>& path);
+  ConfigOp& remove_path(fabric::NetId net,
+                        const std::vector<fabric::NodeId>& path);
+  ConfigOp& attach_source(fabric::NetId net, fabric::NodeId node) {
+    actions.push_back(SourceChange{net, node, true});
+    return *this;
+  }
+  ConfigOp& detach_source(fabric::NetId net, fabric::NodeId node) {
+    actions.push_back(SourceChange{net, node, false});
+    return *this;
+  }
+  bool empty() const { return actions.empty(); }
+};
+
+/// Outcome of applying one ConfigOp.
+struct ApplyResult {
+  int frames_written = 0;
+  int columns_touched = 0;
+  SimTime time = SimTime::zero();
+  /// Number of actions that changed fabric state (the rest were identical
+  /// rewrites or redundant routing changes).
+  int effective_actions = 0;
+};
+
+/// Cumulative controller statistics.
+struct ConfigTotals {
+  int ops = 0;
+  int frames_written = 0;
+  int columns_touched = 0;
+  SimTime time = SimTime::zero();
+};
+
+class ConfigController {
+ public:
+  /// `column_granular` selects whole-column rewrites (the JBits regime the
+  /// paper measured) versus minimal frame-level writes.
+  ConfigController(fabric::Fabric& fabric, const ConfigPort& port,
+                   bool column_granular = true);
+
+  fabric::Fabric& fabric() { return *fabric_; }
+  const fabric::Fabric& fabric() const { return *fabric_; }
+  const FrameMapper& mapper() const { return mapper_; }
+  const ConfigPort& port() const { return *port_; }
+  bool column_granular() const { return column_granular_; }
+
+  /// Frames a ConfigOp would write, without applying it.
+  std::set<FrameAddress> frames_of(const ConfigOp& op) const;
+
+  /// Applies the op to the fabric and charges the port timing model.
+  /// `allow_lut_ram_columns` waives the live-LUT-RAM column rule — legal
+  /// only while the affected clock domain is stopped (paper, Sec. 2: the
+  /// system must be halted to guarantee data coherency).
+  ApplyResult apply(const ConfigOp& op, bool allow_lut_ram_columns = false);
+
+  /// LUT-RAM legality (paper, Sec. 2): throws IllegalOperationError if any
+  /// frame of the op lies in a CLB column containing a used LUT-RAM cell
+  /// that the op itself does not rewrite.
+  void check_lut_ram_columns(const ConfigOp& op) const;
+
+  const ConfigTotals& totals() const { return totals_; }
+  void reset_totals() { totals_ = ConfigTotals{}; }
+
+ private:
+  fabric::Fabric* fabric_;
+  const ConfigPort* port_;
+  FrameMapper mapper_;
+  bool column_granular_;
+  ConfigTotals totals_;
+};
+
+}  // namespace relogic::config

@@ -1,0 +1,92 @@
+// Configuration-port timing models.
+//
+// The paper performs reconfiguration through the IEEE 1149.1 Boundary-Scan
+// (JTAG) port at TCK = 20 MHz and reports an average of 22.6 ms to relocate
+// one CLB of a gated-clock circuit. The Boundary-Scan model reproduces that
+// regime: one configuration bit per TCK cycle, a fixed TAP/command overhead
+// per write transaction, and one flush (pad) frame per transaction, exactly
+// the shape of Virtex JTAG partial reconfiguration. SelectMAP (8 bits per
+// CCLK cycle) is provided for contrast in the benches.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "relogic/common/error.hpp"
+#include "relogic/common/time.hpp"
+#include "relogic/fabric/device.hpp"
+
+namespace relogic::config {
+
+/// Abstract configuration access port.
+class ConfigPort {
+ public:
+  virtual ~ConfigPort() = default;
+
+  virtual std::string name() const = 0;
+  /// Time to perform one partial-reconfiguration transaction writing
+  /// `frames` frames of `frame_bits` bits each.
+  virtual SimTime write_time(int frames, int frame_bits) const = 0;
+  /// Time to read `frames` frames back (used for state capture / recovery).
+  virtual SimTime readback_time(int frames, int frame_bits) const = 0;
+  /// Sustained configuration bandwidth in bits per second (for reporting).
+  virtual double bandwidth_bps() const = 0;
+};
+
+/// IEEE 1149.1 Boundary-Scan configuration port (the paper's set-up).
+class BoundaryScanPort final : public ConfigPort {
+ public:
+  struct Params {
+    double tck_hz = 20e6;  ///< test clock (paper: 20 MHz)
+    /// TAP state walking + CFG_IN instruction per transaction, in TCK
+    /// cycles (IR shifts, Select-DR/Update-DR sequences, sync words).
+    int transaction_overhead_cycles = 640;
+    /// Command/header words (packet headers, frame address register write,
+    /// CRC) per transaction, 32-bit words shifted at 1 bit/TCK.
+    int header_words = 12;
+    /// Virtex requires one extra pad frame per write to flush the frame
+    /// buffer.
+    int pad_frames = 1;
+  };
+
+  BoundaryScanPort() : BoundaryScanPort(Params()) {}
+  explicit BoundaryScanPort(Params p) : p_(p) {
+    RELOGIC_CHECK(p_.tck_hz > 0);
+  }
+
+  std::string name() const override { return "BoundaryScan"; }
+  SimTime write_time(int frames, int frame_bits) const override;
+  SimTime readback_time(int frames, int frame_bits) const override;
+  double bandwidth_bps() const override { return p_.tck_hz; }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// SelectMAP parallel configuration port (8-bit, one byte per CCLK).
+class SelectMapPort final : public ConfigPort {
+ public:
+  struct Params {
+    double cclk_hz = 50e6;
+    int transaction_overhead_cycles = 64;
+    int header_words = 12;
+    int pad_frames = 1;
+  };
+
+  SelectMapPort() : SelectMapPort(Params()) {}
+  explicit SelectMapPort(Params p) : p_(p) {
+    RELOGIC_CHECK(p_.cclk_hz > 0);
+  }
+
+  std::string name() const override { return "SelectMAP"; }
+  SimTime write_time(int frames, int frame_bits) const override;
+  SimTime readback_time(int frames, int frame_bits) const override;
+  double bandwidth_bps() const override { return p_.cclk_hz * 8.0; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace relogic::config

@@ -1,0 +1,55 @@
+#include "relogic/config/port.hpp"
+
+#include <cmath>
+
+namespace relogic::config {
+
+namespace {
+SimTime cycles_to_time(double cycles, double hz) {
+  return SimTime::ps(static_cast<std::int64_t>(std::llround(cycles / hz * 1e12)));
+}
+}  // namespace
+
+SimTime BoundaryScanPort::write_time(int frames, int frame_bits) const {
+  RELOGIC_CHECK(frames >= 0 && frame_bits > 0);
+  if (frames == 0) return SimTime::zero();
+  // 1 bit per TCK through the CFG_IN data register.
+  const double data_bits =
+      static_cast<double>(frames + p_.pad_frames) * frame_bits +
+      32.0 * p_.header_words;
+  return cycles_to_time(data_bits + p_.transaction_overhead_cycles, p_.tck_hz);
+}
+
+SimTime BoundaryScanPort::readback_time(int frames, int frame_bits) const {
+  RELOGIC_CHECK(frames >= 0 && frame_bits > 0);
+  if (frames == 0) return SimTime::zero();
+  // CFG_OUT: same serial regime plus a command write to trigger readback.
+  const double data_bits =
+      static_cast<double>(frames + p_.pad_frames) * frame_bits +
+      32.0 * (p_.header_words + 4);
+  return cycles_to_time(data_bits + 2.0 * p_.transaction_overhead_cycles,
+                        p_.tck_hz);
+}
+
+SimTime SelectMapPort::write_time(int frames, int frame_bits) const {
+  RELOGIC_CHECK(frames >= 0 && frame_bits > 0);
+  if (frames == 0) return SimTime::zero();
+  const double bytes =
+      (static_cast<double>(frames + p_.pad_frames) * frame_bits +
+       32.0 * p_.header_words) /
+      8.0;
+  return cycles_to_time(bytes + p_.transaction_overhead_cycles, p_.cclk_hz);
+}
+
+SimTime SelectMapPort::readback_time(int frames, int frame_bits) const {
+  RELOGIC_CHECK(frames >= 0 && frame_bits > 0);
+  if (frames == 0) return SimTime::zero();
+  const double bytes =
+      (static_cast<double>(frames + p_.pad_frames) * frame_bits +
+       32.0 * (p_.header_words + 4)) /
+      8.0;
+  return cycles_to_time(bytes + 2.0 * p_.transaction_overhead_cycles,
+                        p_.cclk_hz);
+}
+
+}  // namespace relogic::config

@@ -1,0 +1,15 @@
+#include "relogic/fabric/delay.hpp"
+
+namespace relogic::fabric {
+
+SimTime DelayModel::path_delay(const RoutingGraph& graph,
+                               std::span<const NodeId> path) const {
+  SimTime total = SimTime::zero();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += pip_delay;
+    total += node_delay(graph.info(path[i]).kind);
+  }
+  return total;
+}
+
+}  // namespace relogic::fabric

@@ -1,0 +1,68 @@
+#include "relogic/fabric/device.hpp"
+
+#include "relogic/common/error.hpp"
+
+namespace relogic::fabric {
+
+DeviceGeometry DeviceGeometry::preset(DevicePreset p) {
+  DeviceGeometry g;
+  switch (p) {
+    case DevicePreset::kXCV50:
+      g.name = "XCV50";
+      g.clb_rows = 16;
+      g.clb_cols = 24;
+      break;
+    case DevicePreset::kXCV100:
+      g.name = "XCV100";
+      g.clb_rows = 20;
+      g.clb_cols = 30;
+      break;
+    case DevicePreset::kXCV150:
+      g.name = "XCV150";
+      g.clb_rows = 24;
+      g.clb_cols = 36;
+      break;
+    case DevicePreset::kXCV200:
+      g.name = "XCV200";
+      g.clb_rows = 28;
+      g.clb_cols = 42;
+      break;
+    case DevicePreset::kXCV300:
+      g.name = "XCV300";
+      g.clb_rows = 32;
+      g.clb_cols = 48;
+      break;
+    case DevicePreset::kXCV400:
+      g.name = "XCV400";
+      g.clb_rows = 40;
+      g.clb_cols = 60;
+      break;
+    case DevicePreset::kXCV600:
+      g.name = "XCV600";
+      g.clb_rows = 48;
+      g.clb_cols = 72;
+      break;
+    case DevicePreset::kXCV800:
+      g.name = "XCV800";
+      g.clb_rows = 56;
+      g.clb_cols = 84;
+      break;
+    case DevicePreset::kXCV1000:
+      g.name = "XCV1000";
+      g.clb_rows = 64;
+      g.clb_cols = 96;
+      break;
+  }
+  return g;
+}
+
+DeviceGeometry DeviceGeometry::tiny(int rows, int cols) {
+  RELOGIC_CHECK(rows >= 2 && cols >= 2);
+  DeviceGeometry g;
+  g.name = "TINY" + std::to_string(rows) + "x" + std::to_string(cols);
+  g.clb_rows = rows;
+  g.clb_cols = cols;
+  return g;
+}
+
+}  // namespace relogic::fabric

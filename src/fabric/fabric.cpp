@@ -1,0 +1,361 @@
+#include "relogic/fabric/fabric.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace relogic::fabric {
+
+bool RouteTree::has_source(NodeId n) const {
+  return std::find(sources.begin(), sources.end(), n) != sources.end();
+}
+
+bool RouteTree::has_edge(RouteEdge e) const {
+  return std::find(edges.begin(), edges.end(), e) != edges.end();
+}
+
+std::vector<NodeId> RouteTree::nodes() const {
+  std::vector<NodeId> out = sources;
+  for (const auto& e : edges) {
+    out.push_back(e.from);
+    out.push_back(e.to);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Fabric::Fabric(DeviceGeometry geometry)
+    : geom_(std::move(geometry)),
+      graph_(geom_),
+      clbs_(static_cast<std::size_t>(geom_.clb_count())) {
+  nets_.emplace_back();       // id 0 is reserved / invalid
+  net_alive_.push_back(false);
+}
+
+void Fabric::add_listener(FabricListener* listener) {
+  RELOGIC_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void Fabric::remove_listener(FabricListener* listener) {
+  std::erase(listeners_, listener);
+}
+
+const ClbConfig& Fabric::clb(ClbCoord c) const {
+  RELOGIC_CHECK(geom_.in_bounds(c));
+  return clbs_[static_cast<std::size_t>(c.row) * geom_.clb_cols + c.col];
+}
+
+const LogicCellConfig& Fabric::cell(ClbCoord c, int cell) const {
+  RELOGIC_CHECK(cell >= 0 && cell < geom_.cells_per_clb);
+  return clb(c).cells[static_cast<std::size_t>(cell)];
+}
+
+LogicCellConfig& Fabric::mutable_cell(ClbCoord c, int cell) {
+  RELOGIC_CHECK(geom_.in_bounds(c) && cell >= 0 && cell < geom_.cells_per_clb);
+  return clbs_[static_cast<std::size_t>(c.row) * geom_.clb_cols + c.col]
+      .cells[static_cast<std::size_t>(cell)];
+}
+
+bool Fabric::set_cell_config(ClbCoord c, int cell,
+                             const LogicCellConfig& cfg) {
+  LogicCellConfig& slot = mutable_cell(c, cell);
+  if (slot == cfg) return false;  // identical rewrite: no effect, no event
+  const LogicCellConfig before = slot;
+  used_cells_ += (cfg.used ? 1 : 0) - (before.used ? 1 : 0);
+  slot = cfg;
+  for (auto* l : listeners_) l->on_cell_changed(c, cell, before, cfg);
+  return true;
+}
+
+bool Fabric::clear_cell(ClbCoord c, int cell) {
+  return set_cell_config(c, cell, LogicCellConfig{});
+}
+
+NetId Fabric::create_net(std::string name) {
+  nets_.push_back(RouteTree{std::move(name), {}, {}});
+  net_alive_.push_back(true);
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+bool Fabric::net_exists(NetId net) const {
+  return net != kNoNet && net < nets_.size() && net_alive_[net];
+}
+
+const RouteTree& Fabric::net(NetId net) const {
+  RELOGIC_CHECK_MSG(net_exists(net), "net does not exist");
+  return nets_[net];
+}
+
+std::vector<NetId> Fabric::live_nets() const {
+  std::vector<NetId> out;
+  for (NetId n = 1; n < nets_.size(); ++n)
+    if (net_alive_[n]) out.push_back(n);
+  return out;
+}
+
+void Fabric::destroy_net(NetId net) {
+  RELOGIC_CHECK_MSG(net_exists(net), "net does not exist");
+  for (NodeId n : nets_[net].nodes()) graph_.release(n);
+  nets_[net] = RouteTree{};
+  net_alive_[net] = false;
+  notify_net(net);
+}
+
+void Fabric::attach_source(NetId net, NodeId source) {
+  RELOGIC_CHECK_MSG(net_exists(net), "net does not exist");
+  const NodeKind kind = graph_.info(source).kind;
+  RELOGIC_CHECK_MSG(kind == NodeKind::kOutPin || kind == NodeKind::kPad,
+                    "net source must be a cell output pin or a pad");
+  RouteTree& t = nets_[net];
+  if (t.has_source(source)) return;
+  graph_.occupy(source, net);
+  t.sources.push_back(source);
+  notify_net(net);
+}
+
+void Fabric::detach_source(NetId net, NodeId source) {
+  RELOGIC_CHECK_MSG(net_exists(net), "net does not exist");
+  RouteTree& t = nets_[net];
+  auto it = std::find(t.sources.begin(), t.sources.end(), source);
+  RELOGIC_CHECK_MSG(it != t.sources.end(), "node is not a source of the net");
+  t.sources.erase(it);
+  // Release unless still referenced by an edge.
+  bool referenced = false;
+  for (const auto& e : t.edges)
+    if (e.from == source || e.to == source) referenced = true;
+  if (!referenced) graph_.release(source);
+  notify_net(net);
+}
+
+void Fabric::add_edges(NetId net, std::span<const RouteEdge> edges) {
+  RELOGIC_CHECK_MSG(net_exists(net), "net does not exist");
+  RouteTree& t = nets_[net];
+  bool changed = false;
+  for (const RouteEdge& e : edges) {
+    RELOGIC_CHECK_MSG(graph_.has_edge(e.from, e.to),
+                      "no such PIP: " + graph_.info(e.from).to_string() +
+                          " -> " + graph_.info(e.to).to_string());
+    if (t.has_edge(e)) continue;
+    graph_.occupy(e.from, net);
+    graph_.occupy(e.to, net);
+    t.edges.push_back(e);
+    changed = true;
+  }
+  if (changed) notify_net(net);
+}
+
+void Fabric::remove_edges(NetId net, std::span<const RouteEdge> edges) {
+  RELOGIC_CHECK_MSG(net_exists(net), "net does not exist");
+  RouteTree& t = nets_[net];
+  bool changed = false;
+  for (const RouteEdge& e : edges) {
+    auto it = std::find(t.edges.begin(), t.edges.end(), e);
+    if (it == t.edges.end()) continue;
+    t.edges.erase(it);
+    changed = true;
+  }
+  if (!changed) return;
+  // Release any node no longer referenced.
+  std::unordered_set<NodeId> keep;
+  for (NodeId n : t.sources) keep.insert(n);
+  for (const auto& e : t.edges) {
+    keep.insert(e.from);
+    keep.insert(e.to);
+  }
+  for (const RouteEdge& e : edges) {
+    for (NodeId n : {e.from, e.to}) {
+      if (!keep.contains(n) && graph_.occupant(n) == net) graph_.release(n);
+    }
+  }
+  notify_net(net);
+}
+
+std::vector<NodeId> Fabric::net_sinks(NetId net) const {
+  const RouteTree& t = this->net(net);
+  std::vector<NodeId> out;
+  for (const auto& e : t.edges) {
+    const NodeKind k = graph_.info(e.to).kind;
+    if (k == NodeKind::kInPin ||
+        (k == NodeKind::kPad && !t.has_source(e.to))) {
+      out.push_back(e.to);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<SinkDelay> Fabric::sink_delays(NetId net,
+                                           const DelayModel& dm) const {
+  const RouteTree& t = this->net(net);
+
+  // Forward adjacency of the tree.
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  adj.reserve(t.edges.size());
+  for (const auto& e : t.edges) adj[e.from].push_back(e.to);
+
+  std::unordered_map<NodeId, SinkDelay> best;
+  const std::vector<NodeId> sinks = net_sinks(net);
+  std::unordered_set<NodeId> sink_set(sinks.begin(), sinks.end());
+
+  // DFS from every source, accumulating delay; record min and max at sinks.
+  struct Item {
+    NodeId node;
+    SimTime delay;
+    int depth;
+  };
+  const int depth_limit = static_cast<int>(t.edges.size()) + 2;
+  for (NodeId src : t.sources) {
+    std::vector<Item> stack{{src, SimTime::zero(), 0}};
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      RELOGIC_CHECK_MSG(it.depth <= depth_limit,
+                        "cycle detected in route tree of net " + t.name);
+      if (sink_set.contains(it.node)) {
+        auto [pos, inserted] =
+            best.try_emplace(it.node, SinkDelay{it.node, it.delay, it.delay});
+        if (!inserted) {
+          pos->second.min = std::min(pos->second.min, it.delay);
+          pos->second.max = std::max(pos->second.max, it.delay);
+        }
+      }
+      auto a = adj.find(it.node);
+      if (a == adj.end()) continue;
+      for (NodeId next : a->second) {
+        const SimTime d =
+            it.delay + dm.pip_delay + dm.node_delay(graph_.info(next).kind);
+        stack.push_back({next, d, it.depth + 1});
+      }
+    }
+  }
+
+  std::vector<SinkDelay> out;
+  out.reserve(sinks.size());
+  for (NodeId s : sinks) {
+    auto it = best.find(s);
+    RELOGIC_CHECK_MSG(it != best.end(),
+                      "sink unreachable from any source in net " + t.name);
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, SimTime> Fabric::node_delays(
+    NetId net, const DelayModel& dm) const {
+  const RouteTree& t = this->net(net);
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  for (const auto& e : t.edges) adj[e.from].push_back(e.to);
+
+  std::unordered_map<NodeId, SimTime> out;
+  struct Item {
+    NodeId node;
+    SimTime d;
+    int depth;
+  };
+  const int limit = static_cast<int>(t.edges.size()) + 2;
+  std::vector<Item> stack;
+  for (NodeId s : t.sources) {
+    out.try_emplace(s, SimTime::zero());
+    stack.push_back({s, SimTime::zero(), 0});
+  }
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    RELOGIC_CHECK_MSG(it.depth <= limit,
+                      "cycle detected in route tree of net " + t.name);
+    auto a = adj.find(it.node);
+    if (a == adj.end()) continue;
+    for (NodeId next : a->second) {
+      const SimTime d =
+          it.d + dm.pip_delay + dm.node_delay(graph_.info(next).kind);
+      auto [pos, inserted] = out.try_emplace(next, d);
+      if (!inserted) {
+        if (d <= pos->second) continue;
+        pos->second = d;
+      }
+      stack.push_back({next, d, it.depth + 1});
+    }
+  }
+  return out;
+}
+
+void Fabric::validate_net(NetId net) const {
+  const RouteTree& t = this->net(net);
+  std::unordered_set<NodeId> driven(t.sources.begin(), t.sources.end());
+  for (const auto& e : t.edges) driven.insert(e.to);
+  for (const auto& e : t.edges) {
+    if (!graph_.has_edge(e.from, e.to)) {
+      throw IllegalOperationError("net " + t.name + ": edge is not a PIP: " +
+                                  graph_.info(e.from).to_string() + " -> " +
+                                  graph_.info(e.to).to_string());
+    }
+    if (!driven.contains(e.from)) {
+      throw IllegalOperationError(
+          "net " + t.name +
+          ": dangling edge source: " + graph_.info(e.from).to_string());
+    }
+  }
+  for (NodeId n : t.nodes()) {
+    if (graph_.occupant(n) != net) {
+      throw IllegalOperationError(
+          "net " + t.name +
+          ": tree node not occupied by the net: " + graph_.info(n).to_string());
+    }
+  }
+}
+
+NetId Fabric::net_driving(NodeId sink) const { return graph_.occupant(sink); }
+
+Fabric::State Fabric::capture() const {
+  return State{clbs_, nets_, net_alive_};
+}
+
+void Fabric::restore(const State& state) {
+  RELOGIC_CHECK_MSG(state.clbs.size() == clbs_.size(),
+                    "state captured from a different device");
+  RELOGIC_CHECK_MSG(state.nets.size() <= nets_.size(),
+                    "state mentions nets this fabric never created");
+
+  // Cells: write through set_cell_config so identical values are no-ops.
+  for (int row = 0; row < geom_.clb_rows; ++row) {
+    for (int col = 0; col < geom_.clb_cols; ++col) {
+      const ClbCoord c{row, col};
+      const std::size_t idx =
+          static_cast<std::size_t>(row) * geom_.clb_cols + col;
+      for (int k = 0; k < geom_.cells_per_clb; ++k) {
+        set_cell_config(c, k, state.clbs[idx].cells[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+
+  // Nets: release everything currently occupied, then re-occupy from the
+  // snapshot. Notifications fire only for nets whose tree changed.
+  for (NetId n = 1; n < nets_.size(); ++n) {
+    if (net_alive_[n]) {
+      for (NodeId node : nets_[n].nodes()) graph_.release(node);
+    }
+  }
+  for (NetId n = 1; n < nets_.size(); ++n) {
+    const bool will_live = n < state.nets.size() && state.net_alive[n];
+    const RouteTree restored =
+        will_live ? state.nets[n] : RouteTree{};
+    const bool changed =
+        nets_[n].sources != restored.sources || nets_[n].edges != restored.edges ||
+        net_alive_[n] != will_live;
+    nets_[n] = restored;
+    net_alive_[n] = will_live;
+    if (will_live) {
+      for (NodeId node : nets_[n].nodes()) graph_.occupy(node, n);
+    }
+    if (changed) notify_net(n);
+  }
+}
+
+void Fabric::notify_net(NetId net) {
+  for (auto* l : listeners_) l->on_net_changed(net);
+}
+
+}  // namespace relogic::fabric

@@ -1,0 +1,145 @@
+// Simplified Virtex-style routing resource graph.
+//
+// Nodes are routing resources: logic-cell pins, single-length lines (span 1
+// tile), hex lines (span 6 tiles), long lines (span a full row/column) and
+// IOB pads. Directed edges are programmable interconnect points (PIPs).
+//
+// The graph is uniform and formula-addressable: node ids are computed from
+// (tile, kind, index) so no per-node storage is needed for identity, and the
+// configuration-frame mapper (relogic::config) can derive the frame that
+// controls each PIP arithmetically.
+//
+// Connectivity model (documented substitution for the real Virtex switch
+// matrix; see DESIGN.md §2):
+//  * OMUX   — a cell output pin drives any single or hex line leaving its
+//             tile.
+//  * IMUX   — any single/hex/long arriving at a tile can drive any input
+//             pin of that tile's cells.
+//  * Switch — an arriving single continues straight on the same index, or
+//             turns with index i or i^1; it can enter a hex line of index
+//             i mod H; an arriving hex chains onward or fans out to singles.
+//  * Longs  — driven from singles every `kLongTapSpacing` tiles, and can
+//             drive singles at any tile they cross.
+//  * Pads   — boundary-tile pads drive singles leaving the tile (input
+//             pads) and are driven by singles arriving at it (output pads).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relogic/common/geometry.hpp"
+#include "relogic/fabric/device.hpp"
+
+namespace relogic::fabric {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Net identifier. 0 means "no net".
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = 0;
+
+enum class NodeKind : std::uint8_t {
+  kOutPin,   ///< cell output: X (combinational) or XQ (registered)
+  kInPin,    ///< cell input: I0..I3 or CE
+  kSingle,   ///< single-length line leaving its tile in one direction
+  kHex,      ///< hex line leaving its tile in one direction
+  kLongRow,  ///< long line spanning one row
+  kLongCol,  ///< long line spanning one column
+  kPad,      ///< IOB pad at a boundary tile
+};
+
+enum class Dir : std::uint8_t { kN = 0, kE = 1, kS = 2, kW = 3 };
+
+/// Input ports of a logic cell. kBX is the storage-element bypass input
+/// (the temporary transfer path target of the auxiliary relocation circuit).
+enum class CellPort : std::uint8_t {
+  kI0 = 0,
+  kI1 = 1,
+  kI2 = 2,
+  kI3 = 3,
+  kCE = 4,
+  kBX = 5,
+};
+inline constexpr int kInPorts = 6;
+
+/// Decoded identity of a node.
+struct NodeInfo {
+  NodeKind kind;
+  ClbCoord tile;   ///< owning tile (for longs: row/col in .row/.col, other -1)
+  std::uint8_t a;  ///< cell index (pins/pads), direction (wires), track (longs)
+  std::uint8_t b;  ///< port/registered-flag (pins), wire index (wires)
+
+  std::string to_string() const;
+};
+
+ClbCoord step(ClbCoord c, Dir d, int n = 1);
+Dir opposite(Dir d);
+
+class RoutingGraph {
+ public:
+  explicit RoutingGraph(const DeviceGeometry& geom);
+
+  RoutingGraph(const RoutingGraph&) = delete;
+  RoutingGraph& operator=(const RoutingGraph&) = delete;
+  RoutingGraph(RoutingGraph&&) = default;
+  RoutingGraph& operator=(RoutingGraph&&) = default;
+
+  const DeviceGeometry& geometry() const { return *geom_; }
+  std::size_t node_count() const { return node_count_; }
+
+  // ---- node id construction -------------------------------------------
+  NodeId out_pin(ClbCoord t, int cell, bool registered) const;
+  NodeId in_pin(ClbCoord t, int cell, CellPort p) const;
+  NodeId single(ClbCoord t, Dir d, int index) const;
+  NodeId hex(ClbCoord t, Dir d, int index) const;
+  NodeId long_row(int row, int track) const;
+  NodeId long_col(int col, int track) const;
+  NodeId pad(ClbCoord t, int index) const;
+
+  NodeInfo info(NodeId n) const;
+
+  /// The tile a wire leaving `t` in direction `d` with the given span lands
+  /// in, clipped to the array; returns false if it leaves the device.
+  bool wire_target(ClbCoord t, Dir d, int span, ClbCoord& out) const;
+
+  // ---- adjacency --------------------------------------------------------
+  std::span<const NodeId> fanout(NodeId n) const;
+  /// True if a PIP from `from` to `to` exists.
+  bool has_edge(NodeId from, NodeId to) const;
+
+  // ---- occupancy ---------------------------------------------------------
+  NetId occupant(NodeId n) const { return occupancy_[n]; }
+  bool is_free(NodeId n) const { return occupancy_[n] == kNoNet; }
+  /// Claims a node for a net. A node already held by the same net is fine
+  /// (fanout trees and parallel relocation paths revisit nodes).
+  void occupy(NodeId n, NetId net);
+  void release(NodeId n);
+  /// Number of currently occupied nodes (for utilisation metrics).
+  std::size_t occupied_count() const { return occupied_count_; }
+
+ private:
+  void build_edges();
+  void add_edge(NodeId from, NodeId to);
+
+  const DeviceGeometry* geom_;
+  int tile_stride_ = 0;
+  std::size_t tile_nodes_ = 0;
+  std::size_t long_row_base_ = 0;
+  std::size_t long_col_base_ = 0;
+  std::size_t pad_base_ = 0;
+  std::size_t node_count_ = 0;
+
+  // CSR adjacency.
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<NodeId> fanout_edges_;
+  // Build-time staging (cleared after build).
+  std::vector<std::vector<NodeId>> staging_;
+
+  std::vector<NetId> occupancy_;
+  std::size_t occupied_count_ = 0;
+};
+
+}  // namespace relogic::fabric

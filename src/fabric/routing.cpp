@@ -1,0 +1,353 @@
+#include "relogic/fabric/routing.hpp"
+
+#include <algorithm>
+
+#include "relogic/common/error.hpp"
+
+namespace relogic::fabric {
+
+namespace {
+/// Long lines are tappable from singles every this many tiles.
+constexpr int kLongTapSpacing = 3;
+
+constexpr int kOutPinsPerTile = 4 * 2;              // 4 cells x {X, XQ}
+constexpr int kInPinsPerTile = 4 * kInPorts;        // 4 cells x {I0..I3, CE}
+}  // namespace
+
+ClbCoord step(ClbCoord c, Dir d, int n) {
+  switch (d) {
+    case Dir::kN:
+      return ClbCoord{c.row - n, c.col};
+    case Dir::kE:
+      return ClbCoord{c.row, c.col + n};
+    case Dir::kS:
+      return ClbCoord{c.row + n, c.col};
+    case Dir::kW:
+      return ClbCoord{c.row, c.col - n};
+  }
+  return c;
+}
+
+Dir opposite(Dir d) {
+  return static_cast<Dir>((static_cast<int>(d) + 2) % 4);
+}
+
+std::string NodeInfo::to_string() const {
+  switch (kind) {
+    case NodeKind::kOutPin:
+      return tile.to_string() + ".cell" + std::to_string(a) +
+             (b ? ".XQ" : ".X");
+    case NodeKind::kInPin: {
+      static const char* ports[] = {"I0", "I1", "I2", "I3", "CE", "BX"};
+      return tile.to_string() + ".cell" + std::to_string(a) + "." + ports[b];
+    }
+    case NodeKind::kSingle:
+      return tile.to_string() + ".S" + "NESW"[a] + std::to_string(b);
+    case NodeKind::kHex:
+      return tile.to_string() + ".H" + "NESW"[a] + std::to_string(b);
+    case NodeKind::kLongRow:
+      return "LR" + std::to_string(tile.row) + "." + std::to_string(a);
+    case NodeKind::kLongCol:
+      return "LC" + std::to_string(tile.col) + "." + std::to_string(a);
+    case NodeKind::kPad:
+      return tile.to_string() + ".PAD" + std::to_string(a);
+  }
+  return "?";
+}
+
+RoutingGraph::RoutingGraph(const DeviceGeometry& geom) : geom_(&geom) {
+  const int s = geom.singles_per_dir;
+  const int h = geom.hexes_per_dir;
+  tile_stride_ = kOutPinsPerTile + kInPinsPerTile + 4 * s + 4 * h;
+  tile_nodes_ =
+      static_cast<std::size_t>(geom.clb_rows) * geom.clb_cols * tile_stride_;
+  long_row_base_ = tile_nodes_;
+  long_col_base_ =
+      long_row_base_ + static_cast<std::size_t>(geom.clb_rows) *
+                           geom.longs_per_track;
+  pad_base_ = long_col_base_ + static_cast<std::size_t>(geom.clb_cols) *
+                                   geom.longs_per_track;
+  node_count_ = pad_base_ + static_cast<std::size_t>(geom.clb_rows) *
+                                geom.clb_cols * geom.pads_per_tile;
+
+  occupancy_.assign(node_count_, kNoNet);
+  build_edges();
+}
+
+NodeId RoutingGraph::out_pin(ClbCoord t, int cell, bool registered) const {
+  RELOGIC_CHECK(geom_->in_bounds(t) && cell >= 0 && cell < 4);
+  const std::size_t base =
+      (static_cast<std::size_t>(t.row) * geom_->clb_cols + t.col) *
+      tile_stride_;
+  return static_cast<NodeId>(base + cell * 2 + (registered ? 1 : 0));
+}
+
+NodeId RoutingGraph::in_pin(ClbCoord t, int cell, CellPort p) const {
+  RELOGIC_CHECK(geom_->in_bounds(t) && cell >= 0 && cell < 4);
+  const std::size_t base =
+      (static_cast<std::size_t>(t.row) * geom_->clb_cols + t.col) *
+      tile_stride_;
+  return static_cast<NodeId>(base + kOutPinsPerTile + cell * kInPorts +
+                             static_cast<int>(p));
+}
+
+NodeId RoutingGraph::single(ClbCoord t, Dir d, int index) const {
+  RELOGIC_CHECK(geom_->in_bounds(t) && index >= 0 &&
+                index < geom_->singles_per_dir);
+  const std::size_t base =
+      (static_cast<std::size_t>(t.row) * geom_->clb_cols + t.col) *
+      tile_stride_;
+  return static_cast<NodeId>(base + kOutPinsPerTile + kInPinsPerTile +
+                             static_cast<int>(d) * geom_->singles_per_dir +
+                             index);
+}
+
+NodeId RoutingGraph::hex(ClbCoord t, Dir d, int index) const {
+  RELOGIC_CHECK(geom_->in_bounds(t) && index >= 0 &&
+                index < geom_->hexes_per_dir);
+  const std::size_t base =
+      (static_cast<std::size_t>(t.row) * geom_->clb_cols + t.col) *
+      tile_stride_;
+  return static_cast<NodeId>(base + kOutPinsPerTile + kInPinsPerTile +
+                             4 * geom_->singles_per_dir +
+                             static_cast<int>(d) * geom_->hexes_per_dir +
+                             index);
+}
+
+NodeId RoutingGraph::long_row(int row, int track) const {
+  RELOGIC_CHECK(row >= 0 && row < geom_->clb_rows && track >= 0 &&
+                track < geom_->longs_per_track);
+  return static_cast<NodeId>(long_row_base_ +
+                             static_cast<std::size_t>(row) *
+                                 geom_->longs_per_track +
+                             track);
+}
+
+NodeId RoutingGraph::long_col(int col, int track) const {
+  RELOGIC_CHECK(col >= 0 && col < geom_->clb_cols && track >= 0 &&
+                track < geom_->longs_per_track);
+  return static_cast<NodeId>(long_col_base_ +
+                             static_cast<std::size_t>(col) *
+                                 geom_->longs_per_track +
+                             track);
+}
+
+NodeId RoutingGraph::pad(ClbCoord t, int index) const {
+  RELOGIC_CHECK(geom_->in_bounds(t) && index >= 0 &&
+                index < geom_->pads_per_tile);
+  RELOGIC_CHECK_MSG(geom_->is_boundary(t), "pads exist only at the periphery");
+  return static_cast<NodeId>(
+      pad_base_ +
+      (static_cast<std::size_t>(t.row) * geom_->clb_cols + t.col) *
+          geom_->pads_per_tile +
+      index);
+}
+
+NodeInfo RoutingGraph::info(NodeId n) const {
+  RELOGIC_CHECK(n < node_count_);
+  NodeInfo r{};
+  if (n < tile_nodes_) {
+    const std::size_t tile_index = n / tile_stride_;
+    const int within = static_cast<int>(n % tile_stride_);
+    r.tile = ClbCoord{static_cast<int>(tile_index) / geom_->clb_cols,
+                      static_cast<int>(tile_index) % geom_->clb_cols};
+    if (within < kOutPinsPerTile) {
+      r.kind = NodeKind::kOutPin;
+      r.a = static_cast<std::uint8_t>(within / 2);
+      r.b = static_cast<std::uint8_t>(within % 2);
+    } else if (within < kOutPinsPerTile + kInPinsPerTile) {
+      const int w = within - kOutPinsPerTile;
+      r.kind = NodeKind::kInPin;
+      r.a = static_cast<std::uint8_t>(w / kInPorts);
+      r.b = static_cast<std::uint8_t>(w % kInPorts);
+    } else if (within <
+               kOutPinsPerTile + kInPinsPerTile + 4 * geom_->singles_per_dir) {
+      const int w = within - kOutPinsPerTile - kInPinsPerTile;
+      r.kind = NodeKind::kSingle;
+      r.a = static_cast<std::uint8_t>(w / geom_->singles_per_dir);
+      r.b = static_cast<std::uint8_t>(w % geom_->singles_per_dir);
+    } else {
+      const int w = within - kOutPinsPerTile - kInPinsPerTile -
+                    4 * geom_->singles_per_dir;
+      r.kind = NodeKind::kHex;
+      r.a = static_cast<std::uint8_t>(w / geom_->hexes_per_dir);
+      r.b = static_cast<std::uint8_t>(w % geom_->hexes_per_dir);
+    }
+    return r;
+  }
+  if (n < long_col_base_) {
+    const std::size_t w = n - long_row_base_;
+    r.kind = NodeKind::kLongRow;
+    r.tile = ClbCoord{static_cast<int>(w / geom_->longs_per_track), -1};
+    r.a = static_cast<std::uint8_t>(w % geom_->longs_per_track);
+    return r;
+  }
+  if (n < pad_base_) {
+    const std::size_t w = n - long_col_base_;
+    r.kind = NodeKind::kLongCol;
+    r.tile = ClbCoord{-1, static_cast<int>(w / geom_->longs_per_track)};
+    r.a = static_cast<std::uint8_t>(w % geom_->longs_per_track);
+    return r;
+  }
+  const std::size_t w = n - pad_base_;
+  const std::size_t tile_index = w / geom_->pads_per_tile;
+  r.kind = NodeKind::kPad;
+  r.tile = ClbCoord{static_cast<int>(tile_index) / geom_->clb_cols,
+                    static_cast<int>(tile_index) % geom_->clb_cols};
+  r.a = static_cast<std::uint8_t>(w % geom_->pads_per_tile);
+  return r;
+}
+
+bool RoutingGraph::wire_target(ClbCoord t, Dir d, int span,
+                               ClbCoord& out) const {
+  ClbCoord far = step(t, d, span);
+  if (!geom_->in_bounds(far)) return false;
+  out = far;
+  return true;
+}
+
+std::span<const NodeId> RoutingGraph::fanout(NodeId n) const {
+  RELOGIC_CHECK(n < node_count_);
+  const auto begin = fanout_offsets_[n];
+  const auto end = fanout_offsets_[n + 1];
+  return {fanout_edges_.data() + begin, fanout_edges_.data() + end};
+}
+
+bool RoutingGraph::has_edge(NodeId from, NodeId to) const {
+  const auto fo = fanout(from);
+  return std::find(fo.begin(), fo.end(), to) != fo.end();
+}
+
+void RoutingGraph::occupy(NodeId n, NetId net) {
+  RELOGIC_CHECK(n < node_count_ && net != kNoNet);
+  RELOGIC_CHECK_MSG(occupancy_[n] == kNoNet || occupancy_[n] == net,
+                    "routing node " + info(n).to_string() +
+                        " already occupied by another net");
+  if (occupancy_[n] == kNoNet) ++occupied_count_;
+  occupancy_[n] = net;
+}
+
+void RoutingGraph::release(NodeId n) {
+  RELOGIC_CHECK(n < node_count_);
+  if (occupancy_[n] != kNoNet) --occupied_count_;
+  occupancy_[n] = kNoNet;
+}
+
+void RoutingGraph::add_edge(NodeId from, NodeId to) {
+  staging_[from].push_back(to);
+}
+
+void RoutingGraph::build_edges() {
+  const DeviceGeometry& g = *geom_;
+  const int s = g.singles_per_dir;
+  const int h = g.hexes_per_dir;
+  staging_.assign(node_count_, {});
+
+  for (int row = 0; row < g.clb_rows; ++row) {
+    for (int col = 0; col < g.clb_cols; ++col) {
+      const ClbCoord t{row, col};
+
+      // OMUX: every cell output drives every single and hex leaving its tile.
+      for (int cell = 0; cell < 4; ++cell) {
+        for (int q = 0; q < 2; ++q) {
+          const NodeId out = out_pin(t, cell, q != 0);
+          for (int d = 0; d < 4; ++d) {
+            for (int i = 0; i < s; ++i)
+              add_edge(out, single(t, static_cast<Dir>(d), i));
+            for (int i = 0; i < h; ++i)
+              add_edge(out, hex(t, static_cast<Dir>(d), i));
+          }
+        }
+      }
+
+      // Input pads drive singles leaving the tile.
+      if (g.is_boundary(t)) {
+        for (int p = 0; p < g.pads_per_tile; ++p) {
+          const NodeId pd = pad(t, p);
+          for (int d = 0; d < 4; ++d)
+            for (int i = 0; i < s; ++i)
+              add_edge(pd, single(t, static_cast<Dir>(d), i));
+        }
+      }
+
+      for (int d = 0; d < 4; ++d) {
+        const Dir dir = static_cast<Dir>(d);
+
+        // Singles leaving tile t land in the neighbouring tile.
+        ClbCoord far;
+        if (wire_target(t, dir, 1, far)) {
+          for (int i = 0; i < s; ++i) {
+            const NodeId w = single(t, dir, i);
+            // IMUX at the far tile: any input pin.
+            for (int cell = 0; cell < 4; ++cell)
+              for (int p = 0; p < kInPorts; ++p)
+                add_edge(w, in_pin(far, cell, static_cast<CellPort>(p)));
+            // Output pads at the far tile.
+            if (g.is_boundary(far))
+              for (int p = 0; p < g.pads_per_tile; ++p)
+                add_edge(w, pad(far, p));
+            // Switch matrix: straight, and turns on index i and i^1.
+            add_edge(w, single(far, dir, i));
+            for (int turn : {1, 3}) {
+              const Dir nd = static_cast<Dir>((d + turn) % 4);
+              add_edge(w, single(far, nd, i));
+              if ((i ^ 1) < s) add_edge(w, single(far, nd, i ^ 1));
+            }
+            // Entry into hex lines.
+            add_edge(w, hex(far, dir, i % h));
+            // Taps onto long lines at spaced tiles.
+            if ((far.col % kLongTapSpacing) == 0)
+              for (int tr = 0; tr < g.longs_per_track; ++tr)
+                add_edge(w, long_row(far.row, tr));
+            if ((far.row % kLongTapSpacing) == 0)
+              for (int tr = 0; tr < g.longs_per_track; ++tr)
+                add_edge(w, long_col(far.col, tr));
+          }
+
+          // Hex lines land hex_span tiles away (clipped hexes do not exist).
+          ClbCoord hex_far;
+          if (wire_target(t, dir, g.hex_span, hex_far)) {
+            for (int i = 0; i < h; ++i) {
+              const NodeId w = hex(t, dir, i);
+              for (int cell = 0; cell < 4; ++cell)
+                for (int p = 0; p < kInPorts; ++p)
+                  add_edge(w, in_pin(hex_far, cell, static_cast<CellPort>(p)));
+              // Chain onward or fan out to singles.
+              add_edge(w, hex(hex_far, dir, i));
+              for (int dd = 0; dd < 4; ++dd)
+                for (int j = 0; j < std::min(s, 4); ++j)
+                  add_edge(w, single(hex_far, static_cast<Dir>(dd), j));
+            }
+          }
+        }
+      }
+
+      // Long lines drive singles at every tile they cross.
+      for (int tr = 0; tr < g.longs_per_track; ++tr) {
+        for (int d = 0; d < 4; ++d)
+          for (int j = 0; j < std::min(s, 2); ++j) {
+            add_edge(long_row(row, tr), single(t, static_cast<Dir>(d), j));
+            add_edge(long_col(col, tr), single(t, static_cast<Dir>(d), j));
+          }
+      }
+    }
+  }
+
+  // Flatten to CSR.
+  fanout_offsets_.assign(node_count_ + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    fanout_offsets_[n] = static_cast<std::uint32_t>(total);
+    total += staging_[n].size();
+  }
+  fanout_offsets_[node_count_] = static_cast<std::uint32_t>(total);
+  fanout_edges_.reserve(total);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    fanout_edges_.insert(fanout_edges_.end(), staging_[n].begin(),
+                         staging_[n].end());
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+}
+
+}  // namespace relogic::fabric

@@ -1,0 +1,311 @@
+#include "relogic/netlist/benchmarks.hpp"
+
+#include <optional>
+
+#include "relogic/common/rng.hpp"
+
+namespace relogic::netlist::bench {
+
+namespace {
+
+/// Clock-enable signal for the chosen style (adds the "ce" input once).
+std::optional<SigId> style_ce(Netlist& nl, ClockingStyle style) {
+  if (style == ClockingStyle::kFreeRunning) return std::nullopt;
+  return nl.input("ce");
+}
+
+}  // namespace
+
+Netlist b01(ClockingStyle style) {
+  Netlist nl("b01");
+  const SigId line1 = nl.input("line1");
+  const SigId line2 = nl.input("line2");
+  const auto ce = style_ce(nl, style);
+
+  // Serial add/compare core with position counting: 5 FFs (carry, outp,
+  // 3-bit position counter), matching the published register count of b01.
+  const SigId carry = nl.dff_feedback(false, "carry");
+  const SigId outp_ff = nl.dff_feedback(false, "outp_reg");
+  const SigId cnt0 = nl.dff_feedback(false, "cnt0");
+  const SigId cnt1 = nl.dff_feedback(false, "cnt1");
+  const SigId cnt2 = nl.dff_feedback(false, "cnt2");
+
+  const SigId sum = nl.xor_(nl.xor_(line1, line2), carry);
+  const SigId maj = nl.or_(nl.or_(nl.and_(line1, line2), nl.and_(line1, carry)),
+                           nl.and_(line2, carry));
+  const std::vector<SigId> cnt{cnt0, cnt1, cnt2};
+  const std::vector<SigId> cnt_next = nl.increment(cnt);
+  const SigId wrap = nl.and_(nl.and_(cnt0, cnt1), cnt2);
+
+  nl.connect_dff(carry, maj, ce);
+  nl.connect_dff(outp_ff, sum, ce);
+  nl.connect_dff(cnt0, cnt_next[0], ce);
+  nl.connect_dff(cnt1, cnt_next[1], ce);
+  nl.connect_dff(cnt2, cnt_next[2], ce);
+
+  nl.output("outp", outp_ff);
+  nl.output("overflw", nl.and_(wrap, maj));
+  nl.validate();
+  return nl;
+}
+
+Netlist b02(ClockingStyle style) {
+  Netlist nl("b02");
+  const SigId linea = nl.input("linea");
+  const auto ce = style_ce(nl, style);
+
+  // BCD serial recogniser: 3-bit state register + registered output u
+  // (4 FFs, the published size of b02). States walk a digit frame; u pulses
+  // when the accumulated digit stays within BCD range.
+  const SigId s0 = nl.dff_feedback(false, "s0");
+  const SigId s1 = nl.dff_feedback(false, "s1");
+  const SigId s2 = nl.dff_feedback(false, "s2");
+  const SigId u_ff = nl.dff_feedback(false, "u_reg");
+
+  // Position advance: s is a mod-5 counter over the 4 data bits + gap.
+  const std::vector<SigId> s{s0, s1, s2};
+  const SigId at4 = nl.equals_const(s, 4);
+  const std::vector<SigId> s_inc = nl.increment(s);
+  const SigId n0 = nl.mux(s_inc[0], nl.constant(false), at4);
+  const SigId n1 = nl.mux(s_inc[1], nl.constant(false), at4);
+  const SigId n2 = nl.mux(s_inc[2], nl.constant(false), at4);
+
+  // BCD violation: a '1' seen in the MSB position (bit index 3) while an
+  // earlier high bit was set — track with the output register itself:
+  // u <- at4 & !(violation), violation folded from linea at positions 1..3.
+  const SigId at3 = nl.equals_const(s, 3);
+  const SigId viol_now = nl.and_(at3, linea);
+  const SigId u_next = nl.mux(nl.and_(u_ff, nl.not_(viol_now)),
+                              nl.not_(viol_now), at4);
+
+  nl.connect_dff(s0, n0, ce);
+  nl.connect_dff(s1, n1, ce);
+  nl.connect_dff(s2, n2, ce);
+  nl.connect_dff(u_ff, u_next, ce);
+
+  nl.output("u", u_ff);
+  nl.validate();
+  return nl;
+}
+
+Netlist b06(ClockingStyle style) {
+  Netlist nl("b06");
+  const SigId eql = nl.input("eql");
+  const SigId cont_eql = nl.input("cont_eql");
+  const auto ce = style_ce(nl, style);
+
+  // Interrupt-handler FSM, one-hot over 5 states + 4 output registers
+  // (9 FFs, the published size of b06). States: idle, latch, ack, wait,
+  // release.
+  const SigId st_idle = nl.dff_feedback(true, "st_idle");
+  const SigId st_latch = nl.dff_feedback(false, "st_latch");
+  const SigId st_ack = nl.dff_feedback(false, "st_ack");
+  const SigId st_wait = nl.dff_feedback(false, "st_wait");
+  const SigId st_rel = nl.dff_feedback(false, "st_rel");
+  const SigId out0 = nl.dff_feedback(false, "uscite0_reg");
+  const SigId out1 = nl.dff_feedback(false, "uscite1_reg");
+  const SigId ack_ff = nl.dff_feedback(false, "ackout_reg");
+  const SigId pend = nl.dff_feedback(false, "pending");
+
+  const SigId n_idle =
+      nl.or_(nl.and_(st_idle, nl.not_(eql)), nl.and_(st_rel, nl.not_(cont_eql)));
+  const SigId n_latch = nl.and_(st_idle, eql);
+  const SigId n_ack = nl.or_(st_latch, nl.and_(st_wait, cont_eql));
+  const SigId n_wait = nl.and_(st_ack, nl.not_(eql));
+  const SigId n_rel =
+      nl.or_(nl.and_(st_ack, eql),
+             nl.or_(nl.and_(st_wait, nl.not_(cont_eql)),
+                    nl.and_(st_rel, cont_eql)));
+
+  nl.connect_dff(st_idle, n_idle, ce);
+  nl.connect_dff(st_latch, n_latch, ce);
+  nl.connect_dff(st_ack, n_ack, ce);
+  nl.connect_dff(st_wait, n_wait, ce);
+  nl.connect_dff(st_rel, n_rel, ce);
+  nl.connect_dff(out0, nl.or_(st_latch, st_ack), ce);
+  nl.connect_dff(out1, nl.or_(st_wait, st_rel), ce);
+  nl.connect_dff(ack_ff, st_ack, ce);
+  nl.connect_dff(pend, nl.or_(eql, nl.and_(pend, nl.not_(st_ack))), ce);
+
+  nl.output("uscite0", out0);
+  nl.output("uscite1", out1);
+  nl.output("ackout", ack_ff);
+  nl.validate();
+  return nl;
+}
+
+Netlist random_fsm(const std::string& name, int ff_count, int input_count,
+                   int output_count, std::uint64_t seed, ClockingStyle style) {
+  RELOGIC_CHECK(ff_count >= 1 && input_count >= 1 && output_count >= 1);
+  Netlist nl(name);
+  Rng rng(seed);
+
+  std::vector<SigId> inputs;
+  for (int i = 0; i < input_count; ++i)
+    inputs.push_back(nl.input("in" + std::to_string(i)));
+  const auto ce = style_ce(nl, style);
+
+  std::vector<SigId> ffs;
+  for (int i = 0; i < ff_count; ++i)
+    ffs.push_back(nl.dff_feedback(rng.next_bool(), "ff" + std::to_string(i)));
+
+  // Pool of signals random cones may draw from.
+  std::vector<SigId> pool = inputs;
+  pool.insert(pool.end(), ffs.begin(), ffs.end());
+
+  auto random_cone = [&](const std::string& cone_name) {
+    const int k = rng.next_int(2, 4);
+    std::vector<SigId> fan;
+    for (int i = 0; i < k; ++i) fan.push_back(pool[rng.next_below(pool.size())]);
+    const auto truth = static_cast<std::uint16_t>(rng.next_u64());
+    return nl.lut(truth, fan, cone_name);
+  };
+
+  for (int i = 0; i < ff_count; ++i) {
+    const SigId cone = random_cone("next" + std::to_string(i));
+    nl.connect_dff(ffs[static_cast<std::size_t>(i)], cone, ce);
+    pool.push_back(cone);
+  }
+  for (int i = 0; i < output_count; ++i) {
+    nl.output("out" + std::to_string(i), random_cone("o" + std::to_string(i)));
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist random_logic(const std::string& name, int gate_count, int input_count,
+                     int output_count, std::uint64_t seed) {
+  RELOGIC_CHECK(gate_count >= 1 && input_count >= 1 && output_count >= 1);
+  Netlist nl(name);
+  Rng rng(seed);
+  std::vector<SigId> pool;
+  for (int i = 0; i < input_count; ++i)
+    pool.push_back(nl.input("in" + std::to_string(i)));
+  for (int g = 0; g < gate_count; ++g) {
+    const int k = rng.next_int(2, 4);
+    std::vector<SigId> fan;
+    for (int i = 0; i < k; ++i) fan.push_back(pool[rng.next_below(pool.size())]);
+    pool.push_back(nl.lut(static_cast<std::uint16_t>(rng.next_u64()), fan));
+  }
+  for (int i = 0; i < output_count; ++i) {
+    // Bias outputs toward recently created gates so none is trivially dead.
+    const std::size_t lo = pool.size() > 8 ? pool.size() - 8 : 0;
+    const std::size_t pick =
+        lo + rng.next_below(pool.size() - lo);
+    nl.output("out" + std::to_string(i), pool[pick]);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist counter(int bits, ClockingStyle style) {
+  RELOGIC_CHECK(bits >= 1);
+  Netlist nl("counter" + std::to_string(bits));
+  const auto ce = style_ce(nl, style);
+  std::vector<SigId> ffs;
+  for (int i = 0; i < bits; ++i)
+    ffs.push_back(nl.dff_feedback(false, "q" + std::to_string(i)));
+  const std::vector<SigId> next = nl.increment(ffs);
+  for (int i = 0; i < bits; ++i)
+    nl.connect_dff(ffs[static_cast<std::size_t>(i)],
+                   next[static_cast<std::size_t>(i)], ce);
+  for (int i = 0; i < bits; ++i)
+    nl.output("q" + std::to_string(i), ffs[static_cast<std::size_t>(i)]);
+  nl.output("tc", nl.and_tree(ffs));
+  nl.validate();
+  return nl;
+}
+
+Netlist shift_register(int bits, ClockingStyle style) {
+  RELOGIC_CHECK(bits >= 1);
+  Netlist nl("shift" + std::to_string(bits));
+  const SigId din = nl.input("din");
+  const auto ce = style_ce(nl, style);
+  SigId prev = din;
+  SigId last = kInvalidSig;
+  for (int i = 0; i < bits; ++i) {
+    last = nl.dff(prev, ce, false, "sr" + std::to_string(i));
+    prev = last;
+  }
+  nl.output("dout", last);
+  nl.validate();
+  return nl;
+}
+
+Netlist lfsr(int bits, std::uint32_t taps) {
+  RELOGIC_CHECK(bits >= 2 && bits <= 32 && taps != 0);
+  Netlist nl("lfsr" + std::to_string(bits));
+  std::vector<SigId> ffs;
+  for (int i = 0; i < bits; ++i) {
+    // Seed with 1 in bit0 so the register never sticks at all-zero.
+    ffs.push_back(nl.dff_feedback(i == 0, "r" + std::to_string(i)));
+  }
+  std::vector<SigId> tapped;
+  for (int i = 0; i < bits; ++i)
+    if ((taps >> i) & 1u) tapped.push_back(ffs[static_cast<std::size_t>(i)]);
+  const SigId fb = nl.xor_tree(std::move(tapped));
+  nl.connect_dff(ffs[0], fb);
+  for (int i = 1; i < bits; ++i)
+    nl.connect_dff(ffs[static_cast<std::size_t>(i)],
+                   ffs[static_cast<std::size_t>(i - 1)]);
+  nl.output("out", ffs.back());
+  nl.validate();
+  return nl;
+}
+
+Netlist gray_counter(int bits, ClockingStyle style) {
+  RELOGIC_CHECK(bits >= 2);
+  Netlist nl("gray" + std::to_string(bits));
+  const auto ce = style_ce(nl, style);
+  // Binary core + gray output stage.
+  std::vector<SigId> ffs;
+  for (int i = 0; i < bits; ++i)
+    ffs.push_back(nl.dff_feedback(false, "b" + std::to_string(i)));
+  const std::vector<SigId> next = nl.increment(ffs);
+  for (int i = 0; i < bits; ++i)
+    nl.connect_dff(ffs[static_cast<std::size_t>(i)],
+                   next[static_cast<std::size_t>(i)], ce);
+  for (int i = 0; i < bits - 1; ++i)
+    nl.output("g" + std::to_string(i),
+              nl.xor_(ffs[static_cast<std::size_t>(i)],
+                      ffs[static_cast<std::size_t>(i + 1)]));
+  nl.output("g" + std::to_string(bits - 1), ffs.back());
+  nl.validate();
+  return nl;
+}
+
+Netlist async_pipeline(int stages) {
+  RELOGIC_CHECK(stages >= 1);
+  Netlist nl("async_pipe" + std::to_string(stages));
+  const SigId din = nl.input("din");
+  const SigId phi1 = nl.input("phi1");
+  const SigId phi2 = nl.input("phi2");
+  SigId prev = din;
+  for (int i = 0; i < stages; ++i) {
+    prev = nl.latch(prev, (i % 2 == 0) ? phi1 : phi2, false,
+                    "lat" + std::to_string(i));
+  }
+  nl.output("dout", prev);
+  nl.validate();
+  return nl;
+}
+
+std::vector<SuiteEntry> itc99_suite(ClockingStyle style) {
+  std::vector<SuiteEntry> suite;
+  suite.push_back({"b01", b01(style), 5});
+  suite.push_back({"b02", b02(style), 4});
+  suite.push_back({"b06", b06(style), 9});
+  suite.push_back(
+      {"b03c", random_fsm("b03c", 30, 4, 4, 0xB03, style), 30});
+  suite.push_back(
+      {"b08c", random_fsm("b08c", 21, 9, 4, 0xB08, style), 21});
+  suite.push_back(
+      {"b09c", random_fsm("b09c", 28, 1, 1, 0xB09, style), 28});
+  suite.push_back(
+      {"b10c", random_fsm("b10c", 17, 11, 6, 0xB10, style), 17});
+  suite.push_back(
+      {"b13c", random_fsm("b13c", 53, 10, 10, 0xB13, style), 53});
+  return suite;
+}
+
+}  // namespace relogic::netlist::bench

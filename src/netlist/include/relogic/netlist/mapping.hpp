@@ -1,0 +1,77 @@
+// Technology mapping: netlist -> logic-cell images.
+//
+// Every combinational node becomes one LUT4; a DFF/latch is packed into the
+// cell of its driving combinational node when that node has no other
+// consumer (the Fig. 3 cell shape: combinational logic + storage element),
+// and otherwise receives a pass-through LUT. The result is a list of
+// MappedCells plus the signal-to-producer map the placer needs to build
+// fabric nets.
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relogic/fabric/cell.hpp"
+#include "relogic/netlist/netlist.hpp"
+
+namespace relogic::netlist {
+
+/// One logic cell of the mapped function.
+struct MappedCell {
+  std::uint16_t lut = 0;
+  /// Netlist signals feeding I0..I3 (kInvalidSig = unused input).
+  std::array<SigId, 4> in = {kInvalidSig, kInvalidSig, kInvalidSig,
+                             kInvalidSig};
+  fabric::RegMode reg = fabric::RegMode::kNone;
+  /// CE (FF clock-enable or latch gate) signal; kInvalidSig if none.
+  SigId ce = kInvalidSig;
+  bool init = false;
+  /// Signal available on the X (combinational) output; kInvalidSig if the
+  /// LUT is a private pass-through for the storage element.
+  SigId comb_sig = kInvalidSig;
+  /// Signal available on the XQ (registered) output; kInvalidSig if none.
+  SigId state_sig = kInvalidSig;
+  std::string name;
+
+  int input_count() const {
+    int n = 0;
+    for (SigId s : in) n += (s != kInvalidSig) ? 1 : 0;
+    return n;
+  }
+  bool uses_ce() const { return ce != kInvalidSig; }
+
+  /// Fabric configuration equivalent of this cell.
+  fabric::LogicCellConfig to_config(std::uint8_t clock_domain = 0) const;
+};
+
+/// Where a signal is produced in the mapped function.
+struct Producer {
+  enum class Kind : std::uint8_t { kCellX, kCellXQ, kPrimaryInput };
+  Kind kind = Kind::kCellX;
+  int cell = -1;      ///< index into MappedNetlist::cells (kCellX/kCellXQ)
+  SigId input = kInvalidSig;  ///< netlist input id (kPrimaryInput)
+};
+
+struct MappedNetlist {
+  const Netlist* source = nullptr;
+  std::vector<MappedCell> cells;
+  std::unordered_map<SigId, Producer> producer_of;
+
+  int cell_count() const { return static_cast<int>(cells.size()); }
+  /// CLBs needed at 4 cells per CLB.
+  int clbs_needed(int cells_per_clb = 4) const {
+    return (cell_count() + cells_per_clb - 1) / cells_per_clb;
+  }
+  const Producer& producer(SigId sig) const;
+};
+
+/// Truth table of a combinational netlist node with its fanins assigned to
+/// I0.. in order. Exposed for tests.
+std::uint16_t truth_table_of(const Netlist& nl, SigId node);
+
+/// Maps a validated netlist. Throws ContractError on unsupported shapes.
+MappedNetlist map_netlist(const Netlist& nl);
+
+}  // namespace relogic::netlist

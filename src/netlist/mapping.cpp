@@ -1,0 +1,161 @@
+#include "relogic/netlist/mapping.hpp"
+
+#include <algorithm>
+
+namespace relogic::netlist {
+
+fabric::LogicCellConfig MappedCell::to_config(std::uint8_t clock_domain) const {
+  fabric::LogicCellConfig cfg;
+  cfg.lut = lut;
+  cfg.reg = reg;
+  cfg.uses_ce = uses_ce();
+  cfg.init = init;
+  cfg.clock_domain = clock_domain;
+  cfg.used = true;
+  return cfg;
+}
+
+const Producer& MappedNetlist::producer(SigId sig) const {
+  auto it = producer_of.find(sig);
+  RELOGIC_CHECK_MSG(it != producer_of.end(),
+                    "no producer recorded for signal " + std::to_string(sig));
+  return it->second;
+}
+
+std::uint16_t truth_table_of(const Netlist& nl, SigId id) {
+  const Node& n = nl.node(id);
+  const int k = static_cast<int>(n.fanin.size());
+  RELOGIC_CHECK(k >= 0 && k <= 4);
+  auto f = [&](unsigned vec) -> bool {
+    auto bit = [&](int i) { return ((vec >> i) & 1u) != 0; };
+    switch (n.kind) {
+      case OpKind::kConst0:
+        return false;
+      case OpKind::kConst1:
+        return true;
+      case OpKind::kBuf:
+        return bit(0);
+      case OpKind::kNot:
+        return !bit(0);
+      case OpKind::kAnd:
+        return bit(0) && bit(1);
+      case OpKind::kOr:
+        return bit(0) || bit(1);
+      case OpKind::kNand:
+        return !(bit(0) && bit(1));
+      case OpKind::kNor:
+        return !(bit(0) || bit(1));
+      case OpKind::kXor:
+        return bit(0) != bit(1);
+      case OpKind::kXnor:
+        return bit(0) == bit(1);
+      case OpKind::kMux:
+        return bit(2) ? bit(1) : bit(0);
+      case OpKind::kLut:
+        // Only the node's real fanins select a truth-table row: fold unused
+        // input bits away so the mapped cell is insensitive to whatever its
+        // unrouted pins read.
+        return ((n.lut >> (vec & ((1u << k) - 1u))) & 1u) != 0;
+      default:
+        RELOGIC_CHECK_MSG(false, "truth_table_of on a non-combinational node");
+    }
+    return false;
+  };
+  std::uint16_t t = 0;
+  for (unsigned vec = 0; vec < 16; ++vec) {
+    if (f(vec)) t = static_cast<std::uint16_t>(t | (1u << vec));
+  }
+  return t;
+}
+
+MappedNetlist map_netlist(const Netlist& nl) {
+  nl.validate();
+  MappedNetlist out;
+  out.source = &nl;
+
+  // Consumer counts decide whether a comb node can be packed into the
+  // storage element it drives.
+  std::vector<int> consumers(nl.node_count(), 0);
+  for (SigId id = 0; id < nl.node_count(); ++id) {
+    for (SigId f : nl.node(id).fanin) ++consumers[f];
+  }
+  for (const auto& o : nl.outputs()) ++consumers[o.signal];
+
+  // Which comb node is packed into which state element.
+  std::vector<SigId> packed_into(nl.node_count(), kInvalidSig);
+  for (SigId s : nl.state_elements()) {
+    const Node& st = nl.node(s);
+    const SigId d = st.fanin[0];
+    const Node& dn = nl.node(d);
+    const bool comb = dn.kind != OpKind::kInput && dn.kind != OpKind::kDff &&
+                      dn.kind != OpKind::kLatch && dn.kind != OpKind::kConst0 &&
+                      dn.kind != OpKind::kConst1;
+    if (comb && consumers[d] == 1 && dn.fanin.size() <= 4 &&
+        packed_into[d] == kInvalidSig) {
+      packed_into[d] = s;
+    }
+  }
+
+  for (SigId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    switch (n.kind) {
+      case OpKind::kInput:
+        out.producer_of[id] =
+            Producer{Producer::Kind::kPrimaryInput, -1, id};
+        continue;
+      case OpKind::kDff:
+      case OpKind::kLatch:
+        continue;  // handled below (possibly packed)
+      default:
+        break;
+    }
+    if (packed_into[id] != kInvalidSig) continue;  // emitted with its FF
+
+    MappedCell cell;
+    cell.lut = truth_table_of(nl, id);
+    for (std::size_t i = 0; i < n.fanin.size(); ++i) cell.in[i] = n.fanin[i];
+    cell.comb_sig = id;
+    cell.name = n.name.empty() ? ("n" + std::to_string(id)) : n.name;
+    out.cells.push_back(cell);
+    out.producer_of[id] =
+        Producer{Producer::Kind::kCellX, static_cast<int>(out.cells.size()) - 1,
+                 kInvalidSig};
+  }
+
+  for (SigId s : nl.state_elements()) {
+    const Node& st = nl.node(s);
+    const SigId d = st.fanin[0];
+
+    MappedCell cell;
+    cell.reg = st.kind == OpKind::kDff ? fabric::RegMode::kFF
+                                       : fabric::RegMode::kLatch;
+    cell.init = st.init;
+    cell.state_sig = s;
+    cell.name = st.name.empty() ? ("s" + std::to_string(s)) : st.name;
+    if (st.kind == OpKind::kDff && st.fanin.size() == 2) cell.ce = st.fanin[1];
+    if (st.kind == OpKind::kLatch) cell.ce = st.fanin[1];
+
+    if (packed_into[d] == s) {
+      const Node& dn = nl.node(d);
+      cell.lut = truth_table_of(nl, d);
+      for (std::size_t i = 0; i < dn.fanin.size(); ++i) cell.in[i] = dn.fanin[i];
+      cell.comb_sig = d;
+      out.cells.push_back(cell);
+      out.producer_of[d] = Producer{Producer::Kind::kCellX,
+                                    static_cast<int>(out.cells.size()) - 1,
+                                    kInvalidSig};
+    } else {
+      cell.lut = fabric::luts::kBufI0;
+      cell.in[0] = d;
+      cell.comb_sig = kInvalidSig;  // pass-through LUT, X not exported
+      out.cells.push_back(cell);
+    }
+    out.producer_of[s] = Producer{Producer::Kind::kCellXQ,
+                                  static_cast<int>(out.cells.size()) - 1,
+                                  kInvalidSig};
+  }
+
+  return out;
+}
+
+}  // namespace relogic::netlist

@@ -1,0 +1,353 @@
+#include "relogic/netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace relogic::netlist {
+
+SigId Netlist::add(Node n) {
+  for (SigId f : n.fanin) {
+    RELOGIC_CHECK_MSG(f < nodes_.size(), "fanin refers to an unknown signal");
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<SigId>(nodes_.size() - 1);
+}
+
+SigId Netlist::input(std::string name) {
+  RELOGIC_CHECK_MSG(!input_by_name_.contains(name),
+                    "duplicate input name: " + name);
+  Node n;
+  n.kind = OpKind::kInput;
+  n.name = name;
+  const SigId id = add(std::move(n));
+  inputs_.push_back(id);
+  input_by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+SigId Netlist::constant(bool value) {
+  Node n;
+  n.kind = value ? OpKind::kConst1 : OpKind::kConst0;
+  return add(std::move(n));
+}
+
+namespace {
+Node binary(OpKind k, SigId a, SigId b) {
+  Node n;
+  n.kind = k;
+  n.fanin = {a, b};
+  return n;
+}
+}  // namespace
+
+SigId Netlist::buf(SigId a, std::string name) {
+  Node n;
+  n.kind = OpKind::kBuf;
+  n.fanin = {a};
+  n.name = std::move(name);
+  return add(std::move(n));
+}
+SigId Netlist::not_(SigId a) {
+  Node n;
+  n.kind = OpKind::kNot;
+  n.fanin = {a};
+  return add(std::move(n));
+}
+SigId Netlist::and_(SigId a, SigId b) { return add(binary(OpKind::kAnd, a, b)); }
+SigId Netlist::or_(SigId a, SigId b) { return add(binary(OpKind::kOr, a, b)); }
+SigId Netlist::nand_(SigId a, SigId b) {
+  return add(binary(OpKind::kNand, a, b));
+}
+SigId Netlist::nor_(SigId a, SigId b) { return add(binary(OpKind::kNor, a, b)); }
+SigId Netlist::xor_(SigId a, SigId b) { return add(binary(OpKind::kXor, a, b)); }
+SigId Netlist::xnor_(SigId a, SigId b) {
+  return add(binary(OpKind::kXnor, a, b));
+}
+
+SigId Netlist::mux(SigId d0, SigId d1, SigId sel) {
+  Node n;
+  n.kind = OpKind::kMux;
+  n.fanin = {d0, d1, sel};
+  return add(std::move(n));
+}
+
+SigId Netlist::lut(std::uint16_t truth, const std::vector<SigId>& fanins,
+                   std::string name) {
+  RELOGIC_CHECK_MSG(!fanins.empty() && fanins.size() <= 4,
+                    "LUT supports 1..4 fanins");
+  Node n;
+  n.kind = OpKind::kLut;
+  n.fanin = fanins;
+  n.lut = truth;
+  n.name = std::move(name);
+  return add(std::move(n));
+}
+
+SigId Netlist::dff(SigId d, std::optional<SigId> ce, bool init,
+                   std::string name) {
+  Node n;
+  n.kind = OpKind::kDff;
+  n.fanin = ce.has_value() ? std::vector<SigId>{d, *ce} : std::vector<SigId>{d};
+  n.init = init;
+  n.name = std::move(name);
+  const SigId id = add(std::move(n));
+  states_.push_back(id);
+  return id;
+}
+
+SigId Netlist::latch(SigId d, SigId gate, bool init, std::string name) {
+  Node n;
+  n.kind = OpKind::kLatch;
+  n.fanin = {d, gate};
+  n.init = init;
+  n.name = std::move(name);
+  const SigId id = add(std::move(n));
+  states_.push_back(id);
+  return id;
+}
+
+void Netlist::output(std::string name, SigId signal) {
+  RELOGIC_CHECK(signal < nodes_.size());
+  outputs_.push_back(OutputPort{std::move(name), signal});
+}
+
+SigId Netlist::dff_feedback(bool init, std::string name) {
+  Node n;
+  n.kind = OpKind::kDff;
+  n.init = init;
+  n.name = std::move(name);
+  const SigId id = add(std::move(n));
+  states_.push_back(id);
+  return id;
+}
+
+void Netlist::connect_dff(SigId ff, SigId d, std::optional<SigId> ce) {
+  RELOGIC_CHECK(ff < nodes_.size() && d < nodes_.size());
+  Node& n = nodes_[ff];
+  RELOGIC_CHECK_MSG(n.kind == OpKind::kDff, "connect_dff target is not a DFF");
+  RELOGIC_CHECK_MSG(n.fanin.empty(), "DFF already connected");
+  n.fanin = ce.has_value() ? std::vector<SigId>{d, *ce} : std::vector<SigId>{d};
+}
+
+SigId Netlist::latch_feedback(bool init, std::string name) {
+  Node n;
+  n.kind = OpKind::kLatch;
+  n.init = init;
+  n.name = std::move(name);
+  const SigId id = add(std::move(n));
+  states_.push_back(id);
+  return id;
+}
+
+void Netlist::connect_latch(SigId l, SigId d, SigId gate) {
+  RELOGIC_CHECK(l < nodes_.size() && d < nodes_.size() && gate < nodes_.size());
+  Node& n = nodes_[l];
+  RELOGIC_CHECK_MSG(n.kind == OpKind::kLatch,
+                    "connect_latch target is not a latch");
+  RELOGIC_CHECK_MSG(n.fanin.empty(), "latch already connected");
+  n.fanin = {d, gate};
+}
+
+SigId Netlist::and_tree(std::vector<SigId> sigs) {
+  RELOGIC_CHECK(!sigs.empty());
+  while (sigs.size() > 1) {
+    std::vector<SigId> next;
+    for (std::size_t i = 0; i + 1 < sigs.size(); i += 2)
+      next.push_back(and_(sigs[i], sigs[i + 1]));
+    if (sigs.size() % 2) next.push_back(sigs.back());
+    sigs = std::move(next);
+  }
+  return sigs[0];
+}
+
+SigId Netlist::or_tree(std::vector<SigId> sigs) {
+  RELOGIC_CHECK(!sigs.empty());
+  while (sigs.size() > 1) {
+    std::vector<SigId> next;
+    for (std::size_t i = 0; i + 1 < sigs.size(); i += 2)
+      next.push_back(or_(sigs[i], sigs[i + 1]));
+    if (sigs.size() % 2) next.push_back(sigs.back());
+    sigs = std::move(next);
+  }
+  return sigs[0];
+}
+
+SigId Netlist::xor_tree(std::vector<SigId> sigs) {
+  RELOGIC_CHECK(!sigs.empty());
+  while (sigs.size() > 1) {
+    std::vector<SigId> next;
+    for (std::size_t i = 0; i + 1 < sigs.size(); i += 2)
+      next.push_back(xor_(sigs[i], sigs[i + 1]));
+    if (sigs.size() % 2) next.push_back(sigs.back());
+    sigs = std::move(next);
+  }
+  return sigs[0];
+}
+
+SigId Netlist::equals_const(const std::vector<SigId>& sigs, unsigned value) {
+  RELOGIC_CHECK(!sigs.empty());
+  std::vector<SigId> terms;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const bool bit = ((value >> i) & 1u) != 0;
+    terms.push_back(bit ? sigs[i] : not_(sigs[i]));
+  }
+  return and_tree(std::move(terms));
+}
+
+std::vector<SigId> Netlist::increment(const std::vector<SigId>& sigs) {
+  RELOGIC_CHECK(!sigs.empty());
+  std::vector<SigId> out;
+  SigId carry = constant(true);
+  for (SigId s : sigs) {
+    out.push_back(xor_(s, carry));
+    carry = and_(s, carry);
+  }
+  return out;
+}
+
+SigId Netlist::find_input(const std::string& name) const {
+  auto it = input_by_name_.find(name);
+  RELOGIC_CHECK_MSG(it != input_by_name_.end(), "no input named " + name);
+  return it->second;
+}
+
+std::optional<SigId> Netlist::find_output(const std::string& name) const {
+  for (const auto& o : outputs_)
+    if (o.name == name) return o.signal;
+  return std::nullopt;
+}
+
+int Netlist::gate_count() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    switch (node.kind) {
+      case OpKind::kInput:
+      case OpKind::kConst0:
+      case OpKind::kConst1:
+      case OpKind::kDff:
+      case OpKind::kLatch:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+int Netlist::ff_count() const {
+  int n = 0;
+  for (SigId s : states_)
+    if (nodes_[s].kind == OpKind::kDff) ++n;
+  return n;
+}
+
+int Netlist::latch_count() const {
+  int n = 0;
+  for (SigId s : states_)
+    if (nodes_[s].kind == OpKind::kLatch) ++n;
+  return n;
+}
+
+bool Netlist::has_gated_clock() const {
+  for (SigId s : states_) {
+    const Node& n = nodes_[s];
+    if (n.kind == OpKind::kDff && n.fanin.size() == 2) return true;
+  }
+  return false;
+}
+
+std::vector<SigId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational nodes only; state-element outputs,
+  // inputs and constants are sources.
+  std::vector<int> pending(nodes_.size(), 0);
+  std::vector<std::vector<SigId>> consumers(nodes_.size());
+  std::vector<SigId> ready;
+  for (SigId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case OpKind::kInput:
+      case OpKind::kConst0:
+      case OpKind::kConst1:
+      case OpKind::kDff:
+      case OpKind::kLatch:
+        continue;  // sources: not scheduled
+      default:
+        break;
+    }
+    int deps = 0;
+    for (SigId f : n.fanin) {
+      const OpKind fk = nodes_[f].kind;
+      const bool source = fk == OpKind::kInput || fk == OpKind::kConst0 ||
+                          fk == OpKind::kConst1 || fk == OpKind::kDff ||
+                          fk == OpKind::kLatch;
+      if (!source) {
+        ++deps;
+        consumers[f].push_back(id);
+      }
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+
+  std::vector<SigId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const SigId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (SigId c : consumers[id]) {
+      if (--pending[c] == 0) ready.push_back(c);
+    }
+  }
+  std::size_t comb_nodes = 0;
+  for (SigId id = 0; id < nodes_.size(); ++id) {
+    const OpKind k = nodes_[id].kind;
+    if (k != OpKind::kInput && k != OpKind::kConst0 && k != OpKind::kConst1 &&
+        k != OpKind::kDff && k != OpKind::kLatch)
+      ++comb_nodes;
+  }
+  RELOGIC_CHECK_MSG(order.size() == comb_nodes,
+                    "combinational cycle in netlist " + name_);
+  return order;
+}
+
+void Netlist::validate() const {
+  for (SigId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    for (SigId f : n.fanin) RELOGIC_CHECK(f < nodes_.size());
+    switch (n.kind) {
+      case OpKind::kInput:
+      case OpKind::kConst0:
+      case OpKind::kConst1:
+        RELOGIC_CHECK(n.fanin.empty());
+        break;
+      case OpKind::kBuf:
+      case OpKind::kNot:
+        RELOGIC_CHECK(n.fanin.size() == 1);
+        break;
+      case OpKind::kAnd:
+      case OpKind::kOr:
+      case OpKind::kNand:
+      case OpKind::kNor:
+      case OpKind::kXor:
+      case OpKind::kXnor:
+        RELOGIC_CHECK(n.fanin.size() == 2);
+        break;
+      case OpKind::kMux:
+        RELOGIC_CHECK(n.fanin.size() == 3);
+        break;
+      case OpKind::kLut:
+        RELOGIC_CHECK(n.fanin.size() >= 1 && n.fanin.size() <= 4);
+        break;
+      case OpKind::kDff:
+        RELOGIC_CHECK(n.fanin.size() == 1 || n.fanin.size() == 2);
+        break;
+      case OpKind::kLatch:
+        RELOGIC_CHECK(n.fanin.size() == 2);
+        break;
+    }
+  }
+  for (const auto& o : outputs_) RELOGIC_CHECK(o.signal < nodes_.size());
+  (void)topo_order();  // throws on combinational cycles
+}
+
+}  // namespace relogic::netlist

@@ -1,0 +1,66 @@
+// Maze router: A* over the fabric routing graph.
+//
+// Routes one sink at a time, growing a net's existing route tree (every
+// already-claimed node of the net is a free starting point, which yields
+// fanout trees naturally). Used both for initial implementation and — with
+// avoidance constraints — by the relocation engine, which must route replica
+// paths without touching columns that hold live LUT-RAMs and without
+// disturbing foreign nets (it physically cannot: occupied nodes are
+// impassable).
+#pragma once
+
+#include <set>
+#include <span>
+#include <vector>
+
+#include "relogic/fabric/fabric.hpp"
+
+namespace relogic::place {
+
+struct RouteOptions {
+  /// CLB columns whose PIPs must not be (re)programmed — the LUT-RAM
+  /// exclusion rule of the paper, Sec. 2.
+  std::set<int> avoid_columns;
+  /// Additional nodes to treat as blocked.
+  std::set<fabric::NodeId> avoid_nodes;
+  bool allow_longs = true;
+  /// Search effort bound; exceeded => ResourceError.
+  int max_expansions = 4'000'000;
+};
+
+class Router {
+ public:
+  Router(fabric::Fabric& fabric, const fabric::DelayModel& dm)
+      : fabric_(&fabric), dm_(&dm) {}
+
+  /// Finds a path from any node of `net`'s current tree to `sink`.
+  /// Returns the node sequence attachment-point..sink. Throws ResourceError
+  /// if no path exists. Does not modify the fabric.
+  std::vector<fabric::NodeId> find_path(fabric::NetId net, fabric::NodeId sink,
+                                        const RouteOptions& opt = {}) const;
+
+  /// Same, but seeded from an explicit node set (used before a net has any
+  /// tree, or to force an attachment region).
+  std::vector<fabric::NodeId> find_path_from(
+      std::span<const fabric::NodeId> seeds, fabric::NetId net,
+      fabric::NodeId sink, const RouteOptions& opt = {}) const;
+
+  /// Routes and commits: find_path + Fabric::add_edges.
+  void route_sink(fabric::NetId net, fabric::NodeId sink,
+                  const RouteOptions& opt = {});
+
+  /// Finds a path from a new source pin into the existing tree of `net`
+  /// (ending on any wire the net already occupies). Used to parallel a
+  /// replica output with the original (Fig. 5: the two paths share the
+  /// downstream segments). Returns from..join-node. Does not modify the
+  /// fabric.
+  std::vector<fabric::NodeId> find_path_to_net(fabric::NodeId from,
+                                               fabric::NetId net,
+                                               const RouteOptions& opt = {}) const;
+
+ private:
+  fabric::Fabric* fabric_;
+  const fabric::DelayModel* dm_;
+};
+
+}  // namespace relogic::place

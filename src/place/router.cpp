@@ -1,0 +1,248 @@
+#include "relogic/place/router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace relogic::place {
+
+using fabric::NetId;
+using fabric::NodeId;
+using fabric::NodeInfo;
+using fabric::NodeKind;
+
+namespace {
+
+struct QueueItem {
+  std::int64_t f = 0;  // g + h, picoseconds
+  std::int64_t g = 0;
+  /// Either a plain NodeId or a (node << 1 | touched-tree) search key.
+  std::uint64_t node = fabric::kInvalidNode;
+  bool operator>(const QueueItem& o) const { return f > o.f; }
+};
+
+bool node_blocked(const fabric::RoutingGraph& graph, NodeId n, NetId net,
+                  const RouteOptions& opt, const NodeInfo& info) {
+  const NetId occ = graph.occupant(n);
+  if (occ != fabric::kNoNet && occ != net) return true;
+  if (opt.avoid_nodes.contains(n)) return true;
+  if (!opt.allow_longs &&
+      (info.kind == NodeKind::kLongRow || info.kind == NodeKind::kLongCol))
+    return true;
+  if (!opt.avoid_columns.empty()) {
+    // PIPs into a node are programmed in the node's own tile column (longs:
+    // in the source tile, handled conservatively by also checking wires).
+    if (info.kind != NodeKind::kLongRow && info.kind != NodeKind::kLongCol &&
+        opt.avoid_columns.contains(info.tile.col))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<NodeId> Router::find_path(NetId net, NodeId sink,
+                                      const RouteOptions& opt) const {
+  const auto& tree = fabric_->net(net);
+  std::vector<NodeId> seeds = tree.nodes();
+  RELOGIC_CHECK_MSG(!seeds.empty(),
+                    "net has no tree to route from; use find_path_from");
+  return find_path_from(seeds, net, sink, opt);
+}
+
+std::vector<NodeId> Router::find_path_from(std::span<const NodeId> seeds,
+                                           NetId net, NodeId sink,
+                                           const RouteOptions& opt) const {
+  const auto& graph = fabric_->graph();
+  const NodeInfo sink_info = graph.info(sink);
+  RELOGIC_CHECK_MSG(
+      sink_info.kind == NodeKind::kInPin || sink_info.kind == NodeKind::kPad,
+      "route sink must be an input pin or a pad");
+  {
+    const NetId occ = graph.occupant(sink);
+    if (occ != fabric::kNoNet && occ != net)
+      throw ResourceError("route sink " + sink_info.to_string() +
+                          " is occupied by another net");
+  }
+
+  // Admissible-ish heuristic: one single line + one PIP per remaining tile.
+  const std::int64_t per_tile =
+      (dm_->single_delay + dm_->pip_delay).picoseconds();
+  auto heuristic = [&](const NodeInfo& info) -> std::int64_t {
+    if (info.kind == NodeKind::kLongRow)
+      return std::abs(info.tile.row - sink_info.tile.row) * per_tile;
+    if (info.kind == NodeKind::kLongCol)
+      return std::abs(info.tile.col - sink_info.tile.col) * per_tile;
+    return manhattan(info.tile, sink_info.tile) * per_tile;
+  };
+
+  // Search state: (node, touched-tree bit). A path may join the net's
+  // existing tree at most once and never re-enter it after leaving —
+  // re-joining upstream of the leave point would close a cycle through
+  // the tree. Riding the tree (net-node to net-node) must follow existing
+  // edge directions for the same reason.
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> open;
+  std::unordered_map<std::uint64_t, std::int64_t> best_g;
+  std::unordered_map<std::uint64_t, std::uint64_t> parent;
+  auto key_of = [](NodeId n, bool touched) {
+    return (static_cast<std::uint64_t>(n) << 1) | (touched ? 1u : 0u);
+  };
+
+  std::unordered_set<std::uint64_t> tree_edges;
+  if (fabric_->net_exists(net)) {
+    for (const auto& e : fabric_->net(net).edges) {
+      tree_edges.insert((static_cast<std::uint64_t>(e.from) << 32) | e.to);
+    }
+  }
+
+  for (NodeId s : seeds) {
+    const NodeInfo info = graph.info(s);
+    // Seeds belonging to the net are never blocked by their own occupancy;
+    // the sink itself is never a seed (a trivial path would leave the sink
+    // orphaned when a parallel branch is later pruned).
+    if (s == sink || opt.avoid_nodes.contains(s)) continue;
+    const bool touched = graph.occupant(s) == net;
+    best_g.try_emplace(key_of(s, touched), 0);
+    open.push(QueueItem{heuristic(info), 0, key_of(s, touched)});
+  }
+  RELOGIC_CHECK_MSG(!best_g.empty(), "no usable route seeds");
+
+  int expansions = 0;
+  while (!open.empty()) {
+    const QueueItem item = open.top();
+    open.pop();
+    const NodeId item_node = static_cast<NodeId>(item.node >> 1);
+    const bool item_touched = (item.node & 1) != 0;
+    if (item_node == sink) {
+      // Reconstruct.
+      std::vector<NodeId> path{sink};
+      std::uint64_t cur = item.node;
+      while (true) {
+        auto it = parent.find(cur);
+        if (it == parent.end()) break;
+        cur = it->second;
+        path.push_back(static_cast<NodeId>(cur >> 1));
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    auto bg = best_g.find(item.node);
+    if (bg != best_g.end() && item.g > bg->second) continue;  // stale
+    if (++expansions > opt.max_expansions) break;
+
+    const bool item_in_net = graph.occupant(item_node) == net;
+    for (NodeId next : graph.fanout(item_node)) {
+      const NodeInfo info = graph.info(next);
+      if (next == sink) {
+        if (node_blocked(graph, next, net, opt, info)) continue;
+      } else if (info.kind == NodeKind::kInPin || info.kind == NodeKind::kPad ||
+                 info.kind == NodeKind::kOutPin) {
+        continue;  // do not route *through* pins
+      } else if (node_blocked(graph, next, net, opt, info)) {
+        continue;
+      }
+      const bool next_in_net = graph.occupant(next) == net;
+      if (next_in_net && next != sink) {
+        if (item_in_net) {
+          // Riding: only along existing tree directions.
+          const std::uint64_t ekey =
+              (static_cast<std::uint64_t>(item_node) << 32) | next;
+          if (!tree_edges.contains(ekey)) continue;
+        } else if (item_touched) {
+          continue;  // re-joining after leaving the tree: cycle risk
+        }
+      }
+      const bool next_touched = item_touched || next_in_net;
+      const std::int64_t g =
+          item.g +
+          (dm_->pip_delay + dm_->node_delay(info.kind)).picoseconds();
+      const std::uint64_t nkey = key_of(next, next_touched);
+      auto it = best_g.find(nkey);
+      if (it != best_g.end() && it->second <= g) continue;
+      best_g[nkey] = g;
+      parent[nkey] = item.node;
+      open.push(QueueItem{g + heuristic(info), g, nkey});
+    }
+  }
+  throw ResourceError("no route to sink " + sink_info.to_string() +
+                      (expansions > opt.max_expansions
+                           ? " (expansion budget exhausted)"
+                           : " (congestion or avoidance constraints)"));
+}
+
+std::vector<NodeId> Router::find_path_to_net(NodeId from, NetId net,
+                                             const RouteOptions& opt) const {
+  const auto& graph = fabric_->graph();
+  {
+    const auto kind = graph.info(from).kind;
+    RELOGIC_CHECK_MSG(kind == NodeKind::kOutPin || kind == NodeKind::kPad,
+                      "source-join must start at an output pin or pad");
+  }
+  auto is_target = [&](NodeId n) {
+    if (graph.occupant(n) != net) return false;
+    const NodeKind k = graph.info(n).kind;
+    return k == NodeKind::kSingle || k == NodeKind::kHex ||
+           k == NodeKind::kLongRow || k == NodeKind::kLongCol;
+  };
+
+  // Dijkstra (no useful heuristic toward a node set).
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> open;
+  std::unordered_map<NodeId, std::int64_t> best_g;
+  std::unordered_map<NodeId, NodeId> parent;
+  best_g.emplace(from, 0);
+  open.push(QueueItem{0, 0, from});
+
+  int expansions = 0;
+  while (!open.empty()) {
+    const QueueItem item = open.top();
+    open.pop();
+    if (is_target(item.node)) {
+      std::vector<NodeId> path{item.node};
+      NodeId cur = item.node;
+      while (true) {
+        auto it = parent.find(cur);
+        if (it == parent.end()) break;
+        cur = it->second;
+        path.push_back(cur);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    auto bg = best_g.find(item.node);
+    if (bg != best_g.end() && item.g > bg->second) continue;
+    if (++expansions > opt.max_expansions) break;
+
+    for (NodeId next : graph.fanout(item.node)) {
+      const NodeInfo info = graph.info(next);
+      if (!is_target(next)) {
+        if (info.kind == NodeKind::kInPin || info.kind == NodeKind::kPad ||
+            info.kind == NodeKind::kOutPin)
+          continue;
+        if (node_blocked(graph, next, net, opt, info)) continue;
+      } else if (opt.avoid_nodes.contains(next)) {
+        continue;
+      }
+      const std::int64_t g =
+          item.g + (dm_->pip_delay + dm_->node_delay(info.kind)).picoseconds();
+      auto it = best_g.find(next);
+      if (it != best_g.end() && it->second <= g) continue;
+      best_g[next] = g;
+      parent[next] = item.node;
+      open.push(QueueItem{g, g, next});
+    }
+  }
+  throw ResourceError("no join path from " + graph.info(from).to_string() +
+                      " into net tree");
+}
+
+void Router::route_sink(NetId net, NodeId sink, const RouteOptions& opt) {
+  const std::vector<NodeId> path = find_path(net, sink, opt);
+  std::vector<fabric::RouteEdge> edges;
+  edges.reserve(path.size());
+  for (std::size_t i = 1; i < path.size(); ++i)
+    edges.push_back(fabric::RouteEdge{path[i - 1], path[i]});
+  fabric_->add_edges(net, edges);
+}
+
+}  // namespace relogic::place

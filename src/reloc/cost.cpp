@@ -1,0 +1,53 @@
+#include "relogic/reloc/cost.hpp"
+
+#include <cmath>
+
+namespace relogic::reloc {
+
+SimTime RelocationCostModel::column_write_time(int columns) const {
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < columns; ++i) {
+    t += port_->write_time(geom_->frames_per_clb_column,
+                           geom_->frame_length_bits());
+  }
+  return t;
+}
+
+SimTime RelocationCostModel::cell_time(fabric::RegMode reg,
+                                       bool gated_clock) const {
+  int columns = 0;
+  int waits = 0;
+  switch (reg) {
+    case fabric::RegMode::kNone:
+      columns = params_.comb_column_writes;
+      waits = params_.comb_wait_cycles;
+      break;
+    case fabric::RegMode::kFF:
+      columns = gated_clock ? params_.gated_column_writes
+                            : params_.ff_column_writes;
+      waits = gated_clock ? params_.gated_wait_cycles : params_.ff_wait_cycles;
+      break;
+    case fabric::RegMode::kLatch:
+      columns = params_.latch_column_writes;
+      waits = params_.gated_wait_cycles;
+      break;
+  }
+  return column_write_time(columns) + params_.clock_period * waits;
+}
+
+SimTime RelocationCostModel::function_time(int cells, fabric::RegMode reg,
+                                           bool gated_clock) const {
+  if (cells <= 0) return SimTime::zero();
+  return cell_time(reg, gated_clock) * cells;
+}
+
+SimTime RelocationCostModel::configure_time(int cells) const {
+  if (cells <= 0) return SimTime::zero();
+  const int clbs = (cells + geom_->cells_per_clb - 1) / geom_->cells_per_clb;
+  const int side =
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(clbs))));
+  // The function spans ~side columns; add the same again for routing.
+  return column_write_time(2 * side);
+}
+
+}  // namespace relogic::reloc

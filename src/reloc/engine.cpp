@@ -1,0 +1,862 @@
+#include "relogic/reloc/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "relogic/common/logging.hpp"
+#include "relogic/reloc/net_surgery.hpp"
+
+namespace relogic::reloc {
+
+using config::ConfigOp;
+using fabric::CellPort;
+using fabric::DSrc;
+using fabric::LogicCellConfig;
+using fabric::NetId;
+using fabric::NodeId;
+using fabric::RegMode;
+using fabric::RouteEdge;
+using place::CellSite;
+
+std::string RelocationReport::to_string() const {
+  return from.to_string() + " -> " + to.to_string() + " [" +
+         fabric::to_string(reg) + (gated_clock ? "+ce" : "") + "] " +
+         std::to_string(ops) + " ops, " + std::to_string(frames_written) +
+         " frames, config " + config_time.to_string() + ", wall " +
+         wall_time.to_string();
+}
+
+void FunctionRelocationReport::add(const RelocationReport& r) {
+  cells.push_back(r);
+  config_time += r.config_time;
+  wall_time += r.wall_time;
+  frames_written += r.frames_written;
+}
+
+namespace {
+/// Paths planned within one transaction are not committed yet, so later
+/// searches for *other* nets must avoid their nodes explicitly.
+struct PlanTracker {
+  std::map<NetId, std::set<NodeId>> planned;
+
+  place::RouteOptions options_for(NetId net,
+                                  const place::RouteOptions& base) const {
+    place::RouteOptions o = base;
+    for (const auto& [n, nodes] : planned) {
+      if (n != net) o.avoid_nodes.insert(nodes.begin(), nodes.end());
+    }
+    return o;
+  }
+  void add(NetId net, const std::vector<NodeId>& path) {
+    planned[net].insert(path.begin(), path.end());
+  }
+};
+}  // namespace
+
+/// Nets attached around one logic cell, discovered from the fabric itself
+/// (the engine needs no netlist knowledge — exactly like the paper's tool,
+/// which works from the configuration).
+struct RelocationEngine::CellPorts {
+  std::array<NetId, fabric::kInPorts> in{};  // kNoNet when pin unused
+  NetId out_x = fabric::kNoNet;
+  NetId out_q = fabric::kNoNet;
+};
+
+RelocationEngine::RelocationEngine(config::ConfigController& controller,
+                                   place::Router& router, sim::FabricSim* sim)
+    : controller_(&controller), router_(&router), sim_(sim) {}
+
+RelocationEngine::CellPorts RelocationEngine::discover_ports(
+    CellSite site) const {
+  const auto& graph = fabric().graph();
+  CellPorts ports;
+  for (int p = 0; p < fabric::kInPorts; ++p) {
+    const NodeId pin =
+        graph.in_pin(site.clb, site.cell, static_cast<CellPort>(p));
+    ports.in[static_cast<std::size_t>(p)] = graph.occupant(pin);
+  }
+  const NodeId x = graph.out_pin(site.clb, site.cell, false);
+  const NodeId q = graph.out_pin(site.clb, site.cell, true);
+  const NetId nx = graph.occupant(x);
+  const NetId nq = graph.occupant(q);
+  if (nx != fabric::kNoNet && fabric().net(nx).has_source(x)) ports.out_x = nx;
+  if (nq != fabric::kNoNet && fabric().net(nq).has_source(q)) ports.out_q = nq;
+  return ports;
+}
+
+CellSite RelocationEngine::find_aux_site(CellSite near,
+                                         const RelocOptions& opt) const {
+  const auto& geom = fabric().geometry();
+  for (int radius = 1; radius <= opt.aux_search_radius; ++radius) {
+    for (int dr = -radius; dr <= radius; ++dr) {
+      for (int dc = -radius; dc <= radius; ++dc) {
+        if (std::max(std::abs(dr), std::abs(dc)) != radius) continue;
+        const ClbCoord c{near.clb.row + dr, near.clb.col + dc};
+        if (!geom.in_bounds(c)) continue;
+        if (opt.route.avoid_columns.contains(c.col)) continue;
+        if (fabric().clb_free(c)) return CellSite{c, 0};
+      }
+    }
+  }
+  throw ResourceError(
+      "no free CLB within radius " + std::to_string(opt.aux_search_radius) +
+      " of " + near.clb.to_string() + " for the auxiliary relocation circuit");
+}
+
+std::set<int> RelocationEngine::lut_ram_columns() const {
+  std::set<int> cols;
+  const auto& geom = fabric().geometry();
+  for (int r = 0; r < geom.clb_rows; ++r) {
+    for (int c = 0; c < geom.clb_cols; ++c) {
+      const ClbCoord clb{r, c};
+      for (int k = 0; k < geom.cells_per_clb; ++k) {
+        const auto& cfg = fabric().cell(clb, k);
+        if (cfg.used && cfg.lut_mode == fabric::LutMode::kRam) cols.insert(c);
+      }
+    }
+  }
+  return cols;
+}
+
+void RelocationEngine::apply(const ConfigOp& op, RelocationReport& report,
+                             const RelocOptions& opt,
+                             const std::vector<NetId>& touched,
+                             bool allow_lut_ram_columns) {
+  const auto result = controller_->apply(op, allow_lut_ram_columns);
+  ++report.ops;
+  report.frames_written += result.frames_written;
+  report.columns_touched += result.columns_touched;
+  report.config_time += result.time;
+  report.wall_time += result.time;
+  if (sim_ != nullptr) {
+    sim_->run_until(sim_->now() + result.time);
+  }
+  if (opt.verify) {
+    for (NetId n : touched) {
+      if (!fabric().net_exists(n)) continue;
+      try {
+        fabric().validate_net(n);
+      } catch (const Error& e) {
+        throw IllegalOperationError("after op '" + op.label +
+                                    "': " + e.what());
+      }
+    }
+  }
+  RELOGIC_LOG(kDebug) << "reloc op '" << op.label << "': "
+                      << result.frames_written << " frames, "
+                      << result.time.to_string();
+}
+
+void RelocationEngine::wait_cycles(int cycles, std::uint8_t domain,
+                                   RelocationReport& report,
+                                   const RelocOptions& opt) {
+  if (cycles <= 0) return;
+  if (sim_ != nullptr) {
+    const SimTime before = sim_->now();
+    sim_->run_cycles(cycles, domain);
+    report.wall_time += sim_->now() - before;
+  } else {
+    report.wall_time += opt.assumed_clock_period * cycles;
+  }
+}
+
+void RelocationEngine::wait_time(SimTime t, RelocationReport& report) {
+  if (t <= SimTime::zero()) return;
+  if (sim_ != nullptr) {
+    sim_->run_until(sim_->now() + t);
+  }
+  report.wall_time += t;
+}
+
+RelocationReport RelocationEngine::relocate_cell(place::Implementation& impl,
+                                                 int cell_index, CellSite dest,
+                                                 const RelocOptions& opt) {
+  RELOGIC_CHECK(cell_index >= 0 &&
+                cell_index < static_cast<int>(impl.sites.size()));
+  const CellSite src = impl.sites[static_cast<std::size_t>(cell_index)];
+  const LogicCellConfig cfg = fabric().cell(src.clb, src.cell);
+  RELOGIC_CHECK_MSG(cfg.used, "source cell is not configured");
+  RELOGIC_CHECK_MSG(src != dest, "source and destination are the same site");
+  RELOGIC_CHECK_MSG(!fabric().cell(dest.clb, dest.cell).used,
+                    "destination cell " + dest.to_string() + " is occupied");
+  if (cfg.lut_mode == fabric::LutMode::kRam) {
+    if (opt.allow_halt_for_lut_ram) {
+      return relocate_lut_ram_cell(impl, cell_index, dest, opt);
+    }
+    throw IllegalOperationError(
+        "cell " + src.to_string() +
+        " is a LUT-RAM: on-line relocation is not feasible (paper, Sec. 2); "
+        "set allow_halt_for_lut_ram for the stop-the-system alternative");
+  }
+
+  RelocationReport report;
+  report.from = src;
+  report.to = dest;
+  report.reg = cfg.reg;
+  report.gated_clock = cfg.reg == RegMode::kFF && cfg.uses_ce;
+  const bool needs_aux =
+      report.gated_clock || cfg.reg == RegMode::kLatch;
+  const bool is_async = cfg.reg == RegMode::kLatch;
+  const std::uint8_t domain = cfg.clock_domain;
+
+  RelocOptions ro = opt;
+  for (int c : lut_ram_columns()) ro.route.avoid_columns.insert(c);
+
+  const CellPorts ports = discover_ports(src);
+  const auto& graph = fabric().graph();
+
+  auto in_pin_of = [&](CellSite s, int p) {
+    return graph.in_pin(s.clb, s.cell, static_cast<CellPort>(p));
+  };
+
+  // ---------------------------------------------------------------- phase 1
+  // Copy the internal configuration of the CLB cell into the new location.
+  {
+    LogicCellConfig replica = cfg;
+    if (needs_aux) replica.d_src = DSrc::kBypass;
+    ConfigOp op("copy cell configuration to replica " + dest.to_string());
+    op.write_cell(dest.clb, dest.cell, replica);
+    apply(op, report, ro, {});
+  }
+
+  // Auxiliary relocation circuit (gated-clock FFs and latches, Fig. 3).
+  CellSite aux{};
+  NetId t_q = fabric::kNoNet;    // original Q -> mux data-0
+  NetId t_x = fabric::kNoNet;    // replica comb X -> mux data-1
+  NetId t_mux = fabric::kNoNet;  // mux out -> replica BX
+  NetId t_ctl = fabric::kNoNet;  // ce-control const -> OR input
+  NetId t_or = fabric::kNoNet;   // OR out -> replica CE
+  const NetId ce_net = ports.in[static_cast<std::size_t>(CellPort::kCE)];
+
+  if (needs_aux) {
+    RELOGIC_CHECK_MSG(ce_net != fabric::kNoNet,
+                      "gated-clock/latch cell has no CE/gate net");
+    aux = find_aux_site(dest, ro);
+
+    // Configure the auxiliary circuit: 2:1 mux, OR gate, and the two
+    // control constants driven "through the reconfiguration memory".
+    {
+      ConfigOp op("configure auxiliary relocation circuit at " +
+                  aux.clb.to_string());
+      LogicCellConfig mux;
+      mux.lut = fabric::luts::kMux21;
+      mux.used = true;
+      op.write_cell(aux.clb, 0, mux);
+      LogicCellConfig org;
+      org.lut = fabric::luts::kOr2;
+      org.used = true;
+      op.write_cell(aux.clb, 1, org);
+      op.write_cell(aux.clb, 2, LogicCellConfig::constant(false));  // CE ctl
+      op.write_cell(aux.clb, 3, LogicCellConfig::constant(false));  // reloc ctl
+      apply(op, report, ro, {});
+    }
+
+    // Temporary transfer paths (free routing resources only).
+    {
+      ConfigOp op("connect signals to the auxiliary relocation circuit");
+      const NodeId mux_i0 = in_pin_of(CellSite{aux.clb, 0}, 0);
+      const NodeId mux_i1 = in_pin_of(CellSite{aux.clb, 0}, 1);
+      const NodeId mux_i2 = in_pin_of(CellSite{aux.clb, 0}, 2);
+      const NodeId or_i0 = in_pin_of(CellSite{aux.clb, 1}, 0);
+      const NodeId or_i1 = in_pin_of(CellSite{aux.clb, 1}, 1);
+
+      // Original registered output -> mux data-0. Reuse the cell's Q net if
+      // it exists; otherwise build a temporary one.
+      const NodeId src_q = graph.out_pin(src.clb, src.cell, true);
+      if (ports.out_q != fabric::kNoNet) {
+        t_q = ports.out_q;
+      } else {
+        t_q = fabric().create_net("reloc.t_q");
+        op.attach_source(t_q, src_q);
+      }
+      // Replica combinational output -> mux data-1.
+      t_x = fabric().create_net("reloc.t_x");
+      op.attach_source(t_x, graph.out_pin(dest.clb, dest.cell, false));
+      // Mux output -> replica bypass input.
+      t_mux = fabric().create_net("reloc.t_mux");
+      op.attach_source(t_mux, graph.out_pin(aux.clb, 0, false));
+      // CE-control constant -> OR input 1.
+      t_ctl = fabric().create_net("reloc.t_ctl");
+      op.attach_source(t_ctl, graph.out_pin(aux.clb, 2, false));
+      // OR output -> replica CE.
+      t_or = fabric().create_net("reloc.t_or");
+      op.attach_source(t_or, graph.out_pin(aux.clb, 1, false));
+
+      apply(op, report, ro, {});  // sources first: paths grow from them
+
+      ConfigOp routes("route auxiliary transfer paths");
+      PlanTracker plan;
+      auto planned_path = [&](NetId n, NodeId to) {
+        const auto path = router_->find_path(n, to, plan.options_for(n, ro.route));
+        plan.add(n, path);
+        return path;
+      };
+      routes.add_path(t_q, planned_path(t_q, mux_i0));
+      routes.add_path(t_x, planned_path(t_x, mux_i1));
+      routes.add_path(ce_net, planned_path(ce_net, mux_i2));
+      routes.add_path(ce_net, planned_path(ce_net, or_i0));
+      routes.add_path(t_ctl, planned_path(t_ctl, or_i1));
+      routes.add_path(t_mux, planned_path(t_mux, in_pin_of(dest, 5)));
+      routes.add_path(t_or, planned_path(t_or, in_pin_of(dest, 4)));
+      apply(routes, report, ro, {t_q, t_x, ce_net, t_ctl, t_mux, t_or});
+    }
+  }
+
+  // Place CLB input signals in parallel (LUT inputs; CE handled via the
+  // auxiliary OR for gated cells and joined later).
+  {
+    ConfigOp op("place CLB input signals in parallel");
+    PlanTracker plan;
+    auto add_planned = [&](NetId n, NodeId to) {
+      const auto path =
+          router_->find_path(n, to, plan.options_for(n, ro.route));
+      plan.add(n, path);
+      op.add_path(n, path);
+    };
+    bool any = false;
+    for (int p = 0; p < 4; ++p) {
+      const NetId n = ports.in[static_cast<std::size_t>(p)];
+      if (n == fabric::kNoNet) continue;
+      add_planned(n, in_pin_of(dest, p));
+      any = true;
+    }
+    if (!needs_aux && ce_net != fabric::kNoNet) {
+      add_planned(ce_net, in_pin_of(dest, 4));
+      any = true;
+    }
+    if (any) {
+      std::vector<NetId> nets;
+      for (int p = 0; p < 5; ++p) {
+        const NetId n = ports.in[static_cast<std::size_t>(p)];
+        if (n != fabric::kNoNet) nets.push_back(n);
+      }
+      apply(op, report, ro, nets);
+    }
+  }
+
+  // ---------------------------------------------------- state transfer
+  if (needs_aux) {
+    {
+      ConfigOp op("activate relocation and clock enable control");
+      op.write_cell(aux.clb, 2, LogicCellConfig::constant(true));
+      op.write_cell(aux.clb, 3, LogicCellConfig::constant(true));
+      apply(op, report, ro, {});
+    }
+    // Fig. 4: wait > 2 CLK pulses (until the replica holds the state).
+    if (is_async) {
+      wait_time(opt.async_settle, report);
+    } else {
+      wait_cycles(2, domain, report, opt);
+    }
+    if (sim_ != nullptr && opt.verify) {
+      int tries = 0;
+      while (sim_->state_of(dest.clb, dest.cell) !=
+             sim_->state_of(src.clb, src.cell)) {
+        if (++tries > opt.max_state_transfer_cycles) {
+          throw IllegalOperationError(
+              "state transfer did not converge relocating " +
+              src.to_string());
+        }
+        if (is_async) {
+          wait_time(opt.async_settle, report);
+        } else {
+          wait_cycles(1, domain, report, opt);
+        }
+      }
+      report.state_verified = true;
+    }
+    {
+      ConfigOp op("deactivate clock enable control");
+      op.write_cell(aux.clb, 2, LogicCellConfig::constant(false));
+      apply(op, report, ro, {});
+    }
+    // Connect the clock enable inputs of both CLBs: swap the replica's CE
+    // pin from the OR output to the true CE net in one transaction.
+    {
+      // Swap the replica's CE pin from the OR output to the true CE net.
+      // Two transactions: the pin must be released before the CE-net path
+      // can claim it. Between them the pin holds its last driven value, so
+      // no spurious capture can occur.
+      const NodeId ce_pin = in_pin_of(dest, 4);
+      ConfigOp op_rm("release replica CE pin from the auxiliary OR gate");
+      for (const auto& e : prune_for_sink_removal(fabric(), t_or, ce_pin))
+        op_rm.remove_edge(t_or, e);
+      apply(op_rm, report, ro, {t_or});
+
+      ConfigOp op("connect the clock enable inputs of both CLBs");
+      op.add_path(ce_net, router_->find_path(ce_net, ce_pin, ro.route));
+      apply(op, report, ro, {ce_net});
+    }
+    // Disconnect all the auxiliary relocation circuit signals and return
+    // the replica storage element to its combinational D path.
+    {
+      ConfigOp op("disconnect the auxiliary relocation circuit");
+      // Temporary nets disappear wholesale (all their edges are transfer
+      // paths); taps on *live* nets (CE, original Q) are pruned with full
+      // sink-coverage analysis, grouped per net so shared segments and
+      // later-routed paths that ride them survive exactly as needed.
+      std::map<NetId, std::vector<NodeId>> drops;
+      for (const NodeId pin : {in_pin_of(CellSite{aux.clb, 0}, 2),
+                               in_pin_of(CellSite{aux.clb, 1}, 0)}) {
+        if (graph.occupant(pin) == ce_net) drops[ce_net].push_back(pin);
+      }
+      if (t_q == ports.out_q && t_q != fabric::kNoNet) {
+        const NodeId pin = in_pin_of(CellSite{aux.clb, 0}, 0);
+        if (graph.occupant(pin) == t_q) drops[t_q].push_back(pin);
+      }
+      for (const auto& [net, pins] : drops) {
+        for (const auto& e : prune_for_sinks_removal(fabric(), net, pins))
+          op.remove_edge(net, e);
+      }
+      for (const NetId tn :
+           {t_q == ports.out_q ? fabric::kNoNet : t_q, t_x, t_mux, t_ctl,
+            t_or}) {
+        if (tn == fabric::kNoNet || !fabric().net_exists(tn)) continue;
+        for (const auto& e : fabric().net(tn).edges) op.remove_edge(tn, e);
+      }
+      // Detach temp-net sources.
+      if (t_q != ports.out_q && t_q != fabric::kNoNet)
+        op.detach_source(t_q, graph.out_pin(src.clb, src.cell, true));
+      op.detach_source(t_x, graph.out_pin(dest.clb, dest.cell, false));
+      op.detach_source(t_mux, graph.out_pin(aux.clb, 0, false));
+      op.detach_source(t_ctl, graph.out_pin(aux.clb, 2, false));
+      op.detach_source(t_or, graph.out_pin(aux.clb, 1, false));
+      // Replica D input back to the LUT path.
+      LogicCellConfig normal = cfg;
+      normal.d_src = DSrc::kLut;
+      op.write_cell(dest.clb, dest.cell, normal);
+      apply(op, report, ro, {ce_net});
+    }
+  } else if (cfg.reg == RegMode::kFF) {
+    // Free-running clock: the replica acquires the state through its
+    // paralleled inputs within one clock cycle (paper, Sec. 2).
+    wait_cycles(2, domain, report, opt);
+    if (sim_ != nullptr && opt.verify) {
+      int tries = 0;
+      while (sim_->state_of(dest.clb, dest.cell) !=
+             sim_->state_of(src.clb, src.cell)) {
+        if (++tries > opt.max_state_transfer_cycles) {
+          throw IllegalOperationError(
+              "free-running state acquisition did not converge relocating " +
+              src.to_string());
+        }
+        wait_cycles(1, domain, report, opt);
+      }
+      report.state_verified = true;
+    }
+  } else {
+    // Combinational: outputs are stable after the inputs parallel + LUT
+    // delay; the configuration transaction itself is orders of magnitude
+    // longer.
+    if (sim_ != nullptr) {
+      wait_time(SimTime::ns(50), report);
+      // Sample at a quiet instant: surrounding logic keeps switching during
+      // the relocation, and original and replica see different path skews,
+      // so compare just before the next clock edge when everything settled.
+      if (sim_->has_clock(domain)) {
+        const SimTime quiet =
+            sim_->next_edge(domain, sim_->now() + SimTime::ps(1)) -
+            SimTime::ns(1);
+        if (quiet > sim_->now()) wait_time(quiet - sim_->now(), report);
+      }
+      if (opt.verify) {
+        if (sim_->comb_of(dest.clb, dest.cell) !=
+            sim_->comb_of(src.clb, src.cell)) {
+          std::string diag = "replica combinational output differs from "
+                             "original relocating " + src.to_string() +
+                             " -> " + dest.to_string() + "; port net:sv/dv =";
+          for (int p = 0; p < 4; ++p) {
+            const NodeId sp = in_pin_of(src, p);
+            diag += " " + std::to_string(p) + "=" +
+                    std::to_string(graph.occupant(sp)) + ":" +
+                    std::to_string(sim_->pin_of(src.clb, src.cell,
+                                                static_cast<CellPort>(p))) +
+                    "/" +
+                    std::to_string(sim_->pin_of(dest.clb, dest.cell,
+                                                static_cast<CellPort>(p)));
+          }
+          diag += " x=" + std::to_string(sim_->comb_of(src.clb, src.cell)) +
+                  "/" + std::to_string(sim_->comb_of(dest.clb, dest.cell));
+          throw IllegalOperationError(diag);
+        }
+        report.state_verified = true;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- phase 2
+  // Place CLB outputs in parallel.
+  {
+    ConfigOp op("place CLB outputs in parallel");
+    PlanTracker plan;
+    // Coverage paths may ride existing tree segments; only genuinely new
+    // PIPs enter the transaction (riding costs no frames on the device).
+    auto add_new_edges = [&](fabric::NetId net,
+                             const std::vector<NodeId>& path) {
+      const auto& tree = fabric().net(net);
+      plan.add(net, path);
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const RouteEdge e{path[i - 1], path[i]};
+        if (!tree.has_edge(e)) op.add_edge(net, e);
+      }
+    };
+    bool any = false;
+    if (ports.out_x != fabric::kNoNet) {
+      const NodeId rx = graph.out_pin(dest.clb, dest.cell, false);
+      op.attach_source(ports.out_x, rx);
+      for (const NodeId s : fabric().net_sinks(ports.out_x)) {
+        add_new_edges(ports.out_x,
+                      router_->find_path_from(
+                          {&rx, 1}, ports.out_x, s,
+                          plan.options_for(ports.out_x, ro.route)));
+      }
+      any = true;
+    }
+    if (ports.out_q != fabric::kNoNet) {
+      const NodeId rq = graph.out_pin(dest.clb, dest.cell, true);
+      op.attach_source(ports.out_q, rq);
+      for (const NodeId s : fabric().net_sinks(ports.out_q)) {
+        add_new_edges(ports.out_q,
+                      router_->find_path_from(
+                          {&rq, 1}, ports.out_q, s,
+                          plan.options_for(ports.out_q, ro.route)));
+      }
+      any = true;
+    }
+    if (any) apply(op, report, ro, {});
+  }
+
+  // Both CLBs remain in parallel for at least one clock cycle.
+  if (is_async) {
+    wait_time(opt.async_settle, report);
+  } else {
+    wait_cycles(std::max(1, opt.output_parallel_cycles), domain, report, opt);
+  }
+
+  // Deactivate relocation control.
+  if (needs_aux) {
+    ConfigOp op("deactivate relocation control");
+    op.write_cell(aux.clb, 3, LogicCellConfig::constant(false));
+    apply(op, report, ro, {});
+  }
+
+  // Disconnect the original CLB outputs (first the outputs...).
+  {
+    ConfigOp op("disconnect the original CLB outputs");
+    bool any = false;
+    if (ports.out_x != fabric::kNoNet) {
+      const NodeId ox = graph.out_pin(src.clb, src.cell, false);
+      for (const auto& e : prune_for_source_removal(fabric(), ports.out_x, ox))
+        op.remove_edge(ports.out_x, e);
+      op.detach_source(ports.out_x, ox);
+      any = true;
+    }
+    if (ports.out_q != fabric::kNoNet) {
+      const NodeId oq = graph.out_pin(src.clb, src.cell, true);
+      for (const auto& e : prune_for_source_removal(fabric(), ports.out_q, oq))
+        op.remove_edge(ports.out_q, e);
+      op.detach_source(ports.out_q, oq);
+      any = true;
+    }
+    if (any) {
+      std::vector<NetId> nets;
+      if (ports.out_x != fabric::kNoNet) nets.push_back(ports.out_x);
+      if (ports.out_q != fabric::kNoNet) nets.push_back(ports.out_q);
+      apply(op, report, ro, nets);
+    }
+  }
+
+  // ...then the inputs; the original cell joins the pool of free resources.
+  {
+    ConfigOp op("disconnect the original CLB inputs");
+    std::vector<NetId> nets;
+    // A net may feed several pins of the cell; drop them together so
+    // shared branch segments are freed exactly once.
+    std::map<NetId, std::vector<NodeId>> drops;
+    for (int p = 0; p < fabric::kInPorts; ++p) {
+      const NetId n = ports.in[static_cast<std::size_t>(p)];
+      if (n == fabric::kNoNet || !fabric().net_exists(n)) continue;
+      const NodeId pin = in_pin_of(src, p);
+      if (graph.occupant(pin) != n) continue;
+      drops[n].push_back(pin);
+    }
+    for (const auto& [n, pins] : drops) {
+      for (const auto& e : prune_for_sinks_removal(fabric(), n, pins))
+        op.remove_edge(n, e);
+      nets.push_back(n);
+    }
+    op.clear_cell(src.clb, src.cell);
+    if (needs_aux) {
+      for (int k = 0; k < 4; ++k) op.clear_cell(aux.clb, k);
+    }
+    apply(op, report, ro, nets);
+  }
+
+  // Destroy now-empty temporary nets (bookkeeping only, no frames).
+  for (NetId n : {t_q == ports.out_q ? fabric::kNoNet : t_q, t_x, t_mux,
+                  t_ctl, t_or}) {
+    if (n != fabric::kNoNet && fabric().net_exists(n)) fabric().destroy_net(n);
+  }
+
+  impl.sites[static_cast<std::size_t>(cell_index)] = dest;
+
+  if (sim_ != nullptr && opt.verify) {
+    // The relocation must not have broken connectivity of any impl net.
+    for (const auto& [sig, n] : impl.signal_nets) {
+      if (fabric().net_exists(n)) fabric().validate_net(n);
+    }
+  }
+
+  RELOGIC_LOG(kInfo) << "relocated " << report.to_string();
+  return report;
+}
+
+RelocationReport RelocationEngine::relocate_lut_ram_cell(
+    place::Implementation& impl, int cell_index, CellSite dest,
+    const RelocOptions& opt) {
+  const CellSite src = impl.sites[static_cast<std::size_t>(cell_index)];
+  const LogicCellConfig cfg = fabric().cell(src.clb, src.cell);
+  RELOGIC_CHECK_MSG(cfg.reg == RegMode::kNone,
+                    "LUT-RAM with a registered output is not supported");
+
+  RelocationReport report;
+  report.from = src;
+  report.to = dest;
+  report.reg = cfg.reg;
+  const std::uint8_t domain = cfg.clock_domain;
+
+  RelocOptions ro = opt;
+  for (int c : lut_ram_columns()) ro.route.avoid_columns.insert(c);
+  // The halt waives avoidance for the source/destination columns only.
+  ro.route.avoid_columns.erase(src.clb.col);
+  ro.route.avoid_columns.erase(dest.clb.col);
+
+  const CellPorts ports = discover_ports(src);
+  const auto& graph = fabric().graph();
+  auto in_pin_of = [&](CellSite s, int p) {
+    return graph.in_pin(s.clb, s.cell, static_cast<CellPort>(p));
+  };
+
+  // Stop the system (paper, Sec. 2 / [12]): with the domain halted no
+  // write to the RAM can race the copy, and downstream FFs cannot capture
+  // transients, so the make-before-break choreography collapses to a
+  // plain copy + rewire.
+  const SimTime halt_start = sim_ != nullptr ? sim_->now() : SimTime::zero();
+  if (sim_ != nullptr) sim_->set_clock_running(domain, false);
+
+  {
+    ConfigOp op("halted copy of LUT-RAM cell to " + dest.to_string());
+    op.write_cell(dest.clb, dest.cell, cfg);
+    apply(op, report, ro, {}, /*allow_lut_ram_columns=*/true);
+  }
+  {
+    ConfigOp op("rewire LUT-RAM inputs and outputs");
+    PlanTracker plan;
+    for (int p = 0; p < 4; ++p) {
+      const NetId n = ports.in[static_cast<std::size_t>(p)];
+      if (n == fabric::kNoNet) continue;
+      const auto path =
+          router_->find_path(n, in_pin_of(dest, p), plan.options_for(n, ro.route));
+      plan.add(n, path);
+      op.add_path(n, path);
+    }
+    if (ports.out_x != fabric::kNoNet) {
+      const NodeId rx = graph.out_pin(dest.clb, dest.cell, false);
+      op.attach_source(ports.out_x, rx);
+      for (const NodeId s : fabric().net_sinks(ports.out_x)) {
+        const auto path = router_->find_path_from(
+            {&rx, 1}, ports.out_x, s, plan.options_for(ports.out_x, ro.route));
+        plan.add(ports.out_x, path);
+        const auto& tree = fabric().net(ports.out_x);
+        for (std::size_t i = 1; i < path.size(); ++i) {
+          const RouteEdge e{path[i - 1], path[i]};
+          if (!tree.has_edge(e)) op.add_edge(ports.out_x, e);
+        }
+      }
+    }
+    apply(op, report, ro, {}, true);
+  }
+  {
+    ConfigOp op("disconnect and free the original LUT-RAM cell");
+    if (ports.out_x != fabric::kNoNet) {
+      const NodeId ox = graph.out_pin(src.clb, src.cell, false);
+      for (const auto& e : prune_for_source_removal(fabric(), ports.out_x, ox))
+        op.remove_edge(ports.out_x, e);
+      op.detach_source(ports.out_x, ox);
+    }
+    std::map<NetId, std::vector<NodeId>> drops;
+    for (int p = 0; p < fabric::kInPorts; ++p) {
+      const NetId n = ports.in[static_cast<std::size_t>(p)];
+      if (n == fabric::kNoNet || !fabric().net_exists(n)) continue;
+      const NodeId pin = in_pin_of(src, p);
+      if (graph.occupant(pin) == n) drops[n].push_back(pin);
+    }
+    for (const auto& [n, pins] : drops) {
+      for (const auto& e : prune_for_sinks_removal(fabric(), n, pins))
+        op.remove_edge(n, e);
+    }
+    op.clear_cell(src.clb, src.cell);
+    apply(op, report, ro, {}, true);
+  }
+
+  if (sim_ != nullptr) {
+    // Let the last configuration writes land before releasing the clock.
+    sim_->run_until(sim_->now() + SimTime::ns(10));
+    sim_->set_clock_running(domain, true);
+    report.halted = sim_->now() - halt_start;
+  } else {
+    report.halted = report.config_time;
+  }
+  report.wall_time = std::max(report.wall_time, report.halted);
+
+  impl.sites[static_cast<std::size_t>(cell_index)] = dest;
+  RELOGIC_LOG(kInfo) << "halt-relocated LUT-RAM " << report.to_string()
+                     << " (domain halted " << report.halted.to_string() << ")";
+  return report;
+}
+
+FunctionRelocationReport RelocationEngine::relocate_function(
+    place::Implementation& impl, ClbRect dest_region,
+    const RelocOptions& opt) {
+  const auto& geom = fabric().geometry();
+  RELOGIC_CHECK_MSG(geom.full_rect().contains(dest_region),
+                    "destination region exceeds the device");
+
+  // Free cell slots in the destination region, row-major.
+  std::vector<CellSite> slots;
+  for (int r = dest_region.row; r < dest_region.row_end(); ++r) {
+    for (int c = dest_region.col; c < dest_region.col_end(); ++c) {
+      const ClbCoord clb{r, c};
+      for (int k = 0; k < geom.cells_per_clb; ++k) {
+        if (!fabric().cell(clb, k).used) slots.push_back(CellSite{clb, k});
+      }
+    }
+  }
+  if (static_cast<int>(slots.size()) < impl.cell_count()) {
+    throw ResourceError("destination region " + dest_region.to_string() +
+                        " lacks free cells for " + impl.name);
+  }
+
+  FunctionRelocationReport out;
+  for (int i = 0; i < impl.cell_count(); ++i) {
+    out.add(relocate_cell(impl, i, slots[static_cast<std::size_t>(i)], opt));
+  }
+  impl.region = dest_region;
+  return out;
+}
+
+RelocationEngine::RouteOptimizationReport
+RelocationEngine::optimize_function_routing(place::Implementation& impl,
+                                            const RelocOptions& opt,
+                                            SimTime min_gain) {
+  RelocOptions ro = opt;
+  for (int c : lut_ram_columns()) ro.route.avoid_columns.insert(c);
+
+  // Delay model mirror of the router's edge costs.
+  const fabric::DelayModel dm;  // router uses the same defaults
+  RouteOptimizationReport out;
+
+  for (const auto& [sig, net] : impl.signal_nets) {
+    if (!fabric().net_exists(net)) continue;
+    const auto& tree = fabric().net(net);
+    if (tree.sources.empty()) continue;
+
+    const auto delays = fabric().node_delays(net, dm);
+    for (const NodeId sink : fabric().net_sinks(net)) {
+      ++out.sinks_considered;
+      auto cur_it = delays.find(sink);
+      if (cur_it == delays.end()) continue;
+      const SimTime current = cur_it->second;
+      out.worst_delay_before = std::max(out.worst_delay_before, current);
+
+      // Price a fresh path that may not ride the sink's current branch.
+      const auto old_branch = prune_for_sink_removal(fabric(), net, sink);
+      if (old_branch.empty()) {
+        out.worst_delay_after = std::max(out.worst_delay_after, current);
+        continue;  // branch shared with other sinks: leave it alone
+      }
+      RelocOptions probe = ro;
+      for (const auto& e : old_branch) {
+        if (e.to != sink) probe.route.avoid_nodes.insert(e.to);
+      }
+      std::vector<NodeId> path;
+      try {
+        path = router_->find_path(net, sink, probe.route);
+      } catch (const ResourceError&) {
+        out.worst_delay_after = std::max(out.worst_delay_after, current);
+        continue;  // no alternative: keep the current branch
+      }
+      auto attach = delays.find(path.front());
+      const SimTime base =
+          attach == delays.end() ? SimTime::zero() : attach->second;
+      const SimTime candidate =
+          base + dm.path_delay(fabric().graph(), path);
+      if (candidate + min_gain >= current) {
+        out.worst_delay_after = std::max(out.worst_delay_after, current);
+        continue;  // not worth a reconfiguration
+      }
+
+      const auto report = relocate_route(net, sink, ro);
+      ++out.sinks_rerouted;
+      out.config_time += report.config_time;
+      out.frames_written += report.frames_written;
+      const auto after = fabric().node_delays(net, dm);
+      auto it = after.find(sink);
+      if (it != after.end()) {
+        out.worst_delay_after = std::max(out.worst_delay_after, it->second);
+      }
+    }
+  }
+  if (out.sinks_rerouted == 0) out.worst_delay_after = out.worst_delay_before;
+  RELOGIC_LOG(kInfo) << "routing optimisation of " << impl.name << ": "
+                     << out.sinks_rerouted << "/" << out.sinks_considered
+                     << " sinks rerouted, worst delay "
+                     << out.worst_delay_before.to_string() << " -> "
+                     << out.worst_delay_after.to_string();
+  return out;
+}
+
+RelocationReport RelocationEngine::relocate_route(NetId net, NodeId sink,
+                                                  const RelocOptions& opt) {
+  RelocOptions ro = opt;
+  for (int c : lut_ram_columns()) ro.route.avoid_columns.insert(c);
+
+  RelocationReport report;
+  const auto& graph = fabric().graph();
+  const auto info = graph.info(sink);
+  report.from = CellSite{info.tile, info.a};
+  report.to = report.from;
+
+  // The branch currently serving the sink.
+  const auto old_branch = prune_for_sink_removal(fabric(), net, sink);
+  RELOGIC_CHECK_MSG(!old_branch.empty(),
+                    "sink has no exclusive branch to relocate");
+
+  // Establish the alternative (replica) path first, avoiding the original
+  // branch so the two are truly parallel (Fig. 5).
+  for (const auto& e : old_branch) {
+    if (e.to != sink) ro.route.avoid_nodes.insert(e.to);
+  }
+  {
+    ConfigOp op("duplicate interconnection (replica path)");
+    op.add_path(net, router_->find_path(net, sink, ro.route));
+    apply(op, report, ro, {net});
+  }
+
+  // During paralleling the observable delay is the longer of the two paths
+  // (Fig. 6) — the simulator models exactly that. One clock cycle margin:
+  wait_time(SimTime::ns(100), report);
+
+  {
+    ConfigOp op("disconnect original interconnection");
+    for (const auto& e : old_branch) {
+      if (fabric().net(net).has_edge(e)) op.remove_edge(net, e);
+    }
+    apply(op, report, ro, {net});
+  }
+  return report;
+}
+
+}  // namespace relogic::reloc

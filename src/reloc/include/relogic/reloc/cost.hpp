@@ -1,0 +1,66 @@
+// Analytical relocation cost model.
+//
+// The on-line scheduler and the defragmentation planner need relocation
+// times without driving the full engine + simulator. This model prices a
+// cell relocation from the configuration-port timing and the op/column
+// structure of the engine's procedures:
+//
+//   time(case) = sum over ops of write_time(columns_touched(op) * frames)
+//              + mandated clock-cycle waits.
+//
+// Column counts per op default to values measured from the engine on the
+// XCV200 (see bench_fig4_relocation_time, which prints both measured and
+// modelled values side by side).
+#pragma once
+
+#include "relogic/common/time.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/fabric/cell.hpp"
+#include "relogic/fabric/device.hpp"
+
+namespace relogic::reloc {
+
+struct CostParams {
+  /// Column-write transactions per relocation, by case. JBits-era flows
+  /// rewrite whole columns; each touched column is one transaction.
+  int comb_column_writes = 8;
+  int ff_column_writes = 9;
+  int gated_column_writes = 17;
+  int latch_column_writes = 17;
+  /// Clock cycles of mandated waiting (state transfer + output parallel).
+  int comb_wait_cycles = 2;
+  int ff_wait_cycles = 3;
+  int gated_wait_cycles = 4;
+  SimTime clock_period = SimTime::ns(100);
+};
+
+class RelocationCostModel {
+ public:
+  RelocationCostModel(const fabric::DeviceGeometry& geom,
+                      const config::ConfigPort& port, CostParams params = {})
+      : geom_(&geom), port_(&port), params_(params) {}
+
+  /// Time to relocate one logic cell of the given storage kind.
+  SimTime cell_time(fabric::RegMode reg, bool gated_clock) const;
+
+  /// Time to relocate `cells` cells (a whole function), sequential on the
+  /// single configuration port.
+  SimTime function_time(int cells, fabric::RegMode reg,
+                        bool gated_clock) const;
+
+  /// Time to write a fresh function of `cells` cells into free area
+  /// (initial partial configuration, roughly one column write per CLB
+  /// column the function spans plus its routing columns).
+  SimTime configure_time(int cells) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  SimTime column_write_time(int columns) const;
+
+  const fabric::DeviceGeometry* geom_;
+  const config::ConfigPort* port_;
+  CostParams params_;
+};
+
+}  // namespace relogic::reloc

@@ -1,0 +1,162 @@
+// RelocationEngine — the paper's primary contribution.
+//
+// Implements the two-phase dynamic relocation procedure (Fig. 2), the
+// auxiliary-relocation-circuit state transfer for gated-clock and
+// asynchronous circuits (Figs. 3 and 4), and routing relocation (Fig. 5),
+// entirely as sequences of partial-reconfiguration transactions applied
+// through the ConfigController while the circuit keeps running in the
+// FabricSim.
+//
+// Invariants the engine maintains (and, with verify enabled, checks):
+//  * make-before-break: a signal is never broken before its replica path
+//    carries it;
+//  * the replica's outputs are connected only after they are functionally
+//    identical to the original's (state transferred, logic stable);
+//  * original and replica stay paralleled for at least one user clock
+//    cycle before the original is disconnected (outputs first, then
+//    inputs);
+//  * no configuration write ever touches a column holding a live LUT-RAM
+//    (enforced by ConfigController; routing avoids those columns too).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relogic/config/controller.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/place/router.hpp"
+#include "relogic/sim/simulator.hpp"
+
+namespace relogic::reloc {
+
+struct RelocOptions {
+  /// Search radius (in CLBs) for the free CLB hosting the auxiliary
+  /// relocation circuit.
+  int aux_search_radius = 5;
+  /// Bound on the Fig. 4 "> 2 CLK pulse" state-transfer wait.
+  int max_state_transfer_cycles = 64;
+  /// Cycles original and replica outputs stay paralleled (paper: >= 1).
+  int output_parallel_cycles = 1;
+  /// Run simulator-based checks (state equality before output paralleling,
+  /// net validation after each transaction).
+  bool verify = true;
+  /// Extra routing constraints (LUT-RAM columns are added automatically).
+  place::RouteOptions route;
+  /// Settle time used instead of clock waits for asynchronous circuits.
+  SimTime async_settle = SimTime::ns(300);
+  /// Clock period assumed for wait accounting when no simulator is
+  /// attached (planning/cost mode).
+  SimTime assumed_clock_period = SimTime::ns(100);
+  /// LUT-RAMs cannot be relocated on-line (paper, Sec. 2). When true the
+  /// engine falls back to the documented stop-the-system alternative:
+  /// halt the cell's clock domain, copy content + rewire, resume. The
+  /// report's `halted` field carries the downtime.
+  bool allow_halt_for_lut_ram = false;
+};
+
+/// Outcome of one relocation.
+struct RelocationReport {
+  place::CellSite from;
+  place::CellSite to;
+  fabric::RegMode reg = fabric::RegMode::kNone;
+  bool gated_clock = false;
+  int ops = 0;
+  int frames_written = 0;
+  int columns_touched = 0;
+  /// Configuration-port busy time (what the paper's 22.6 ms measures).
+  SimTime config_time = SimTime::zero();
+  /// Total wall-clock time including the mandated clock-cycle waits.
+  SimTime wall_time = SimTime::zero();
+  /// True if the engine verified state equality before output paralleling.
+  bool state_verified = false;
+  /// Clock-domain downtime (non-zero only for halt-based LUT-RAM moves).
+  SimTime halted = SimTime::zero();
+
+  std::string to_string() const;
+};
+
+/// Aggregate over a multi-cell (function) relocation.
+struct FunctionRelocationReport {
+  std::vector<RelocationReport> cells;
+  SimTime config_time = SimTime::zero();
+  SimTime wall_time = SimTime::zero();
+  int frames_written = 0;
+
+  void add(const RelocationReport& r);
+};
+
+class RelocationEngine {
+ public:
+  /// `sim` may be null: the engine then plans and applies configuration
+  /// without simulation-time interleaving (used by area-manager planning).
+  RelocationEngine(config::ConfigController& controller, place::Router& router,
+                   sim::FabricSim* sim);
+
+  /// Relocates one logic cell of an implementation to a free site.
+  /// Dispatches on the cell's storage mode: purely combinational cells use
+  /// the plain two-phase procedure; free-running-clock FFs add the
+  /// state-acquisition wait; gated-clock FFs and latches use the auxiliary
+  /// relocation circuit.
+  RelocationReport relocate_cell(place::Implementation& impl, int cell_index,
+                                 place::CellSite dest,
+                                 const RelocOptions& opt = {});
+
+  /// Relocates every cell of an implementation into `dest_region`
+  /// (cell-by-cell, the staged procedure of Sec. 3). Handles overlapping
+  /// source/destination regions via scratch sites.
+  FunctionRelocationReport relocate_function(place::Implementation& impl,
+                                             ClbRect dest_region,
+                                             const RelocOptions& opt = {});
+
+  /// Routing relocation (Fig. 5): moves one routed sink of a net onto a
+  /// fresh path avoiding `avoid` nodes/columns, parallel-then-disconnect.
+  RelocationReport relocate_route(fabric::NetId net, fabric::NodeId sink,
+                                  const RelocOptions& opt = {});
+
+  /// Sec. 3: rearrangement of the existing interconnections after CLB
+  /// relocations — reroutes every sink whose fresh shortest path would be
+  /// at least `min_gain` faster than its current (possibly
+  /// relocation-stretched) path, each via the parallel-then-disconnect
+  /// procedure. Running functions are never disturbed.
+  struct RouteOptimizationReport {
+    int sinks_considered = 0;
+    int sinks_rerouted = 0;
+    SimTime worst_delay_before = SimTime::zero();
+    SimTime worst_delay_after = SimTime::zero();
+    SimTime config_time = SimTime::zero();
+    int frames_written = 0;
+  };
+  RouteOptimizationReport optimize_function_routing(
+      place::Implementation& impl, const RelocOptions& opt = {},
+      SimTime min_gain = SimTime::ps(500));
+
+  config::ConfigController& controller() { return *controller_; }
+
+ private:
+  struct CellPorts;  // resolved nets around a cell
+
+  RelocationReport relocate_lut_ram_cell(place::Implementation& impl,
+                                         int cell_index, place::CellSite dest,
+                                         const RelocOptions& opt);
+  CellPorts discover_ports(place::CellSite site) const;
+  place::CellSite find_aux_site(place::CellSite near,
+                                const RelocOptions& opt) const;
+  void apply(const config::ConfigOp& op, RelocationReport& report,
+             const RelocOptions& opt,
+             const std::vector<fabric::NetId>& touched,
+             bool allow_lut_ram_columns = false);
+  void wait_cycles(int cycles, std::uint8_t domain, RelocationReport& report,
+                   const RelocOptions& opt);
+  void wait_time(SimTime t, RelocationReport& report);
+  std::set<int> lut_ram_columns() const;
+
+  fabric::Fabric& fabric() { return controller_->fabric(); }
+  const fabric::Fabric& fabric() const { return controller_->fabric(); }
+
+  config::ConfigController* controller_;
+  place::Router* router_;
+  sim::FabricSim* sim_;
+};
+
+}  // namespace relogic::reloc

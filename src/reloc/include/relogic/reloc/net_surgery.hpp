@@ -1,0 +1,46 @@
+// Net surgery: computing the minimal edge sets to graft and prune when a
+// net's endpoints move.
+//
+// During a relocation a net temporarily carries both the original and the
+// replica endpoint (paralleled paths / paralleled sources, Figs. 2 and 5).
+// When the original is finally disconnected, exactly the edges that served
+// only the original must be removed — never an edge still carrying signal
+// to a surviving sink. These helpers compute those sets; they never touch
+// the fabric themselves (the relocation engine folds the results into
+// ConfigOps so the changes are charged to the configuration port).
+#pragma once
+
+#include <vector>
+
+#include "relogic/fabric/fabric.hpp"
+
+namespace relogic::reloc {
+
+/// Edges no longer needed once `dropped_sink` stops being a sink of `net`
+/// (every remaining sink stays reachable from every source).
+std::vector<fabric::RouteEdge> prune_for_sink_removal(
+    const fabric::Fabric& fabric, fabric::NetId net,
+    fabric::NodeId dropped_sink);
+
+/// Grouped form: edges freed when several sinks of the same net are
+/// dropped together. Must be used when branches may share segments —
+/// per-sink pruning would either leak the shared segment or, combined with
+/// blind edge removal, orphan a surviving branch.
+std::vector<fabric::RouteEdge> prune_for_sinks_removal(
+    const fabric::Fabric& fabric, fabric::NetId net,
+    const std::vector<fabric::NodeId>& dropped_sinks);
+
+/// Edges no longer needed once `dropped_source` stops driving `net`.
+std::vector<fabric::RouteEdge> prune_for_source_removal(
+    const fabric::Fabric& fabric, fabric::NetId net,
+    fabric::NodeId dropped_source);
+
+/// Edges of `net` that are kept when only `sources_keep` drive it and only
+/// `sinks_keep` consume it: an edge survives iff it lies on some
+/// source-to-sink path. Building block of the two functions above.
+std::vector<fabric::RouteEdge> needed_edges(
+    const fabric::Fabric& fabric, fabric::NetId net,
+    const std::vector<fabric::NodeId>& sources_keep,
+    const std::vector<fabric::NodeId>& sinks_keep);
+
+}  // namespace relogic::reloc

@@ -1,0 +1,94 @@
+#include "relogic/reloc/net_surgery.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace relogic::reloc {
+
+using fabric::NetId;
+using fabric::NodeId;
+using fabric::RouteEdge;
+
+std::vector<RouteEdge> needed_edges(const fabric::Fabric& fabric, NetId net,
+                                    const std::vector<NodeId>& sources_keep,
+                                    const std::vector<NodeId>& sinks_keep) {
+  const auto& tree = fabric.net(net);
+
+  std::unordered_map<NodeId, std::vector<NodeId>> fwd;
+  std::unordered_map<NodeId, std::vector<NodeId>> rev;
+  for (const auto& e : tree.edges) {
+    fwd[e.from].push_back(e.to);
+    rev[e.to].push_back(e.from);
+  }
+
+  auto reach = [](const std::unordered_map<NodeId, std::vector<NodeId>>& adj,
+                  const std::vector<NodeId>& seeds) {
+    std::unordered_set<NodeId> seen(seeds.begin(), seeds.end());
+    std::vector<NodeId> stack(seeds.begin(), seeds.end());
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      auto it = adj.find(n);
+      if (it == adj.end()) continue;
+      for (NodeId next : it->second) {
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return seen;
+  };
+
+  const auto from_sources = reach(fwd, sources_keep);
+  const auto to_sinks = reach(rev, sinks_keep);
+
+  std::vector<RouteEdge> kept;
+  kept.reserve(tree.edges.size());
+  for (const auto& e : tree.edges) {
+    if (from_sources.contains(e.from) && to_sinks.contains(e.to)) {
+      kept.push_back(e);
+    }
+  }
+  return kept;
+}
+
+namespace {
+std::vector<RouteEdge> complement(const fabric::RouteTree& tree,
+                                  const std::vector<RouteEdge>& kept) {
+  std::vector<RouteEdge> removed;
+  for (const auto& e : tree.edges) {
+    if (std::find(kept.begin(), kept.end(), e) == kept.end()) {
+      removed.push_back(e);
+    }
+  }
+  return removed;
+}
+}  // namespace
+
+std::vector<RouteEdge> prune_for_sink_removal(const fabric::Fabric& fabric,
+                                              NetId net,
+                                              NodeId dropped_sink) {
+  return prune_for_sinks_removal(fabric, net, {dropped_sink});
+}
+
+std::vector<RouteEdge> prune_for_sinks_removal(
+    const fabric::Fabric& fabric, NetId net,
+    const std::vector<NodeId>& dropped_sinks) {
+  const auto& tree = fabric.net(net);
+  std::vector<NodeId> sinks = fabric.net_sinks(net);
+  for (NodeId d : dropped_sinks) std::erase(sinks, d);
+  const auto kept = needed_edges(fabric, net, tree.sources, sinks);
+  return complement(tree, kept);
+}
+
+std::vector<RouteEdge> prune_for_source_removal(const fabric::Fabric& fabric,
+                                                NetId net,
+                                                NodeId dropped_source) {
+  const auto& tree = fabric.net(net);
+  std::vector<NodeId> sources = tree.sources;
+  std::erase(sources, dropped_source);
+  const auto kept =
+      needed_edges(fabric, net, sources, fabric.net_sinks(net));
+  return complement(tree, kept);
+}
+
+}  // namespace relogic::reloc

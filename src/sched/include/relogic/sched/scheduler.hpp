@@ -1,0 +1,116 @@
+// On-line run-time manager: schedules functions onto the FPGA area,
+// queueing or rearranging when fragmentation defeats a request.
+//
+// Three management policies are compared (the paper's contribution is the
+// third — the first two are the baselines it argues against):
+//
+//  * kNoRearrange — allocation failure queues the task until departures
+//    happen to open a large-enough hole (Sec. 1: unused small pools).
+//  * kHaltAndMove — rearrangement by stopping the functions to be moved,
+//    reconfiguring them at their new position and resuming (what [5]
+//    assumed: "no physical execution of these rearrangements is proposed
+//    other than halting those functions"). Moved tasks accrue downtime.
+//  * kTransparent — the paper's dynamic relocation: moves cost
+//    configuration-port time only; running functions never stop.
+//
+// The scheduler is a discrete-event simulation at area granularity; all
+// configuration and relocation times come from the Boundary-Scan /
+// SelectMAP port models via RelocationCostModel, so its numbers are
+// consistent with the fabric-level engine benchmarks.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "relogic/area/defrag.hpp"
+#include "relogic/area/manager.hpp"
+#include "relogic/reloc/cost.hpp"
+#include "relogic/sched/workload.hpp"
+
+namespace relogic::sched {
+
+enum class ManagementPolicy { kNoRearrange, kHaltAndMove, kTransparent };
+
+std::string to_string(ManagementPolicy p);
+
+struct SchedulerConfig {
+  ManagementPolicy policy = ManagementPolicy::kTransparent;
+  area::PlacePolicy placement = area::PlacePolicy::kBottomLeft;
+  area::DefragOptions defrag;
+  /// Configure the next function of an application while its predecessor
+  /// still runs (the rt interval of Fig. 1).
+  bool prefetch = true;
+  /// A queued task older than this is counted as rejected and dropped
+  /// (never() = wait forever).
+  SimTime max_wait = SimTime::never();
+  /// Rearrangement cost gate: a plan is executed only if its total
+  /// configuration-port cost does not exceed this fraction of the
+  /// requesting task's duration (otherwise moving costs more than the
+  /// task is worth; the request queues instead). <= 0 disables the gate.
+  double max_move_cost_fraction = 0.5;
+  /// Proactive defragmentation (DESIGN.md §6.3): after a departure, if
+  /// fragmentation exceeds this threshold, compact toward one free
+  /// rectangle using idle port time (bounded by defrag.max_moves).
+  /// <= 0 disables proactive mode (rearrangement happens on demand only).
+  double proactive_frag_threshold = 0.0;
+};
+
+struct TaskRecord {
+  std::string name;
+  int clbs = 0;
+  SimTime ready = SimTime::zero();     ///< became eligible to configure
+  /// Earliest moment execution could have begun (for chained functions:
+  /// the predecessor's end; prefetching earlier does not count as delay).
+  SimTime eligible = SimTime::zero();
+  SimTime config_start = SimTime::zero();
+  SimTime run_start = SimTime::zero();  ///< execution actually began
+  SimTime finish = SimTime::zero();
+  SimTime halted = SimTime::zero();     ///< downtime from halt-and-move
+  bool rejected = false;
+
+  /// Queueing + rearrangement + configuration delay before execution.
+  SimTime allocation_delay() const { return run_start - eligible; }
+};
+
+struct RunStats {
+  std::vector<TaskRecord> tasks;
+  SimTime makespan = SimTime::zero();
+  SimTime config_port_busy = SimTime::zero();
+  SimTime total_halted = SimTime::zero();
+  int rearrangement_moves = 0;
+  int moved_clbs = 0;
+  int rejected = 0;
+  double utilization_avg = 0.0;   ///< time-weighted mean CLB occupancy
+  double fragmentation_avg = 0.0; ///< time-weighted mean fragmentation
+  double fragmentation_max = 0.0;
+
+  double avg_allocation_delay_ms() const;
+  double max_allocation_delay_ms() const;
+  double avg_turnaround_ms() const;
+};
+
+class Scheduler {
+ public:
+  Scheduler(int rows, int cols, reloc::RelocationCostModel cost,
+            SchedulerConfig config);
+
+  /// Independent one-shot tasks (defragmentation experiments).
+  RunStats run_tasks(const std::vector<TaskArrival>& tasks);
+
+  /// Applications as function chains (Fig. 1). `overlap` is the degree of
+  /// parallelism within one application: how many of its consecutive
+  /// functions may be resident simultaneously (1 = strictly sequential
+  /// swapping, higher values demand more area at once).
+  RunStats run_apps(const std::vector<AppSpec>& apps, int overlap = 1);
+
+ private:
+  int rows_;
+  int cols_;
+  reloc::RelocationCostModel cost_;
+  SchedulerConfig cfg_;
+};
+
+}  // namespace relogic::sched

@@ -1,0 +1,61 @@
+// Workloads for the run-time manager: applications as sequences of
+// functions sharing the FPGA in the spatial and temporal domains (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relogic/common/rng.hpp"
+#include "relogic/common/time.hpp"
+#include "relogic/fabric/cell.hpp"
+
+namespace relogic::sched {
+
+/// One function to be configured and executed on the fabric.
+struct FunctionSpec {
+  std::string name;
+  int height = 1;  ///< CLB rows
+  int width = 1;   ///< CLB cols
+  /// Execution time once running.
+  SimTime duration = SimTime::ms(1);
+  /// Storage style — determines relocation cost if the manager moves it.
+  fabric::RegMode reg = fabric::RegMode::kFF;
+  bool gated_clock = false;
+
+  int clbs() const { return height * width; }
+  int cells() const { return clbs() * 4; }
+};
+
+/// An application: functions executed in sequence (possibly overlapping by
+/// `parallelism` — the number of its functions that may run concurrently).
+struct AppSpec {
+  std::string name;
+  std::vector<FunctionSpec> functions;
+  SimTime start = SimTime::zero();
+};
+
+/// One-shot task arrivals (for the defragmentation experiments).
+struct TaskArrival {
+  FunctionSpec fn;
+  SimTime arrival = SimTime::zero();
+};
+
+/// The Fig. 1 scenario: three applications (A: 2 functions, B: 2, C: 4)
+/// sharing the device, with function C2 needing a rearrangement.
+std::vector<AppSpec> fig1_applications(int scale_clbs = 6);
+
+/// Random on-line task set: Poisson arrivals, geometric-ish sizes and
+/// exponential durations. Deterministic by seed.
+struct RandomTaskParams {
+  int task_count = 200;
+  double mean_interarrival_ms = 2.0;
+  int min_side = 2;
+  int max_side = 10;
+  double mean_duration_ms = 20.0;
+  double gated_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+std::vector<TaskArrival> random_tasks(const RandomTaskParams& params);
+
+}  // namespace relogic::sched

@@ -1,0 +1,440 @@
+#include "relogic/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "relogic/common/logging.hpp"
+
+namespace relogic::sched {
+
+std::string to_string(ManagementPolicy p) {
+  switch (p) {
+    case ManagementPolicy::kNoRearrange:
+      return "no-rearrangement";
+    case ManagementPolicy::kHaltAndMove:
+      return "halt-and-move";
+    case ManagementPolicy::kTransparent:
+      return "transparent-relocation";
+  }
+  return "?";
+}
+
+double RunStats::avg_allocation_delay_ms() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& t : tasks) {
+    if (t.rejected) continue;
+    sum += t.allocation_delay().milliseconds();
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+double RunStats::max_allocation_delay_ms() const {
+  double mx = 0;
+  for (const auto& t : tasks) {
+    if (!t.rejected) mx = std::max(mx, t.allocation_delay().milliseconds());
+  }
+  return mx;
+}
+
+double RunStats::avg_turnaround_ms() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& t : tasks) {
+    if (t.rejected) continue;
+    sum += (t.finish - t.ready).milliseconds();
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+namespace {
+
+struct Job {
+  int id = 0;
+  FunctionSpec fn;
+  SimTime ready = SimTime::zero();
+  // Chain bookkeeping (run_apps): this job may not *run* before pred_end,
+  // but may be configured earlier (prefetch).
+  std::optional<int> predecessor;
+  int app = -1;
+  int index_in_app = -1;
+
+  // runtime state
+  area::RegionId region = area::kNoRegion;
+  SimTime config_start = SimTime::zero();
+  SimTime config_done = SimTime::zero();
+  SimTime run_start = SimTime::zero();
+  SimTime end = SimTime::zero();
+  SimTime halted = SimTime::zero();
+  bool running = false;
+  bool done = false;
+  bool rejected = false;
+  bool placed = false;
+  int end_version = 0;
+};
+
+enum class EvKind { kReady, kConfigDone, kRunBegin, kEnd };
+
+struct Ev {
+  SimTime time;
+  std::uint64_t seq;
+  EvKind kind;
+  int job;
+  int version = 0;
+  bool operator>(const Ev& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+};
+
+/// The whole discrete-event run, shared by run_tasks and run_apps.
+class Engine {
+ public:
+  Engine(int rows, int cols, const reloc::RelocationCostModel& cost,
+         const SchedulerConfig& cfg)
+      : mgr_(rows, cols), cost_(&cost), cfg_(&cfg) {}
+
+  std::vector<Job> jobs;
+  /// Jobs whose readiness is triggered by another job's end (prefetch
+  /// windows in application chains): trigger job id -> dependent job id.
+  std::multimap<int, int> ready_after;
+
+  RunStats run() {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].ready == SimTime::never()) continue;  // chained readiness
+      push(Ev{jobs[i].ready, seq_++, EvKind::kReady, static_cast<int>(i)});
+    }
+    while (!queue_.empty()) {
+      const Ev ev = queue_.top();
+      queue_.pop();
+      advance_to(ev.time);
+      dispatch(ev);
+    }
+    finalize();
+    return std::move(stats_);
+  }
+
+ private:
+  void push(Ev e) { queue_.push(e); }
+
+  void advance_to(SimTime t) {
+    if (t > now_) {
+      const double dt = (t - now_).milliseconds();
+      util_integral_ += mgr_.utilization() * dt;
+      frag_integral_ += mgr_.fragmentation() * dt;
+      elapsed_ms_ += dt;
+      now_ = t;
+    }
+    stats_.fragmentation_max =
+        std::max(stats_.fragmentation_max, mgr_.fragmentation());
+  }
+
+  void dispatch(const Ev& ev) {
+    Job& job = jobs[static_cast<std::size_t>(ev.job)];
+    switch (ev.kind) {
+      case EvKind::kReady:
+        try_start(job);
+        break;
+      case EvKind::kConfigDone:
+        on_config_done(job);
+        break;
+      case EvKind::kRunBegin:
+        begin_run(job);
+        break;
+      case EvKind::kEnd:
+        if (ev.version == job.end_version) on_end(job);
+        break;
+    }
+  }
+
+  void try_start(Job& job) {
+    if (job.placed || job.done || job.rejected) return;
+    if (job.fn.height > mgr_.rows() || job.fn.width > mgr_.cols()) {
+      job.rejected = true;
+      return;
+    }
+    // Expired waiters are rejected.
+    if (cfg_->max_wait != SimTime::never() &&
+        now_ - job.ready > cfg_->max_wait) {
+      job.rejected = true;
+      return;
+    }
+
+    auto slot = mgr_.find_free_rect(job.fn.height, job.fn.width,
+                                    cfg_->placement);
+    if (!slot && cfg_->policy != ManagementPolicy::kNoRearrange) {
+      const auto plan =
+          area::plan_for_request(mgr_, job.fn.height, job.fn.width,
+                                 cfg_->defrag);
+      if (plan && plan_affordable(*plan, job)) {
+        execute_moves(*plan);
+        slot = plan->request_slot;
+      }
+    }
+    if (!slot) {
+      waiting_.push_back(job.id);
+      return;
+    }
+
+    job.region = mgr_.allocate_at(job.fn.name, *slot);
+    job.placed = true;
+    region_job_[job.region] = job.id;
+
+    job.config_start = std::max(now_, port_free_at_);
+    job.config_done = job.config_start + cost_->configure_time(job.fn.cells());
+    port_free_at_ = job.config_done;
+    stats_.config_port_busy += job.config_done - job.config_start;
+    push(Ev{job.config_done, seq_++, EvKind::kConfigDone, job.id});
+  }
+
+  void on_config_done(Job& job) {
+    // Execution begins once the predecessor (if any) has finished.
+    SimTime start = now_;
+    if (job.predecessor) {
+      const Job& pred = jobs[static_cast<std::size_t>(*job.predecessor)];
+      if (!pred.done) {
+        pending_run_.emplace(*job.predecessor, job.id);
+        return;
+      }
+      start = std::max(start, pred.end);
+    }
+    push(Ev{start, seq_++, EvKind::kRunBegin, job.id});
+  }
+
+  void begin_run(Job& job) {
+    job.run_start = now_;
+    job.running = true;
+    job.end = now_ + job.fn.duration;
+    push(Ev{job.end, seq_++, EvKind::kEnd, job.id, job.end_version});
+  }
+
+  void on_end(Job& job) {
+    job.running = false;
+    job.done = true;
+    job.end = now_;
+    mgr_.release(job.region);
+    region_job_.erase(job.region);
+
+    // Successor may begin (it might still be configuring; kConfigDone
+    // handles the synchronisation in that case).
+    auto range = pending_run_.equal_range(job.id);
+    for (auto it = range.first; it != range.second; ++it) {
+      push(Ev{now_, seq_++, EvKind::kRunBegin, it->second});
+    }
+    pending_run_.erase(range.first, range.second);
+
+    // Chained readiness (prefetch windows).
+    auto ready_range = ready_after.equal_range(job.id);
+    for (auto it = ready_range.first; it != ready_range.second; ++it) {
+      Job& dep = jobs[static_cast<std::size_t>(it->second)];
+      dep.ready = now_;
+      push(Ev{now_, seq_++, EvKind::kReady, it->second});
+    }
+    ready_after.erase(ready_range.first, ready_range.second);
+
+    maybe_proactive_defrag();
+    retry_waiting();
+  }
+
+  void maybe_proactive_defrag() {
+    if (cfg_->proactive_frag_threshold <= 0 ||
+        cfg_->policy == ManagementPolicy::kNoRearrange)
+      return;
+    if (mgr_.fragmentation() <= cfg_->proactive_frag_threshold) return;
+    // Only spend idle port time: skip if the port is already backed up.
+    if (port_free_at_ > now_) return;
+    auto plan = area::plan_full_compaction(mgr_);
+    if (!plan) return;
+    if (static_cast<int>(plan->moves.size()) > cfg_->defrag.max_moves) {
+      plan->moves.resize(static_cast<std::size_t>(cfg_->defrag.max_moves));
+      // A truncated compaction is still executable: moves were ordered to
+      // be sequentially legal, prefixes included — but only apply moves
+      // whose destinations are free after truncation.
+      std::vector<area::Move> ok_moves;
+      for (const auto& mv : plan->moves) {
+        if (mgr_.can_move(mv.region, mv.to)) {
+          ok_moves.push_back(mv);
+          mgr_.move(mv.region, mv.to);
+        }
+      }
+      // Roll the bookkeeping back; execute_moves re-applies with costs.
+      for (auto it = ok_moves.rbegin(); it != ok_moves.rend(); ++it) {
+        mgr_.move(it->region, it->from);
+      }
+      plan->moves = std::move(ok_moves);
+    }
+    if (plan->moves.empty()) return;
+    execute_moves(*plan);
+  }
+
+  void retry_waiting() {
+    // FIFO retry; tasks that still do not fit go back to the queue.
+    std::deque<int> again;
+    std::swap(again, waiting_);
+    for (int id : again) {
+      Job& job = jobs[static_cast<std::size_t>(id)];
+      if (!job.placed && !job.done && !job.rejected) try_start(job);
+    }
+  }
+
+  SimTime move_cost(const area::Move& mv) const {
+    auto it = region_job_.find(mv.region);
+    RELOGIC_CHECK_MSG(it != region_job_.end(), "plan moves an unknown region");
+    const Job& victim = jobs[static_cast<std::size_t>(it->second)];
+    return cost_->function_time(victim.fn.cells(), victim.fn.reg,
+                                victim.fn.gated_clock);
+  }
+
+  /// Cost gate: rearranging must not cost more port time than a fraction
+  /// of the requesting task's own execution (otherwise waiting is cheaper
+  /// for everyone; the unconstrained variant is measured as an ablation).
+  bool plan_affordable(const area::DefragPlan& plan, const Job& job) const {
+    if (cfg_->max_move_cost_fraction <= 0) return true;
+    SimTime total = SimTime::zero();
+    for (const auto& mv : plan.moves) total += move_cost(mv);
+    const double budget_ms =
+        job.fn.duration.milliseconds() * cfg_->max_move_cost_fraction;
+    return total.milliseconds() <= budget_ms;
+  }
+
+  void execute_moves(const area::DefragPlan& plan) {
+    for (const auto& mv : plan.moves) {
+      auto it = region_job_.find(mv.region);
+      RELOGIC_CHECK_MSG(it != region_job_.end(),
+                        "plan moves an unknown region");
+      Job& victim = jobs[static_cast<std::size_t>(it->second)];
+
+      const SimTime start = std::max(now_, port_free_at_);
+      const SimTime cost = move_cost(mv);
+      const SimTime done = start + cost;
+      port_free_at_ = done;
+      stats_.config_port_busy += cost;
+      ++stats_.rearrangement_moves;
+      stats_.moved_clbs += mv.from.area();
+
+      mgr_.move(mv.region, mv.to);
+
+      if (cfg_->policy == ManagementPolicy::kHaltAndMove && victim.running) {
+        // The victim is stopped while it is being moved: its remaining
+        // execution shifts by the move duration.
+        victim.halted += cost;
+        stats_.total_halted += cost;
+        victim.end += cost;
+        ++victim.end_version;
+        push(Ev{victim.end, seq_++, EvKind::kEnd, victim.id,
+                victim.end_version});
+      }
+      // Transparent relocation: zero time overhead for the running
+      // function — only the configuration port was busy.
+    }
+  }
+
+  void finalize() {
+    stats_.makespan = now_;
+    if (elapsed_ms_ > 0) {
+      stats_.utilization_avg = util_integral_ / elapsed_ms_;
+      stats_.fragmentation_avg = frag_integral_ / elapsed_ms_;
+    }
+    for (const Job& job : jobs) {
+      TaskRecord r;
+      r.name = job.fn.name;
+      r.clbs = job.fn.clbs();
+      r.ready = job.ready;
+      r.eligible = job.ready;
+      if (job.predecessor) {
+        const Job& pred = jobs[static_cast<std::size_t>(*job.predecessor)];
+        if (pred.done) r.eligible = std::max(job.ready, pred.end);
+      }
+      r.config_start = job.config_start;
+      r.run_start = job.run_start;
+      r.finish = job.end;
+      r.halted = job.halted;
+      r.rejected = job.rejected || (!job.done && !job.placed);
+      if (r.rejected) ++stats_.rejected;
+      stats_.tasks.push_back(r);
+    }
+  }
+
+  area::AreaManager mgr_;
+  const reloc::RelocationCostModel* cost_;
+  const SchedulerConfig* cfg_;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+  SimTime now_ = SimTime::zero();
+  SimTime port_free_at_ = SimTime::zero();
+  std::deque<int> waiting_;
+  std::map<area::RegionId, int> region_job_;
+  std::multimap<int, int> pending_run_;  // predecessor job -> successor job
+  RunStats stats_;
+  double util_integral_ = 0.0;
+  double frag_integral_ = 0.0;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace
+
+Scheduler::Scheduler(int rows, int cols, reloc::RelocationCostModel cost,
+                     SchedulerConfig config)
+    : rows_(rows), cols_(cols), cost_(std::move(cost)), cfg_(std::move(config)) {
+  RELOGIC_CHECK(rows_ >= 1 && cols_ >= 1);
+}
+
+RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
+  Engine engine(rows_, cols_, cost_, cfg_);
+  engine.jobs.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Job j;
+    j.id = static_cast<int>(i);
+    j.fn = tasks[i].fn;
+    j.ready = tasks[i].arrival;
+    engine.jobs.push_back(std::move(j));
+  }
+  return engine.run();
+}
+
+RunStats Scheduler::run_apps(const std::vector<AppSpec>& apps, int overlap) {
+  RELOGIC_CHECK(overlap >= 1);
+  Engine engine(rows_, cols_, cost_, cfg_);
+  int id = 0;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const AppSpec& app = apps[a];
+    int first_of_app = id;
+    for (std::size_t f = 0; f < app.functions.size(); ++f) {
+      Job j;
+      j.id = id;
+      j.fn = app.functions[f];
+      j.app = static_cast<int>(a);
+      j.index_in_app = static_cast<int>(f);
+      if (f > 0) j.predecessor = id - 1;
+      // Readiness (= when it may start being configured): with prefetch the
+      // function is eligible `overlap` positions ahead of the chain; the
+      // run itself still waits for the predecessor's end.
+      if (f == 0) {
+        j.ready = app.start;
+      } else if (cfg_.prefetch) {
+        // Ready to configure when its (f - overlap)-th ancestor ends; with
+        // overlap >= f it is ready at application start. The execution
+        // order itself is enforced through `predecessor` regardless —
+        // early readiness only permits configuring in advance (the rt
+        // interval of Fig. 1).
+        const int ancestor = static_cast<int>(f) - overlap;
+        if (ancestor < 0) {
+          j.ready = app.start;
+        } else {
+          j.ready = SimTime::never();
+          engine.ready_after.emplace(first_of_app + ancestor, id);
+        }
+      } else {
+        j.ready = SimTime::never();
+        engine.ready_after.emplace(id - 1, id);
+      }
+      engine.jobs.push_back(std::move(j));
+      ++id;
+    }
+  }
+  return engine.run();
+}
+
+}  // namespace relogic::sched

@@ -1,0 +1,57 @@
+#include "relogic/sched/workload.hpp"
+
+#include "relogic/common/error.hpp"
+
+namespace relogic::sched {
+
+std::vector<AppSpec> fig1_applications(int scale_clbs) {
+  const int s = scale_clbs;
+  auto fn = [&](std::string name, int h, int w, double ms) {
+    FunctionSpec f;
+    f.name = std::move(name);
+    f.height = h;
+    f.width = w;
+    f.duration = SimTime::ps(static_cast<std::int64_t>(ms * 1e9));
+    return f;
+  };
+  std::vector<AppSpec> apps;
+  apps.push_back(AppSpec{
+      "A", {fn("A1", s, s + 2, 24.0), fn("A2", s, s + 1, 30.0)},
+      SimTime::zero()});
+  apps.push_back(AppSpec{
+      "B", {fn("B1", s + 1, s, 36.0), fn("B2", s - 1, s, 26.0)},
+      SimTime::ms(2)});
+  apps.push_back(AppSpec{"C",
+                         {fn("C1", s - 1, s - 1, 14.0),
+                          fn("C2", s + 2, s, 18.0),
+                          fn("C3", s - 2, s - 1, 12.0),
+                          fn("C4", s, s - 1, 16.0)},
+                         SimTime::ms(4)});
+  return apps;
+}
+
+std::vector<TaskArrival> random_tasks(const RandomTaskParams& p) {
+  RELOGIC_CHECK(p.task_count >= 1 && p.min_side >= 1 &&
+                p.max_side >= p.min_side);
+  Rng rng(p.seed);
+  std::vector<TaskArrival> tasks;
+  tasks.reserve(static_cast<std::size_t>(p.task_count));
+  double now_ms = 0.0;
+  for (int i = 0; i < p.task_count; ++i) {
+    now_ms += rng.next_exponential(p.mean_interarrival_ms);
+    FunctionSpec f;
+    f.name = "t" + std::to_string(i);
+    f.height = rng.next_skewed(p.min_side, p.max_side);
+    f.width = rng.next_skewed(p.min_side, p.max_side);
+    f.duration = SimTime::ps(static_cast<std::int64_t>(
+        rng.next_exponential(p.mean_duration_ms) * 1e9));
+    if (f.duration < SimTime::ms(1)) f.duration = SimTime::ms(1);
+    f.gated_clock = rng.next_bool(p.gated_fraction);
+    f.reg = fabric::RegMode::kFF;
+    tasks.push_back(TaskArrival{f, SimTime::ps(static_cast<std::int64_t>(
+                                       now_ms * 1e9))});
+  }
+  return tasks;
+}
+
+}  // namespace relogic::sched

@@ -1,0 +1,170 @@
+// FabricSim: event-driven logic simulation of the configured fabric.
+//
+// The simulator executes whatever the Fabric currently describes — it
+// subscribes as a FabricListener, so partial reconfiguration performed
+// *while the simulation runs* (the whole point of the paper) is picked up
+// incrementally:
+//
+//  * identical rewrites never reach the simulator (Fabric suppresses them),
+//    reproducing the device property that rewriting the same configuration
+//    data generates no transients;
+//  * a net change re-propagates the net's current source value to every
+//    sink with the routed path delay — a newly paralleled replica path
+//    therefore exhibits exactly the Fig. 6 behaviour (the sink settles
+//    after the longer of the two delays);
+//  * a newly configured cell initialises its storage element to the
+//    configured init value and evaluates from its currently-routed inputs.
+//
+// Timing model: LUTs have a lumped input-to-X delay, storage elements a
+// clock-to-XQ delay, and each routed sink its path delay from the
+// DelayModel (max over paralleled paths). Evaluation on delivery gives
+// inertial-delay semantics: pulses shorter than the LUT delay are absorbed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "relogic/common/time.hpp"
+#include "relogic/fabric/fabric.hpp"
+#include "relogic/sim/monitor.hpp"
+
+namespace relogic::sim {
+
+struct ClockSpec {
+  std::uint8_t domain = 0;
+  SimTime period = SimTime::ns(100);  ///< 10 MHz user clock by default
+  SimTime first_edge = SimTime::ns(100);
+};
+
+class FabricSim final : public fabric::FabricListener {
+ public:
+  FabricSim(fabric::Fabric& fabric, const fabric::DelayModel& dm);
+  ~FabricSim() override;
+
+  FabricSim(const FabricSim&) = delete;
+  FabricSim& operator=(const FabricSim&) = delete;
+
+  // ---- clocks -------------------------------------------------------------
+  void add_clock(ClockSpec spec);
+  /// True if a clock generator exists for the domain.
+  bool has_clock(std::uint8_t domain) const;
+  /// Time of the next rising edge of a domain at or after `from`.
+  SimTime next_edge(std::uint8_t domain, SimTime from) const;
+  SimTime clock_period(std::uint8_t domain) const;
+  /// Rising edges of a domain processed so far. Lets a harness catch its
+  /// golden model up across reconfiguration intervals, during which the
+  /// fabric keeps clocking (the application never stops).
+  std::int64_t edges_seen(std::uint8_t domain) const;
+
+  /// Gates a clock domain (the stop-the-system case of the paper's Sec. 2:
+  /// LUT-RAM relocation requires halting to guarantee data coherency).
+  /// While halted, the domain's FFs do not capture and its edges are not
+  /// counted; other domains keep running.
+  void set_clock_running(std::uint8_t domain, bool running);
+  bool clock_running(std::uint8_t domain) const;
+
+  // ---- external stimulus ----------------------------------------------------
+  /// Drives an input pad to a value (takes effect at current time).
+  void drive_pad(fabric::NodeId pad, bool value);
+  /// Current value observed at any pad (input or output).
+  bool pad_value(fabric::NodeId pad) const;
+
+  // ---- execution ------------------------------------------------------------
+  SimTime now() const { return now_; }
+  /// Processes events up to and including time `t`; advances now() to `t`.
+  void run_until(SimTime t);
+  /// Runs past the next `n` rising edges of domain plus a settle margin.
+  void run_cycles(int n, std::uint8_t domain = 0);
+
+  // ---- observation ----------------------------------------------------------
+  /// Storage-element (XQ) value of a cell site.
+  bool state_of(ClbCoord clb, int cell) const;
+  /// Combinational (X) value of a cell site.
+  bool comb_of(ClbCoord clb, int cell) const;
+  /// Current value seen at a cell input pin.
+  bool pin_of(ClbCoord clb, int cell, fabric::CellPort port) const;
+  /// Current logic value on a net (value at its first source pin).
+  bool net_value(fabric::NetId net) const;
+
+  GlitchMonitor& monitor() { return monitor_; }
+  const GlitchMonitor& monitor() const { return monitor_; }
+
+  /// Checks that every multi-source net's sources currently agree; records
+  /// kDriveConflict violations. Invoked automatically at each clock edge.
+  void check_drive_coherence();
+
+  std::int64_t events_processed() const { return events_processed_; }
+
+  // ---- FabricListener --------------------------------------------------------
+  void on_cell_changed(ClbCoord clb, int cell,
+                       const fabric::LogicCellConfig& before,
+                       const fabric::LogicCellConfig& after) override;
+  void on_net_changed(fabric::NetId net) override;
+
+ private:
+  enum class EventKind : std::uint8_t { kPinSet, kEval, kClockEdge, kQSet };
+  struct Event {
+    SimTime time;
+    std::uint64_t seq = 0;
+    EventKind kind;
+    fabric::NodeId node = fabric::kInvalidNode;  // kPinSet target
+    std::int32_t site = -1;                      // kEval / kQSet
+    bool value = false;
+    std::uint8_t domain = 0;  // kClockEdge
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct NetCache {
+    std::vector<fabric::NodeId> sources;
+    std::vector<std::pair<fabric::NodeId, SimTime>> sinks;  // max path delay
+  };
+
+  int site_index(ClbCoord clb, int cell) const;
+  ClbCoord site_clb(int site) const;
+  int site_cell(int site) const;
+
+  void schedule(Event e);
+  void process(const Event& e);
+  void do_pin_set(fabric::NodeId node, bool value, SimTime t);
+  void do_eval(int site, SimTime t);
+  void do_q_set(int site, bool value, SimTime t);
+  void do_clock_edge(std::uint8_t domain, SimTime t);
+  /// Propagates the value of an output pin to all sinks of its nets.
+  void propagate_pin(fabric::NodeId pin, bool value, SimTime t);
+  void rebuild_net_cache(fabric::NetId net);
+  bool source_pin_value(fabric::NodeId pin) const;
+  unsigned lut_input_vector(int site) const;
+
+  fabric::Fabric* fabric_;
+  const fabric::DelayModel* dm_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t seq_ = 0;
+  std::int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+
+  // Dense per-site state (4 cells per CLB).
+  std::vector<std::array<bool, 6>> pin_val_;  // I0..I3, CE, BX
+  std::vector<bool> x_val_;
+  std::vector<bool> q_val_;
+
+  std::unordered_map<fabric::NodeId, bool> pad_val_;
+  std::unordered_map<fabric::NodeId, bool> pad_driven_;  // externally driven
+
+  std::vector<NetCache> net_cache_;  // by net id
+  std::unordered_map<fabric::NodeId, std::vector<fabric::NetId>> nets_of_pin_;
+
+  std::vector<ClockSpec> clocks_;
+  std::unordered_map<std::uint8_t, std::int64_t> edges_seen_;
+  std::unordered_map<std::uint8_t, bool> clock_halted_;
+  GlitchMonitor monitor_;
+};
+
+}  // namespace relogic::sim

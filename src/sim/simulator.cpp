@@ -1,0 +1,468 @@
+#include "relogic/sim/simulator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "relogic/common/logging.hpp"
+
+namespace relogic::sim {
+
+using fabric::NetId;
+using fabric::NodeId;
+using fabric::NodeKind;
+
+FabricSim::FabricSim(fabric::Fabric& fabric, const fabric::DelayModel& dm)
+    : fabric_(&fabric), dm_(&dm) {
+  const auto& geom = fabric_->geometry();
+  const std::size_t sites =
+      static_cast<std::size_t>(geom.clb_count()) * geom.cells_per_clb;
+  pin_val_.assign(sites, {false, false, false, false, false, false});
+  x_val_.assign(sites, false);
+  q_val_.assign(sites, false);
+
+  fabric_->add_listener(this);
+
+  // Adopt whatever is already configured.
+  for (int r = 0; r < geom.clb_rows; ++r) {
+    for (int c = 0; c < geom.clb_cols; ++c) {
+      const ClbCoord clb{r, c};
+      for (int k = 0; k < geom.cells_per_clb; ++k) {
+        const auto& cfg = fabric_->cell(clb, k);
+        if (!cfg.used) continue;
+        const int site = site_index(clb, k);
+        q_val_[static_cast<std::size_t>(site)] = cfg.init;
+        schedule(Event{now_ + dm_->lut_delay, ++seq_, EventKind::kEval,
+                       fabric::kInvalidNode, site, false, 0});
+      }
+    }
+  }
+  for (NetId n : fabric_->live_nets()) on_net_changed(n);
+}
+
+FabricSim::~FabricSim() { fabric_->remove_listener(this); }
+
+int FabricSim::site_index(ClbCoord clb, int cell) const {
+  const auto& geom = fabric_->geometry();
+  return (clb.row * geom.clb_cols + clb.col) * geom.cells_per_clb + cell;
+}
+
+ClbCoord FabricSim::site_clb(int site) const {
+  const auto& geom = fabric_->geometry();
+  const int clb_index = site / geom.cells_per_clb;
+  return ClbCoord{clb_index / geom.clb_cols, clb_index % geom.clb_cols};
+}
+
+int FabricSim::site_cell(int site) const {
+  return site % fabric_->geometry().cells_per_clb;
+}
+
+void FabricSim::add_clock(ClockSpec spec) {
+  RELOGIC_CHECK(spec.period > SimTime::zero());
+  for (const auto& c : clocks_) {
+    RELOGIC_CHECK_MSG(c.domain != spec.domain, "clock domain already defined");
+  }
+  clocks_.push_back(spec);
+  SimTime first = spec.first_edge;
+  while (first < now_) first += spec.period;
+  schedule(Event{first, ++seq_, EventKind::kClockEdge, fabric::kInvalidNode,
+                 -1, false, spec.domain});
+}
+
+bool FabricSim::has_clock(std::uint8_t domain) const {
+  for (const auto& c : clocks_) {
+    if (c.domain == domain) return true;
+  }
+  return false;
+}
+
+SimTime FabricSim::clock_period(std::uint8_t domain) const {
+  for (const auto& c : clocks_) {
+    if (c.domain == domain) return c.period;
+  }
+  throw ContractError("no clock defined for domain " + std::to_string(domain));
+}
+
+SimTime FabricSim::next_edge(std::uint8_t domain, SimTime from) const {
+  for (const auto& c : clocks_) {
+    if (c.domain != domain) continue;
+    if (from <= c.first_edge) return c.first_edge;
+    const std::int64_t k =
+        (from - c.first_edge).picoseconds() / c.period.picoseconds();
+    SimTime t = c.first_edge + c.period * k;
+    if (t < from) t += c.period;
+    return t;
+  }
+  throw ContractError("no clock defined for domain " + std::to_string(domain));
+}
+
+void FabricSim::drive_pad(NodeId pad, bool value) {
+  RELOGIC_CHECK(fabric_->graph().info(pad).kind == NodeKind::kPad);
+  pad_driven_[pad] = true;
+  auto it = pad_val_.find(pad);
+  if (it != pad_val_.end() && it->second == value) return;
+  pad_val_[pad] = value;
+  monitor_.record_transition(pad, now_);
+  propagate_pin(pad, value, now_);
+}
+
+bool FabricSim::pad_value(NodeId pad) const {
+  auto it = pad_val_.find(pad);
+  return it != pad_val_.end() && it->second;
+}
+
+void FabricSim::run_until(SimTime t) {
+  RELOGIC_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    const Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    process(e);
+    ++events_processed_;
+  }
+  now_ = t;
+}
+
+void FabricSim::run_cycles(int n, std::uint8_t domain) {
+  RELOGIC_CHECK(n >= 0);
+  SimTime t = now_;
+  for (int i = 0; i < n; ++i) t = next_edge(domain, t + SimTime::ps(1));
+  run_until(t + clock_period(domain) / 4);
+}
+
+bool FabricSim::state_of(ClbCoord clb, int cell) const {
+  return q_val_[static_cast<std::size_t>(
+      (clb.row * fabric_->geometry().clb_cols + clb.col) *
+          fabric_->geometry().cells_per_clb +
+      cell)];
+}
+
+bool FabricSim::comb_of(ClbCoord clb, int cell) const {
+  return x_val_[static_cast<std::size_t>(
+      (clb.row * fabric_->geometry().clb_cols + clb.col) *
+          fabric_->geometry().cells_per_clb +
+      cell)];
+}
+
+bool FabricSim::pin_of(ClbCoord clb, int cell, fabric::CellPort port) const {
+  const int site =
+      (clb.row * fabric_->geometry().clb_cols + clb.col) *
+          fabric_->geometry().cells_per_clb +
+      cell;
+  return pin_val_[static_cast<std::size_t>(site)]
+                 [static_cast<std::size_t>(port)];
+}
+
+bool FabricSim::net_value(NetId net) const {
+  const auto& tree = fabric_->net(net);
+  RELOGIC_CHECK_MSG(!tree.sources.empty(), "net has no source");
+  return source_pin_value(tree.sources.front());
+}
+
+bool FabricSim::source_pin_value(NodeId pin) const {
+  const auto info = fabric_->graph().info(pin);
+  switch (info.kind) {
+    case NodeKind::kOutPin: {
+      const int site = site_index(info.tile, info.a);
+      return info.b ? q_val_[static_cast<std::size_t>(site)]
+                    : x_val_[static_cast<std::size_t>(site)];
+    }
+    case NodeKind::kPad: {
+      auto it = pad_val_.find(pin);
+      return it != pad_val_.end() && it->second;
+    }
+    default:
+      throw ContractError("node is not a net source: " + info.to_string());
+  }
+}
+
+unsigned FabricSim::lut_input_vector(int site) const {
+  const auto& pins = pin_val_[static_cast<std::size_t>(site)];
+  unsigned vec = 0;
+  for (int i = 0; i < 4; ++i) vec |= (pins[static_cast<std::size_t>(i)] ? 1u : 0u) << i;
+  return vec;
+}
+
+void FabricSim::schedule(Event e) { queue_.push(e); }
+
+void FabricSim::process(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kPinSet:
+      do_pin_set(e.node, e.value, e.time);
+      break;
+    case EventKind::kEval:
+      do_eval(e.site, e.time);
+      break;
+    case EventKind::kQSet:
+      do_q_set(e.site, e.value, e.time);
+      break;
+    case EventKind::kClockEdge:
+      do_clock_edge(e.domain, e.time);
+      break;
+  }
+}
+
+void FabricSim::do_pin_set(NodeId node, bool value, SimTime t) {
+  const auto info = fabric_->graph().info(node);
+  if (info.kind == NodeKind::kPad) {
+    auto it = pad_val_.find(node);
+    const bool old = it != pad_val_.end() && it->second;
+    if (old == value && it != pad_val_.end()) return;
+    pad_val_[node] = value;
+    if (old != value) monitor_.record_transition(node, t);
+    return;
+  }
+  RELOGIC_CHECK(info.kind == NodeKind::kInPin);
+  const int site = site_index(info.tile, info.a);
+  const int port = info.b;
+  auto& pins = pin_val_[static_cast<std::size_t>(site)];
+  if (pins[static_cast<std::size_t>(port)] == value) return;
+  pins[static_cast<std::size_t>(port)] = value;
+  monitor_.record_transition(node, t);
+
+  const auto& cfg = fabric_->cell(info.tile, info.a);
+  if (!cfg.used) return;
+  if (port < 4) {
+    schedule(Event{t + dm_->lut_delay, ++seq_, EventKind::kEval,
+                   fabric::kInvalidNode, site, false, 0});
+  } else if (port == 4) {
+    // CE pin: latch transparency opening captures the current D value.
+    if (cfg.reg == fabric::RegMode::kLatch && value) {
+      const bool d = cfg.d_src == fabric::DSrc::kBypass
+                         ? pins[5]
+                         : x_val_[static_cast<std::size_t>(site)];
+      schedule(Event{t + dm_->latch_d_to_q, ++seq_, EventKind::kQSet,
+                     fabric::kInvalidNode, site, d, 0});
+    }
+  } else {
+    // BX bypass pin: transparent latches in bypass mode follow it.
+    if (cfg.reg == fabric::RegMode::kLatch &&
+        cfg.d_src == fabric::DSrc::kBypass && pins[4]) {
+      schedule(Event{t + dm_->latch_d_to_q, ++seq_, EventKind::kQSet,
+                     fabric::kInvalidNode, site, value, 0});
+    }
+  }
+}
+
+void FabricSim::do_eval(int site, SimTime t) {
+  const ClbCoord clb = site_clb(site);
+  const int cell = site_cell(site);
+  const auto& cfg = fabric_->cell(clb, cell);
+  if (!cfg.used) return;
+  const bool x = cfg.eval(lut_input_vector(site));
+  if (x == x_val_[static_cast<std::size_t>(site)]) return;
+  x_val_[static_cast<std::size_t>(site)] = x;
+  propagate_pin(fabric_->graph().out_pin(clb, cell, false), x, t);
+  if (cfg.reg == fabric::RegMode::kLatch &&
+      cfg.d_src == fabric::DSrc::kLut &&
+      pin_val_[static_cast<std::size_t>(site)][4]) {
+    schedule(Event{t + dm_->latch_d_to_q, ++seq_, EventKind::kQSet,
+                   fabric::kInvalidNode, site, x, 0});
+  }
+}
+
+void FabricSim::do_q_set(int site, bool value, SimTime t) {
+  if (q_val_[static_cast<std::size_t>(site)] == value) return;
+  const ClbCoord clb = site_clb(site);
+  const int cell = site_cell(site);
+  const auto& cfg = fabric_->cell(clb, cell);
+  if (!cfg.used) return;
+  q_val_[static_cast<std::size_t>(site)] = value;
+  propagate_pin(fabric_->graph().out_pin(clb, cell, true), value, t);
+}
+
+std::int64_t FabricSim::edges_seen(std::uint8_t domain) const {
+  auto it = edges_seen_.find(domain);
+  return it == edges_seen_.end() ? 0 : it->second;
+}
+
+void FabricSim::set_clock_running(std::uint8_t domain, bool running) {
+  RELOGIC_CHECK_MSG(has_clock(domain), "no clock defined for the domain");
+  clock_halted_[domain] = !running;
+}
+
+bool FabricSim::clock_running(std::uint8_t domain) const {
+  auto it = clock_halted_.find(domain);
+  return it == clock_halted_.end() || !it->second;
+}
+
+void FabricSim::do_clock_edge(std::uint8_t domain, SimTime t) {
+  if (!clock_running(domain)) {
+    // Halted domain: the generator keeps its phase, nothing captures.
+    for (const auto& spec : clocks_) {
+      if (spec.domain == domain) {
+        schedule(Event{t + spec.period, ++seq_, EventKind::kClockEdge,
+                       fabric::kInvalidNode, -1, false, domain});
+        break;
+      }
+    }
+    return;
+  }
+  ++edges_seen_[domain];
+  monitor_.on_clock_edge(t);
+  check_drive_coherence();
+
+  const auto& geom = fabric_->geometry();
+  for (int r = 0; r < geom.clb_rows; ++r) {
+    for (int c = 0; c < geom.clb_cols; ++c) {
+      const ClbCoord clb{r, c};
+      if (fabric_->clb_free(clb)) continue;
+      for (int k = 0; k < geom.cells_per_clb; ++k) {
+        const auto& cfg = fabric_->cell(clb, k);
+        if (!cfg.used || cfg.reg != fabric::RegMode::kFF ||
+            cfg.clock_domain != domain)
+          continue;
+        const int site = site_index(clb, k);
+        const bool ce =
+            !cfg.uses_ce || pin_val_[static_cast<std::size_t>(site)][4];
+        if (!ce) continue;
+        const bool d = cfg.d_src == fabric::DSrc::kBypass
+                           ? pin_val_[static_cast<std::size_t>(site)][5]
+                           : x_val_[static_cast<std::size_t>(site)];
+        if (d != q_val_[static_cast<std::size_t>(site)]) {
+          schedule(Event{t + dm_->clk_to_q, ++seq_, EventKind::kQSet,
+                         fabric::kInvalidNode, site, d, 0});
+        }
+      }
+    }
+  }
+
+  // Next edge.
+  for (const auto& spec : clocks_) {
+    if (spec.domain == domain) {
+      schedule(Event{t + spec.period, ++seq_, EventKind::kClockEdge,
+                     fabric::kInvalidNode, -1, false, domain});
+      break;
+    }
+  }
+}
+
+void FabricSim::propagate_pin(NodeId pin, bool value, SimTime t) {
+  auto it = nets_of_pin_.find(pin);
+  if (it == nets_of_pin_.end()) return;
+  for (NetId net : it->second) {
+    const NetCache& cache = net_cache_[net];
+    // Multi-source nets: the paralleled drivers are functionally identical
+    // (verified by check_drive_coherence), so last-write-wins per sink is
+    // the settled value; skew between them is the Fig. 6 fuzziness.
+    for (const auto& [sink, delay] : cache.sinks) {
+      schedule(Event{t + delay, ++seq_, EventKind::kPinSet, sink, -1, value,
+                     0});
+    }
+  }
+}
+
+void FabricSim::rebuild_net_cache(NetId net) {
+  if (net_cache_.size() <= net) net_cache_.resize(net + 1);
+  NetCache& cache = net_cache_[net];
+
+  // Unregister old source mappings.
+  for (NodeId s : cache.sources) {
+    auto it = nets_of_pin_.find(s);
+    if (it != nets_of_pin_.end()) std::erase(it->second, net);
+  }
+  cache = NetCache{};
+  if (!fabric_->net_exists(net)) return;
+
+  const auto& tree = fabric_->net(net);
+  cache.sources = tree.sources;
+  for (NodeId s : cache.sources) nets_of_pin_[s].push_back(net);
+
+  // Forward traversal from sources accumulating the max delay per node;
+  // tolerates partially built trees (unreachable sinks are simply absent).
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  for (const auto& e : tree.edges) adj[e.from].push_back(e.to);
+  std::unordered_map<NodeId, SimTime> max_delay;
+  struct Item {
+    NodeId node;
+    SimTime d;
+    int depth;
+  };
+  const int limit = static_cast<int>(tree.edges.size()) + 2;
+  std::vector<Item> stack;
+  for (NodeId s : cache.sources) stack.push_back({s, SimTime::zero(), 0});
+  const auto& graph = fabric_->graph();
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    if (it.depth > limit) continue;  // defensive against transient cycles
+    auto a = adj.find(it.node);
+    if (a == adj.end()) continue;
+    for (NodeId next : a->second) {
+      const SimTime d =
+          it.d + dm_->pip_delay + dm_->node_delay(graph.info(next).kind);
+      auto [pos, inserted] = max_delay.try_emplace(next, d);
+      if (!inserted) {
+        if (d <= pos->second) continue;
+        pos->second = d;
+      }
+      stack.push_back({next, d, it.depth + 1});
+    }
+  }
+  for (const auto& [node, d] : max_delay) {
+    const NodeKind k = graph.info(node).kind;
+    if (k == NodeKind::kInPin ||
+        (k == NodeKind::kPad && !tree.has_source(node))) {
+      cache.sinks.emplace_back(node, d);
+    }
+  }
+}
+
+void FabricSim::on_cell_changed(ClbCoord clb, int cell,
+                                const fabric::LogicCellConfig& before,
+                                const fabric::LogicCellConfig& after) {
+  const int site = site_index(clb, cell);
+  if (!before.used && after.used) {
+    q_val_[static_cast<std::size_t>(site)] = after.init;
+    // Refresh inputs: routed pins read their net's current value; unrouted
+    // pins revert to the default level (a previous tenant of this site may
+    // have left stale values behind).
+    const auto& graph = fabric_->graph();
+    for (int p = 0; p < fabric::kInPorts; ++p) {
+      const NodeId pin =
+          graph.in_pin(clb, cell, static_cast<fabric::CellPort>(p));
+      const NetId net = graph.occupant(pin);
+      bool value = false;
+      if (net != fabric::kNoNet && fabric_->net_exists(net) &&
+          !fabric_->net(net).sources.empty()) {
+        value = source_pin_value(fabric_->net(net).sources.front());
+      }
+      schedule(Event{now_, ++seq_, EventKind::kPinSet, pin, -1, value, 0});
+    }
+  }
+  if (after.used) {
+    schedule(Event{now_ + dm_->lut_delay, ++seq_, EventKind::kEval,
+                   fabric::kInvalidNode, site, false, 0});
+  }
+}
+
+void FabricSim::on_net_changed(NetId net) {
+  rebuild_net_cache(net);
+  if (!fabric_->net_exists(net)) return;
+  const NetCache& cache = net_cache_[net];
+  if (cache.sources.empty()) return;
+  const bool v = source_pin_value(cache.sources.front());
+  for (const auto& [sink, delay] : cache.sinks) {
+    schedule(
+        Event{now_ + delay, ++seq_, EventKind::kPinSet, sink, -1, v, 0});
+  }
+}
+
+void FabricSim::check_drive_coherence() {
+  for (NetId net = 1; net < net_cache_.size(); ++net) {
+    if (!fabric_->net_exists(net)) continue;
+    const NetCache& cache = net_cache_[net];
+    if (cache.sources.size() < 2) continue;
+    const bool v0 = source_pin_value(cache.sources.front());
+    for (std::size_t i = 1; i < cache.sources.size(); ++i) {
+      if (source_pin_value(cache.sources[i]) != v0) {
+        monitor_.add_violation(Violation{
+            ViolationKind::kDriveConflict, now_, cache.sources[i],
+            "paralleled sources of net '" + fabric_->net(net).name +
+                "' disagree at a clock edge"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace relogic::sim

@@ -1,0 +1,185 @@
+// Unit tests: relogic::area (manager, fragmentation metrics, defrag
+// planners) including the free-space partition invariant.
+#include <gtest/gtest.h>
+
+#include "relogic/area/defrag.hpp"
+#include "relogic/area/manager.hpp"
+#include "relogic/common/rng.hpp"
+
+namespace relogic::area {
+namespace {
+
+TEST(AreaManager, AllocateReleaseRoundTrip) {
+  AreaManager mgr(10, 10);
+  EXPECT_EQ(mgr.free_clbs(), 100);
+  const auto id = mgr.allocate("a", 3, 4);
+  ASSERT_NE(id, kNoRegion);
+  EXPECT_EQ(mgr.free_clbs(), 88);
+  EXPECT_EQ(mgr.region(id).rect.area(), 12);
+  EXPECT_EQ(mgr.at(ClbCoord{mgr.region(id).rect.row,
+                            mgr.region(id).rect.col}),
+            id);
+  mgr.release(id);
+  EXPECT_EQ(mgr.free_clbs(), 100);
+  EXPECT_FALSE(mgr.exists(id));
+}
+
+TEST(AreaManager, BottomLeftIsDeterministicTopLeftScan) {
+  AreaManager mgr(6, 6);
+  const auto a = mgr.allocate("a", 2, 2);
+  EXPECT_EQ(mgr.region(a).rect, (ClbRect{0, 0, 2, 2}));
+  const auto b = mgr.allocate("b", 2, 2);
+  EXPECT_EQ(mgr.region(b).rect, (ClbRect{0, 2, 2, 2}));
+}
+
+TEST(AreaManager, AllocationFailsWhenNothingFits) {
+  AreaManager mgr(4, 4);
+  EXPECT_NE(mgr.allocate("a", 4, 3), kNoRegion);
+  EXPECT_EQ(mgr.allocate("b", 2, 2), kNoRegion);
+  EXPECT_FALSE(mgr.can_fit(2, 2));
+  EXPECT_TRUE(mgr.can_fit(4, 1));
+}
+
+TEST(AreaManager, LargestFreeRectExact) {
+  AreaManager mgr(6, 8);
+  // Occupy a plus-shape to carve the free space.
+  mgr.allocate_at("v", ClbRect{0, 3, 6, 2});  // vertical bar cols 3..4
+  const auto r = mgr.largest_free_rect();
+  EXPECT_EQ(r.area(), 18);  // 6x3 either side
+  mgr.allocate_at("h", ClbRect{2, 0, 2, 3});  // notch the left side
+  EXPECT_EQ(mgr.largest_free_rect().area(), 18);  // right side wins
+}
+
+TEST(AreaManager, FragmentationMetric) {
+  AreaManager mgr(8, 8);
+  EXPECT_DOUBLE_EQ(mgr.fragmentation(), 0.0);  // one free rect
+  // Checkerboard of 2x2 blocks leaves free space shattered.
+  for (int r = 0; r < 8; r += 4) {
+    for (int c = 0; c < 8; c += 4) {
+      mgr.allocate_at("b", ClbRect{r, c, 2, 2});
+      mgr.allocate_at("b2", ClbRect{r + 2, c + 2, 2, 2});
+    }
+  }
+  EXPECT_GT(mgr.fragmentation(), 0.5);
+  EXPECT_EQ(mgr.free_clbs(), 32);
+}
+
+TEST(AreaManager, MoveRejectsCollisionAndRollsBack) {
+  AreaManager mgr(6, 6);
+  const auto a = mgr.allocate_at("a", ClbRect{0, 0, 2, 2});
+  const auto b = mgr.allocate_at("b", ClbRect{0, 3, 2, 2});
+  EXPECT_FALSE(mgr.can_move(a, ClbRect{0, 2, 2, 2}) &&
+               false);  // overlaps b? col 2..3 vs 3..4: col 3 collides
+  EXPECT_THROW(mgr.move(a, ClbRect{0, 3, 2, 2}), IllegalOperationError);
+  // Rollback left everything intact.
+  EXPECT_EQ(mgr.region(a).rect, (ClbRect{0, 0, 2, 2}));
+  EXPECT_EQ(mgr.at({0, 3}), b);
+  // Overlapping self-move is fine.
+  EXPECT_TRUE(mgr.can_move(a, ClbRect{1, 0, 2, 2}));
+  mgr.move(a, ClbRect{1, 0, 2, 2});
+  EXPECT_EQ(mgr.at({2, 0}), a);
+  EXPECT_EQ(mgr.at({0, 0}), kNoRegion);
+}
+
+TEST(AreaManager, FreeSpacePartitionInvariant) {
+  // Property: sum of region areas + free_clbs == total, after random ops.
+  Rng rng(11);
+  AreaManager mgr(16, 16);
+  std::vector<RegionId> live;
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.next_bool(0.6)) {
+      const auto id = mgr.allocate("r", rng.next_int(1, 5), rng.next_int(1, 5));
+      if (id != kNoRegion) live.push_back(id);
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      mgr.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    int used = 0;
+    for (const auto& r : mgr.regions()) used += r.rect.area();
+    ASSERT_EQ(used + mgr.free_clbs(), mgr.total_clbs());
+    ASSERT_EQ(mgr.region_count(), live.size());
+  }
+}
+
+TEST(Defrag, PlanForRequestSolvesFragmentation) {
+  AreaManager mgr(8, 8);
+  // Bands: occupy rows 2-3 fully, leaving rows 0-1 and 4-7 free but split.
+  mgr.allocate_at("band", ClbRect{2, 0, 2, 8});
+  mgr.allocate_at("blob", ClbRect{5, 2, 2, 3});
+  EXPECT_FALSE(mgr.can_fit(5, 5));
+  EXPECT_GE(mgr.free_clbs(), 25);
+
+  const auto plan = plan_for_request(mgr, 5, 5);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GE(plan->moves.size(), 1u);
+
+  // Executing the plan move-by-move is legal and yields the slot.
+  for (const auto& mv : plan->moves) {
+    ASSERT_TRUE(mgr.can_move(mv.region, mv.to));
+    mgr.move(mv.region, mv.to);
+  }
+  EXPECT_TRUE(mgr.can_fit(5, 5));
+}
+
+TEST(Defrag, PlanReturnsNulloptWhenAreaInsufficient) {
+  AreaManager mgr(4, 4);
+  mgr.allocate_at("a", ClbRect{0, 0, 4, 2});
+  EXPECT_EQ(plan_for_request(mgr, 4, 3), std::nullopt);
+}
+
+TEST(Defrag, MoveBoundRespected) {
+  AreaManager mgr(8, 8);
+  for (int i = 0; i < 4; ++i) mgr.allocate_at("x", ClbRect{i * 2, 2, 1, 4});
+  DefragOptions opt;
+  opt.max_moves = 0;
+  EXPECT_EQ(plan_for_request(mgr, 8, 5, opt), std::nullopt);
+}
+
+TEST(Defrag, FullCompactionPacksEverything) {
+  Rng rng(5);
+  AreaManager mgr(12, 12);
+  std::vector<RegionId> live;
+  for (int i = 0; i < 12; ++i) {
+    const auto id = mgr.allocate("r" + std::to_string(i), rng.next_int(1, 4),
+                                 rng.next_int(1, 4));
+    if (id != kNoRegion) live.push_back(id);
+  }
+  // Punch holes.
+  for (std::size_t i = 0; i < live.size(); i += 2) mgr.release(live[i]);
+
+  const double frag_before = mgr.fragmentation();
+  const auto plan = plan_full_compaction(mgr);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& mv : plan->moves) {
+    ASSERT_TRUE(mgr.can_move(mv.region, mv.to))
+        << "plan not sequentially executable";
+    mgr.move(mv.region, mv.to);
+  }
+  EXPECT_LE(mgr.fragmentation(), frag_before);
+  // After compaction the free space is (nearly) one rectangle.
+  EXPECT_GE(mgr.largest_free_rect().area(), mgr.free_clbs() * 3 / 4);
+}
+
+TEST(AreaManager, AsciiRenderingShowsRegionsAndHoles) {
+  AreaManager mgr(3, 4);
+  mgr.allocate_at("a", ClbRect{0, 0, 2, 2});
+  mgr.allocate_at("b", ClbRect{2, 2, 1, 2});
+  const std::string art = mgr.to_ascii();
+  EXPECT_EQ(art,
+            "AA..\n"
+            "AA..\n"
+            "..BB\n");
+}
+
+TEST(Defrag, FullCompactionWithPendingReservesSlot) {
+  AreaManager mgr(8, 8);
+  mgr.allocate_at("a", ClbRect{3, 3, 2, 2});
+  const auto plan = plan_full_compaction(mgr, {{4, 4}});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->request_slot.height, 4);
+  EXPECT_EQ(plan->request_slot.width, 4);
+}
+
+}  // namespace
+}  // namespace relogic::area

@@ -1,0 +1,104 @@
+// Unit tests: relogic::common (time, geometry, rng, errors).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relogic/common/error.hpp"
+#include "relogic/common/geometry.hpp"
+#include "relogic/common/rng.hpp"
+#include "relogic/common/time.hpp"
+
+namespace relogic {
+namespace {
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::ns(1).picoseconds(), 1000);
+  EXPECT_EQ(SimTime::us(1).picoseconds(), 1000000);
+  EXPECT_EQ(SimTime::ms(1).picoseconds(), 1000000000);
+  EXPECT_DOUBLE_EQ(SimTime::ms(22).milliseconds(), 22.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::ns(3);
+  const SimTime b = SimTime::ns(2);
+  EXPECT_EQ((a + b).picoseconds(), 5000);
+  EXPECT_EQ((a - b).picoseconds(), 1000);
+  EXPECT_EQ((a * 4).picoseconds(), 12000);
+  EXPECT_EQ(a / b, 1);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::ms(22).to_string(), "22.000 ms");
+  EXPECT_EQ(SimTime::ns(1).to_string(), "1.000 ns");
+  EXPECT_EQ(SimTime::ps(1).to_string(), "1 ps");
+}
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({2, 2}, {2, 2}), 0);
+}
+
+TEST(Geometry, RectContainsAndOverlaps) {
+  const ClbRect r{2, 3, 4, 5};  // rows 2..5, cols 3..7
+  EXPECT_TRUE(r.contains(ClbCoord{2, 3}));
+  EXPECT_TRUE(r.contains(ClbCoord{5, 7}));
+  EXPECT_FALSE(r.contains(ClbCoord{6, 3}));
+  EXPECT_FALSE(r.contains(ClbCoord{2, 8}));
+  EXPECT_EQ(r.area(), 20);
+
+  EXPECT_TRUE(r.overlaps(ClbRect{5, 7, 1, 1}));
+  EXPECT_FALSE(r.overlaps(ClbRect{6, 3, 2, 2}));
+  EXPECT_TRUE(r.contains(ClbRect{3, 4, 2, 2}));
+  EXPECT_FALSE(r.contains(ClbRect{3, 4, 4, 2}));
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextIntInRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.next_int(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Error, CheckMacroThrowsContractError) {
+  EXPECT_THROW(RELOGIC_CHECK(false), ContractError);
+  EXPECT_NO_THROW(RELOGIC_CHECK(true));
+  try {
+    RELOGIC_CHECK_MSG(false, "extra context");
+    FAIL();
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace relogic

@@ -1,0 +1,209 @@
+// Unit tests: relogic::config (frame mapping, port timing, controller,
+// LUT-RAM column rule, snapshots, bitstream rendering).
+#include <gtest/gtest.h>
+
+#include "relogic/config/bitstream.hpp"
+#include "relogic/config/controller.hpp"
+#include "relogic/config/frame.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/config/snapshot.hpp"
+
+namespace relogic::config {
+namespace {
+
+using fabric::DeviceGeometry;
+using fabric::Fabric;
+using fabric::LogicCellConfig;
+
+TEST(FrameMapper, CellFramesLiveInOwnColumnAndSlotGroup) {
+  const auto geom = DeviceGeometry::xcv200();
+  const FrameMapper mapper(geom);
+  for (int cell = 0; cell < 4; ++cell) {
+    const auto frames = mapper.cell_frames(ClbCoord{5, 17}, cell);
+    ASSERT_EQ(static_cast<int>(frames.size()), geom.frames_per_cell_config);
+    for (const auto& f : frames) {
+      EXPECT_EQ(f.type, ColumnType::kClb);
+      EXPECT_EQ(f.column, 17);
+      EXPECT_GE(f.frame, cell * geom.frames_per_cell_config);
+      EXPECT_LT(f.frame, (cell + 1) * geom.frames_per_cell_config);
+    }
+  }
+  // Same frames for every row — a frame spans the whole column (the root
+  // of the paper's LUT-RAM exclusion rule).
+  EXPECT_EQ(mapper.cell_frames(ClbCoord{0, 17}, 2),
+            mapper.cell_frames(ClbCoord{27, 17}, 2));
+}
+
+TEST(FrameMapper, PipFramesAreRoutingFramesOfSinkColumn) {
+  const auto geom = DeviceGeometry::tiny(8, 8);
+  Fabric fab(geom);
+  const FrameMapper mapper(geom);
+  const auto& g = fab.graph();
+  const fabric::RouteEdge e{g.single({3, 3}, fabric::Dir::kE, 0),
+                            g.in_pin({3, 4}, 0, fabric::CellPort::kI0)};
+  const auto f = mapper.pip_frame(g, e);
+  EXPECT_EQ(f.type, ColumnType::kClb);
+  EXPECT_EQ(f.column, 4);  // controlled at the sink tile
+  EXPECT_GE(f.frame, mapper.first_routing_frame());
+  EXPECT_LT(f.frame, geom.frames_per_clb_column);
+  // Deterministic.
+  EXPECT_EQ(mapper.pip_frame(g, e), mapper.pip_frame(g, e));
+}
+
+TEST(PortTiming, BoundaryScanScalesWithFrames) {
+  BoundaryScanPort port;
+  const int bits = DeviceGeometry::xcv200().frame_length_bits();
+  const auto one = port.write_time(1, bits);
+  const auto ten = port.write_time(10, bits);
+  EXPECT_GT(ten, one);
+  // Serial port: ~1 bit per TCK; 48 frames of 544 bits ≈ 1.3 ms @ 20 MHz.
+  const auto col = port.write_time(48, bits);
+  EXPECT_GT(col, SimTime::ms(1));
+  EXPECT_LT(col, SimTime::ms(2));
+  EXPECT_EQ(port.write_time(0, bits), SimTime::zero());
+}
+
+TEST(PortTiming, SelectMapMuchFasterThanJtag) {
+  BoundaryScanPort jtag;
+  SelectMapPort smap;
+  const int bits = DeviceGeometry::xcv200().frame_length_bits();
+  EXPECT_LT(smap.write_time(48, bits) * 10, jtag.write_time(48, bits));
+  EXPECT_GT(smap.bandwidth_bps(), jtag.bandwidth_bps());
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  DeviceGeometry geom_ = DeviceGeometry::tiny(8, 8);
+  Fabric fab_{geom_};
+  BoundaryScanPort port_;
+};
+
+TEST_F(ControllerTest, ColumnGranularWidensToWholeColumns) {
+  ConfigController column(fab_, port_, /*column_granular=*/true);
+  ConfigController framed(fab_, port_, /*column_granular=*/false);
+  ConfigOp op("one cell");
+  op.write_cell({2, 3}, 1, LogicCellConfig::constant(true));
+  EXPECT_EQ(static_cast<int>(column.frames_of(op).size()),
+            geom_.frames_per_clb_column);
+  EXPECT_EQ(static_cast<int>(framed.frames_of(op).size()),
+            geom_.frames_per_cell_config);
+}
+
+TEST_F(ControllerTest, ApplyChargesTimeAndAppliesActions) {
+  ConfigController ctl(fab_, port_);
+  ConfigOp op("cfg");
+  op.write_cell({1, 1}, 0, LogicCellConfig::constant(true));
+  const auto r = ctl.apply(op);
+  EXPECT_EQ(r.frames_written, geom_.frames_per_clb_column);
+  EXPECT_EQ(r.columns_touched, 1);
+  EXPECT_GT(r.time, SimTime::zero());
+  EXPECT_EQ(r.effective_actions, 1);
+  EXPECT_TRUE(fab_.cell({1, 1}, 0).used);
+
+  // Identical rewrite: frames still written, nothing effective.
+  const auto r2 = ctl.apply(op);
+  EXPECT_EQ(r2.effective_actions, 0);
+  EXPECT_EQ(r2.frames_written, geom_.frames_per_clb_column);
+  EXPECT_EQ(ctl.totals().ops, 2);
+}
+
+TEST_F(ControllerTest, RoutingActionsApply) {
+  ConfigController ctl(fab_, port_);
+  const auto& g = fab_.graph();
+  const auto net = fab_.create_net("n");
+  const auto src = g.out_pin({2, 2}, 0, false);
+  const auto wire = g.single({2, 2}, fabric::Dir::kE, 0);
+  const auto sink = g.in_pin({2, 3}, 0, fabric::CellPort::kI0);
+
+  ConfigOp op("route");
+  op.attach_source(net, src).add_edge(net, {src, wire}).add_edge(net,
+                                                                 {wire, sink});
+  const auto r = ctl.apply(op);
+  EXPECT_EQ(r.effective_actions, 3);
+  EXPECT_NO_THROW(fab_.validate_net(net));
+
+  ConfigOp undo("unroute");
+  undo.remove_edge(net, {wire, sink})
+      .remove_edge(net, {src, wire})
+      .detach_source(net, src);
+  ctl.apply(undo);
+  EXPECT_TRUE(g.is_free(wire));
+  EXPECT_TRUE(g.is_free(sink));
+}
+
+TEST_F(ControllerTest, LutRamColumnRejected) {
+  ConfigController ctl(fab_, port_);
+  // Place a live LUT-RAM in column 3.
+  LogicCellConfig ram;
+  ram.used = true;
+  ram.lut_mode = fabric::LutMode::kRam;
+  fab_.set_cell_config({5, 3}, 2, ram);
+
+  // Any op touching column 3 must now be refused...
+  ConfigOp op("touch");
+  op.write_cell({1, 3}, 0, LogicCellConfig::constant(true));
+  EXPECT_THROW(ctl.apply(op), IllegalOperationError);
+
+  // ...unless it rewrites the RAM cell itself (intentional).
+  ConfigOp own("rewrite ram cell");
+  own.write_cell({5, 3}, 2, ram);
+  EXPECT_NO_THROW(ctl.apply(own));
+
+  // Other columns unaffected.
+  ConfigOp other("elsewhere");
+  other.write_cell({1, 4}, 0, LogicCellConfig::constant(true));
+  EXPECT_NO_THROW(ctl.apply(other));
+}
+
+TEST_F(ControllerTest, SnapshotKeeperRestores) {
+  SnapshotKeeper keeper(fab_, 2);
+  fab_.set_cell_config({0, 0}, 0, LogicCellConfig::constant(true));
+  keeper.take("a");
+  fab_.set_cell_config({0, 0}, 0, LogicCellConfig::constant(false));
+  fab_.set_cell_config({4, 4}, 1, LogicCellConfig::constant(true));
+  keeper.take("b");
+  fab_.clear_cell({0, 0}, 0);
+
+  EXPECT_TRUE(keeper.restore("a"));
+  EXPECT_EQ(fab_.cell({0, 0}, 0).lut, fabric::luts::kConst1);
+  EXPECT_FALSE(fab_.cell({4, 4}, 1).used);
+
+  EXPECT_TRUE(keeper.restore("b"));
+  EXPECT_TRUE(fab_.cell({4, 4}, 1).used);
+  EXPECT_FALSE(keeper.restore("nonexistent"));
+
+  // Retention limit evicts the oldest.
+  keeper.take("c");
+  keeper.take("d");
+  EXPECT_EQ(keeper.retained(), 2u);
+  EXPECT_FALSE(keeper.restore("a"));
+}
+
+TEST_F(ControllerTest, BitstreamRenderDeterministic) {
+  ConfigController ctl(fab_, port_);
+  BitstreamWriter writer(ctl);
+  ConfigOp op("cfg");
+  op.write_cell({1, 1}, 0, LogicCellConfig::constant(true));
+
+  const auto a = writer.render(op);
+  const auto b = writer.render(op);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.crc, b.crc);
+  EXPECT_GT(a.frame_count, 0);
+  // Sync word present at offset 4.
+  ASSERT_GE(a.bytes.size(), 8u);
+  EXPECT_EQ(a.bytes[4], 0xAA);
+  EXPECT_EQ(a.bytes[5], 0x99);
+
+  const auto script = writer.script({op});
+  EXPECT_NE(script.find("cfg"), std::string::npos);
+  EXPECT_NE(script.find("TOTAL"), std::string::npos);
+}
+
+TEST(Crc32, KnownVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace relogic::config

@@ -1,0 +1,160 @@
+// Unit tests: relogic::netlist mapping (truth tables, packing, producers).
+#include <gtest/gtest.h>
+
+#include "relogic/common/rng.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/netlist/golden.hpp"
+#include "relogic/netlist/mapping.hpp"
+
+namespace relogic::netlist {
+namespace {
+
+TEST(TruthTable, BasicGates) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId b = nl.input("b");
+  const SigId c = nl.input("c");
+  EXPECT_EQ(truth_table_of(nl, nl.and_(a, b)), fabric::luts::kAnd2);
+  EXPECT_EQ(truth_table_of(nl, nl.or_(a, b)), fabric::luts::kOr2);
+  EXPECT_EQ(truth_table_of(nl, nl.xor_(a, b)), fabric::luts::kXor2);
+  EXPECT_EQ(truth_table_of(nl, nl.not_(a)), fabric::luts::kNotI0);
+  EXPECT_EQ(truth_table_of(nl, nl.buf(a)), fabric::luts::kBufI0);
+  EXPECT_EQ(truth_table_of(nl, nl.mux(a, b, c)), fabric::luts::kMux21);
+}
+
+TEST(TruthTable, UnusedInputsFoldedAway) {
+  // A 2-input kLut node with garbage bits above row 3 must map to a table
+  // insensitive to I2/I3 (they may be unrouted and read stale levels).
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId b = nl.input("b");
+  const SigId g = nl.lut(0xF9C6, {a, b});  // upper rows are garbage
+  const std::uint16_t t = truth_table_of(nl, g);
+  for (unsigned vec = 0; vec < 16; ++vec) {
+    EXPECT_EQ((t >> vec) & 1u, (t >> (vec & 0x3)) & 1u) << vec;
+  }
+}
+
+TEST(Mapping, PacksSingleConsumerConeIntoFF) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId b = nl.input("b");
+  const SigId x = nl.and_(a, b);          // single consumer: the FF
+  const SigId q = nl.dff(x, std::nullopt, false, "q");
+  nl.output("out", q);
+  const auto mapped = map_netlist(nl);
+  // One cell total: AND packed with FF.
+  ASSERT_EQ(mapped.cell_count(), 1);
+  EXPECT_EQ(mapped.cells[0].lut, fabric::luts::kAnd2);
+  EXPECT_EQ(mapped.cells[0].reg, fabric::RegMode::kFF);
+  EXPECT_EQ(mapped.producer(q).kind, Producer::Kind::kCellXQ);
+  EXPECT_EQ(mapped.producer(x).kind, Producer::Kind::kCellX);
+}
+
+TEST(Mapping, SharedConeNotPacked) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId b = nl.input("b");
+  const SigId x = nl.and_(a, b);
+  const SigId q = nl.dff(x);
+  nl.output("comb", x);  // second consumer: cannot pack
+  nl.output("reg", q);
+  const auto mapped = map_netlist(nl);
+  ASSERT_EQ(mapped.cell_count(), 2);  // AND cell + pass-through FF cell
+  const auto& ff_cell =
+      mapped.cells[static_cast<std::size_t>(mapped.producer(q).cell)];
+  EXPECT_EQ(ff_cell.lut, fabric::luts::kBufI0);
+  EXPECT_EQ(ff_cell.reg, fabric::RegMode::kFF);
+}
+
+TEST(Mapping, CePropagatesToCell) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId ce = nl.input("ce");
+  const SigId q = nl.dff(a, ce, true, "q");
+  nl.output("out", q);
+  const auto mapped = map_netlist(nl);
+  const auto& cell =
+      mapped.cells[static_cast<std::size_t>(mapped.producer(q).cell)];
+  EXPECT_TRUE(cell.uses_ce());
+  EXPECT_EQ(cell.ce, ce);
+  EXPECT_TRUE(cell.init);
+  const auto cfg = cell.to_config(3);
+  EXPECT_TRUE(cfg.uses_ce);
+  EXPECT_TRUE(cfg.init);
+  EXPECT_EQ(cfg.clock_domain, 3);
+  EXPECT_TRUE(cfg.used);
+}
+
+TEST(Mapping, LatchMapsToLatchCell) {
+  Netlist nl("t");
+  const SigId d = nl.input("d");
+  const SigId g = nl.input("g");
+  const SigId q = nl.latch(d, g, false, "q");
+  nl.output("out", q);
+  const auto mapped = map_netlist(nl);
+  const auto& cell =
+      mapped.cells[static_cast<std::size_t>(mapped.producer(q).cell)];
+  EXPECT_EQ(cell.reg, fabric::RegMode::kLatch);
+  EXPECT_EQ(cell.ce, g);
+}
+
+TEST(Mapping, EveryConsumedSignalHasProducer) {
+  const auto nl = bench::b06();
+  const auto mapped = map_netlist(nl);
+  for (const auto& cell : mapped.cells) {
+    for (const SigId in : cell.in) {
+      if (in == kInvalidSig) continue;
+      EXPECT_NO_THROW(mapped.producer(in));
+    }
+    if (cell.uses_ce()) EXPECT_NO_THROW(mapped.producer(cell.ce));
+  }
+  for (const auto& out : nl.outputs()) {
+    EXPECT_NO_THROW(mapped.producer(out.signal));
+  }
+}
+
+TEST(Mapping, ClbsNeededRoundsUp) {
+  MappedNetlist m;
+  m.cells.resize(5);
+  EXPECT_EQ(m.clbs_needed(4), 2);
+  m.cells.resize(4);
+  EXPECT_EQ(m.clbs_needed(4), 1);
+}
+
+// Property: mapped cell truth tables agree with golden evaluation on every
+// input vector for random netlists.
+class MappingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingPropertyTest, LutEquivalence) {
+  const auto nl =
+      bench::random_logic("p", 30, 4, 6, static_cast<unsigned>(GetParam()));
+  const auto mapped = map_netlist(nl);
+  GoldenSim sim(nl);
+
+  Rng rng(static_cast<unsigned>(GetParam()) * 77 + 1);
+  for (int trial = 0; trial < 32; ++trial) {
+    for (const SigId in : nl.inputs()) sim.set_input(in, rng.next_bool());
+    sim.settle();
+    // Every mapped comb cell's LUT must reproduce the golden value of its
+    // signal when fed the golden values of its fanins.
+    for (const auto& cell : mapped.cells) {
+      if (cell.comb_sig == kInvalidSig) continue;
+      unsigned vec = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (cell.in[static_cast<std::size_t>(i)] == kInvalidSig) continue;
+        vec |= (sim.value(cell.in[static_cast<std::size_t>(i)]) ? 1u : 0u)
+               << i;
+      }
+      const bool lut_out = ((cell.lut >> vec) & 1u) != 0;
+      ASSERT_EQ(lut_out, sim.value(cell.comb_sig))
+          << "cell " << cell.name << " vec " << vec;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace relogic::netlist

@@ -1,0 +1,266 @@
+// Unit tests: relogic::netlist (builder, validation, golden model,
+// benchmark circuits).
+#include <gtest/gtest.h>
+
+#include "relogic/common/rng.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/netlist/golden.hpp"
+#include "relogic/netlist/netlist.hpp"
+
+namespace relogic::netlist {
+namespace {
+
+using bench::ClockingStyle;
+
+TEST(NetlistBuilder, GateCountsAndKinds) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId b = nl.input("b");
+  const SigId x = nl.and_(a, b);
+  const SigId q = nl.dff(x, std::nullopt, false, "q");
+  nl.output("out", q);
+  nl.validate();
+  EXPECT_EQ(nl.gate_count(), 1);
+  EXPECT_EQ(nl.ff_count(), 1);
+  EXPECT_EQ(nl.latch_count(), 0);
+  EXPECT_FALSE(nl.has_gated_clock());
+  EXPECT_TRUE(nl.is_sequential());
+}
+
+TEST(NetlistBuilder, GatedClockDetected) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId ce = nl.input("ce");
+  nl.output("q", nl.dff(a, ce));
+  EXPECT_TRUE(nl.has_gated_clock());
+}
+
+TEST(NetlistBuilder, FeedbackConstruction) {
+  Netlist nl("toggler");
+  const SigId q = nl.dff_feedback(false, "q");
+  nl.connect_dff(q, nl.not_(q));
+  nl.output("q", q);
+  nl.validate();
+
+  GoldenSim sim(nl);
+  EXPECT_FALSE(sim.output("q"));
+  sim.clock();
+  EXPECT_TRUE(sim.output("q"));
+  sim.clock();
+  EXPECT_FALSE(sim.output("q"));
+}
+
+TEST(NetlistBuilder, UnconnectedFeedbackFailsValidation) {
+  Netlist nl("bad");
+  (void)nl.dff_feedback(false, "q");
+  EXPECT_THROW(nl.validate(), ContractError);
+}
+
+TEST(NetlistBuilder, DoubleConnectRejected) {
+  Netlist nl("t");
+  const SigId a = nl.input("a");
+  const SigId q = nl.dff_feedback();
+  nl.connect_dff(q, a);
+  EXPECT_THROW(nl.connect_dff(q, a), ContractError);
+}
+
+TEST(NetlistBuilder, CombinationalCycleDetected) {
+  Netlist nl("cyc");
+  const SigId a = nl.input("a");
+  // lut(lut) cycle cannot be built directly (ids must exist), but a latch
+  // loop with no state break... use two luts via feedback-free API is
+  // impossible; verify topo_order succeeds on a DAG instead and the FF
+  // breaks cycles.
+  const SigId q = nl.dff_feedback();
+  const SigId x = nl.xor_(a, q);
+  nl.connect_dff(q, x);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(NetlistBuilder, WideHelpers) {
+  Netlist nl("w");
+  std::vector<SigId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(nl.input("i" + std::to_string(i)));
+  nl.output("and", nl.and_tree(ins));
+  nl.output("or", nl.or_tree(ins));
+  nl.output("xor", nl.xor_tree(ins));
+  nl.output("eq19", nl.equals_const(ins, 19));
+  nl.validate();
+
+  GoldenSim sim(nl);
+  auto set = [&](unsigned v) {
+    for (int i = 0; i < 5; ++i) sim.set_input(ins[i], (v >> i) & 1);
+    sim.settle();
+  };
+  set(31);
+  EXPECT_TRUE(sim.output("and"));
+  EXPECT_TRUE(sim.output("or"));
+  EXPECT_TRUE(sim.output("xor"));  // five ones
+  EXPECT_FALSE(sim.output("eq19"));
+  set(19);
+  EXPECT_FALSE(sim.output("and"));
+  EXPECT_TRUE(sim.output("eq19"));
+  set(0);
+  EXPECT_FALSE(sim.output("or"));
+}
+
+TEST(GoldenSim, CounterCountsAndWraps) {
+  const auto nl = bench::counter(3);
+  GoldenSim sim(nl);
+  for (int expect = 1; expect <= 8; ++expect) {
+    sim.clock();
+    const int got = sim.output("q0") + 2 * sim.output("q1") +
+                    4 * sim.output("q2");
+    EXPECT_EQ(got, expect % 8);
+  }
+  // Terminal count right before wrap: count is 0 after 8 clocks, so 7 more
+  // reach 7 (all ones).
+  for (int i = 0; i < 7; ++i) sim.clock();
+  EXPECT_TRUE(sim.output("tc"));
+}
+
+TEST(GoldenSim, GatedCounterHoldsWhenCeLow) {
+  const auto nl = bench::counter(4, ClockingStyle::kGatedClock);
+  GoldenSim sim(nl);
+  sim.set_input("ce", true);
+  sim.settle();
+  for (int i = 0; i < 5; ++i) sim.clock();
+  const auto held = sim.state();
+  sim.set_input("ce", false);
+  sim.settle();
+  for (int i = 0; i < 7; ++i) sim.clock();
+  EXPECT_EQ(sim.state(), held);
+  sim.set_input("ce", true);
+  sim.settle();
+  sim.clock();
+  EXPECT_NE(sim.state(), held);
+}
+
+TEST(GoldenSim, ShiftRegisterDelaysBits) {
+  const auto nl = bench::shift_register(4);
+  GoldenSim sim(nl);
+  const bool pattern[] = {true, false, true, true, false, false, true, false};
+  std::vector<bool> out;
+  for (const bool bit : pattern) {
+    sim.set_input("din", bit);
+    sim.settle();
+    sim.clock();
+    out.push_back(sim.output("dout"));
+  }
+  // Sampling after the k-th edge, dout carries the input from 4 edges
+  // earlier: out[i] = pattern[i - 3].
+  for (int i = 3; i < 8; ++i) EXPECT_EQ(out[i], pattern[i - 3]) << i;
+}
+
+TEST(GoldenSim, LfsrHasFullishPeriod) {
+  const auto nl = bench::lfsr(5, 0b10100);  // x^5 + x^3 + 1: period 31
+  GoldenSim sim(nl);
+  const auto start = sim.state();
+  int period = 0;
+  do {
+    sim.clock();
+    ++period;
+  } while (sim.state() != start && period < 64);
+  EXPECT_EQ(period, 31);
+}
+
+TEST(GoldenSim, AsyncPipelinePassesTokenWithTwoPhases) {
+  const auto nl = bench::async_pipeline(4);
+  GoldenSim sim(nl);
+  auto phase = [&](bool din, bool p1, bool p2) {
+    sim.set_input("din", din);
+    sim.set_input("phi1", p1);
+    sim.set_input("phi2", p2);
+    sim.settle();
+  };
+  phase(true, false, false);
+  phase(true, true, false);   // stage 0 captures 1
+  phase(true, false, false);
+  phase(false, false, true);  // stage 1 captures
+  phase(false, true, false);  // stage 2
+  phase(false, false, true);  // stage 3 -> dout
+  EXPECT_TRUE(sim.output("dout"));
+}
+
+TEST(GoldenSim, LatchTransparencyFollowsGate) {
+  Netlist nl("lat");
+  const SigId d = nl.input("d");
+  const SigId g = nl.input("g");
+  nl.output("q", nl.latch(d, g));
+  GoldenSim sim(nl);
+  sim.set_input("d", true);
+  sim.set_input("g", true);
+  sim.settle();
+  EXPECT_TRUE(sim.output("q"));
+  sim.set_input("g", false);
+  sim.settle();
+  sim.set_input("d", false);
+  sim.settle();
+  EXPECT_TRUE(sim.output("q"));  // held
+  sim.set_input("g", true);
+  sim.settle();
+  EXPECT_FALSE(sim.output("q"));  // transparent again
+}
+
+TEST(Benchmarks, PublishedFFCounts) {
+  EXPECT_EQ(bench::b01().ff_count(), 5);
+  EXPECT_EQ(bench::b02().ff_count(), 4);
+  EXPECT_EQ(bench::b06().ff_count(), 9);
+  for (const auto& e : bench::itc99_suite(ClockingStyle::kFreeRunning)) {
+    EXPECT_EQ(e.circuit.ff_count(), e.published_ffs) << e.name;
+  }
+}
+
+TEST(Benchmarks, GatedStyleAddsCeEverywhere) {
+  for (const auto& e : bench::itc99_suite(ClockingStyle::kGatedClock)) {
+    EXPECT_TRUE(e.circuit.has_gated_clock()) << e.name;
+  }
+}
+
+TEST(Benchmarks, RandomFsmDeterministicBySeed) {
+  const auto a = bench::random_fsm("x", 12, 3, 3, 7);
+  const auto b = bench::random_fsm("x", 12, 3, 3, 7);
+  const auto c = bench::random_fsm("x", 12, 3, 3, 8);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.ff_count(), 12);
+  // Same seeds give identical behaviour.
+  GoldenSim sa(a), sb(b), sc(c);
+  Rng rng(3);
+  bool diverged = false;
+  for (int i = 0; i < 40; ++i) {
+    for (std::size_t k = 0; k < a.inputs().size(); ++k) {
+      const bool v = rng.next_bool();
+      sa.set_input(a.inputs()[k], v);
+      sb.set_input(b.inputs()[k], v);
+      sc.set_input(c.inputs()[k], v);
+    }
+    sa.settle();
+    sb.settle();
+    sc.settle();
+    sa.clock();
+    sb.clock();
+    sc.clock();
+    ASSERT_EQ(sa.state(), sb.state());
+    if (sa.state() != sc.state()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // a different seed is a different machine
+}
+
+TEST(Benchmarks, B01SerialAddBehaviour) {
+  const auto nl = bench::b01();
+  GoldenSim sim(nl);
+  // 1+1 with no carry -> sum 0, carry set; next 0+0 -> sum 1 (carry in).
+  sim.set_input("line1", true);
+  sim.set_input("line2", true);
+  sim.settle();
+  sim.clock();
+  EXPECT_FALSE(sim.output("outp"));
+  sim.set_input("line1", false);
+  sim.set_input("line2", false);
+  sim.settle();
+  sim.clock();
+  EXPECT_TRUE(sim.output("outp"));
+}
+
+}  // namespace
+}  // namespace relogic::netlist

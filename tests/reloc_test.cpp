@@ -1,0 +1,251 @@
+// Unit tests: relogic::reloc (net surgery, cost model, engine edge cases
+// beyond the integration suite).
+#include <gtest/gtest.h>
+
+#include "relogic/config/controller.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/reloc/cost.hpp"
+#include "relogic/reloc/engine.hpp"
+#include "relogic/reloc/net_surgery.hpp"
+#include "relogic/sim/harness.hpp"
+
+namespace relogic::reloc {
+namespace {
+
+using fabric::CellPort;
+using fabric::DeviceGeometry;
+using fabric::Dir;
+using fabric::Fabric;
+using fabric::NodeId;
+using fabric::RouteEdge;
+
+class NetSurgeryTest : public ::testing::Test {
+ protected:
+  DeviceGeometry geom_ = DeviceGeometry::tiny(8, 8);
+  Fabric fab_{geom_};
+
+  // Builds a Y-shaped net: src -> a -> b, b -> sink1, b -> c -> sink2.
+  struct Y {
+    fabric::NetId net;
+    NodeId src, a, b, c, sink1, sink2;
+  };
+  Y build_y() {
+    const auto& g = fab_.graph();
+    Y y;
+    y.net = fab_.create_net("y");
+    y.src = g.out_pin({2, 2}, 0, false);
+    y.a = g.single({2, 2}, Dir::kE, 0);
+    y.b = g.single({2, 3}, Dir::kE, 0);
+    y.sink1 = g.in_pin({2, 4}, 0, CellPort::kI0);
+    y.c = g.single({2, 4}, Dir::kS, 0);
+    y.sink2 = g.in_pin({3, 4}, 0, CellPort::kI0);
+    fab_.attach_source(y.net, y.src);
+    fab_.add_edge(y.net, {y.src, y.a});
+    fab_.add_edge(y.net, {y.a, y.b});
+    fab_.add_edge(y.net, {y.b, y.sink1});
+    fab_.add_edge(y.net, {y.b, y.c});
+    fab_.add_edge(y.net, {y.c, y.sink2});
+    fab_.validate_net(y.net);
+    return y;
+  }
+};
+
+TEST_F(NetSurgeryTest, SinkRemovalKeepsSharedTrunk) {
+  const Y y = build_y();
+  const auto removed = prune_for_sink_removal(fab_, y.net, y.sink2);
+  // Only the private branch b->c->sink2 goes; the trunk survives.
+  EXPECT_EQ(removed.size(), 2u);
+  for (const auto& e : removed) {
+    EXPECT_TRUE((e == RouteEdge{y.b, y.c}) || (e == RouteEdge{y.c, y.sink2}));
+  }
+}
+
+TEST_F(NetSurgeryTest, GroupedRemovalFreesSharedSegmentsExactlyOnce) {
+  const Y y = build_y();
+  const auto removed =
+      prune_for_sinks_removal(fab_, y.net, {y.sink1, y.sink2});
+  // Dropping both sinks frees everything.
+  EXPECT_EQ(removed.size(), fab_.net(y.net).edges.size());
+  // Per-sink pruning would have left the shared trunk in place.
+  const auto only1 = prune_for_sink_removal(fab_, y.net, y.sink1);
+  EXPECT_LT(only1.size(), removed.size());
+}
+
+TEST_F(NetSurgeryTest, SourceRemovalWithParallelReplica) {
+  // src and replica both drive the trunk; removing src keeps the replica
+  // path intact and all sinks covered.
+  const auto& g = fab_.graph();
+  Y y = build_y();
+  const NodeId replica = g.out_pin({3, 2}, 0, false);
+  const NodeId r1 = g.single({3, 2}, Dir::kN, 1);
+  fab_.attach_source(y.net, replica);
+  fab_.add_edge(y.net, {replica, r1});
+  fab_.add_edge(y.net, {r1, y.a});  // joins the trunk at a
+  fab_.validate_net(y.net);
+
+  const auto removed = prune_for_source_removal(fab_, y.net, y.src);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], (RouteEdge{y.src, y.a}));
+
+  fab_.remove_edges(y.net, removed);
+  fab_.detach_source(y.net, y.src);
+  fab_.validate_net(y.net);
+  EXPECT_EQ(fab_.net_sinks(y.net).size(), 2u);
+}
+
+TEST_F(NetSurgeryTest, NeededEdgesEmptyWhenNoSinksKept) {
+  const Y y = build_y();
+  const auto kept = needed_edges(fab_, y.net, fab_.net(y.net).sources, {});
+  EXPECT_TRUE(kept.empty());
+}
+
+TEST(CostModel, OrdersCasesByComplexity) {
+  const auto geom = DeviceGeometry::xcv200();
+  config::BoundaryScanPort jtag;
+  const RelocationCostModel model(geom, jtag);
+  const auto comb = model.cell_time(fabric::RegMode::kNone, false);
+  const auto ff = model.cell_time(fabric::RegMode::kFF, false);
+  const auto gated = model.cell_time(fabric::RegMode::kFF, true);
+  const auto latch = model.cell_time(fabric::RegMode::kLatch, false);
+  EXPECT_LT(comb, ff);
+  EXPECT_LT(ff, gated);
+  EXPECT_EQ(gated, latch);
+  // The paper's ballpark: gated relocation in the tens of milliseconds.
+  EXPECT_GT(gated, SimTime::ms(10));
+  EXPECT_LT(gated, SimTime::ms(40));
+  // Linear in cells.
+  EXPECT_EQ(model.function_time(10, fabric::RegMode::kFF, true),
+            gated * 10);
+  EXPECT_EQ(model.function_time(0, fabric::RegMode::kFF, true),
+            SimTime::zero());
+}
+
+TEST(CostModel, ConfigureScalesWithFootprint) {
+  const auto geom = DeviceGeometry::xcv200();
+  config::BoundaryScanPort jtag;
+  const RelocationCostModel model(geom, jtag);
+  EXPECT_LT(model.configure_time(16), model.configure_time(64));
+  EXPECT_LT(model.configure_time(64), model.configure_time(256));
+}
+
+struct EngineRig {
+  Fabric fab{DeviceGeometry::tiny(12, 12)};
+  fabric::DelayModel dm;
+  config::BoundaryScanPort port;
+  config::ConfigController controller{fab, port, true};
+  sim::FabricSim sim{fab, dm};
+  place::Implementer implementer{fab, dm};
+  place::Router router{fab, dm};
+  RelocationEngine engine{controller, router, &sim};
+  EngineRig() { sim.add_clock(sim::ClockSpec{}); }
+};
+
+TEST(EngineEdgeCases, DestinationOccupiedRejected) {
+  EngineRig rig;
+  const auto nl = netlist::bench::counter(3);
+  const auto mapped = netlist::map_netlist(nl);
+  place::ImplementOptions opts;
+  opts.region = place::suggest_region(mapped, {2, 2}, rig.fab.geometry());
+  auto impl = rig.implementer.implement(mapped, opts);
+  // Destination = another of its own cells.
+  EXPECT_THROW(rig.engine.relocate_cell(impl, 0, impl.sites[1]),
+               ContractError);
+}
+
+TEST(EngineEdgeCases, FunctionRegionWithoutSpaceRejected) {
+  EngineRig rig;
+  const auto nl = netlist::bench::counter(4);
+  auto impl = rig.implementer.implement(
+      netlist::map_netlist(nl),
+      place::ImplementOptions{
+          place::suggest_region(netlist::map_netlist(nl), {2, 2},
+                                rig.fab.geometry()),
+          0,
+          {}});
+  EXPECT_THROW(rig.engine.relocate_function(impl, ClbRect{10, 10, 1, 1}),
+               ResourceError);
+}
+
+TEST(EngineEdgeCases, RelocationWithoutSimulatorStillWorks) {
+  // Planning mode: no simulator attached; waits are accounted
+  // analytically and no state verification happens.
+  Fabric fab(DeviceGeometry::tiny(12, 12));
+  fabric::DelayModel dm;
+  config::BoundaryScanPort port;
+  config::ConfigController controller(fab, port, true);
+  place::Implementer implementer(fab, dm);
+  place::Router router(fab, dm);
+  RelocationEngine engine(controller, router, nullptr);
+
+  const auto nl = netlist::bench::counter(3);
+  auto impl = implementer.implement(
+      netlist::map_netlist(nl),
+      place::ImplementOptions{
+          place::suggest_region(netlist::map_netlist(nl), {2, 2},
+                                fab.geometry()),
+          0,
+          {}});
+  const auto report =
+      engine.relocate_cell(impl, 0, place::CellSite{ClbCoord{9, 9}, 0});
+  EXPECT_GT(report.config_time, SimTime::zero());
+  EXPECT_GE(report.wall_time, report.config_time);
+  EXPECT_FALSE(report.state_verified);
+  for (const auto& [sig, net] : impl.signal_nets) {
+    if (fab.net_exists(net)) fab.validate_net(net);
+  }
+}
+
+TEST(EngineEdgeCases, ReportsAccumulateInFunctionRelocation) {
+  EngineRig rig;
+  const auto nl = netlist::bench::counter(3);
+  auto impl = rig.implementer.implement(
+      netlist::map_netlist(nl),
+      place::ImplementOptions{
+          place::suggest_region(netlist::map_netlist(nl), {1, 1},
+                                rig.fab.geometry()),
+          0,
+          {}});
+  sim::CircuitHarness harness(rig.sim, nl, impl);
+  for (int i = 0; i < 3; ++i) harness.step({});
+
+  const auto report = rig.engine.relocate_function(impl, ClbRect{8, 8, 3, 3});
+  EXPECT_EQ(static_cast<int>(report.cells.size()), impl.cell_count());
+  SimTime sum = SimTime::zero();
+  int frames = 0;
+  for (const auto& r : report.cells) {
+    sum += r.config_time;
+    frames += r.frames_written;
+  }
+  EXPECT_EQ(report.config_time, sum);
+  EXPECT_EQ(report.frames_written, frames);
+  EXPECT_EQ(impl.region, (ClbRect{8, 8, 3, 3}));
+}
+
+TEST(EngineEdgeCases, AuxSearchFailsOnFullFabric) {
+  EngineRig rig;
+  // Occupy every CLB so no auxiliary site exists.
+  for (int r = 0; r < 12; ++r)
+    for (int c = 0; c < 12; ++c)
+      rig.fab.set_cell_config({r, c}, 0,
+                              fabric::LogicCellConfig::constant(false));
+  // A gated-clock cell relocation must fail with a resource error before
+  // touching anything.
+  const auto nl = netlist::bench::shift_register(
+      1, netlist::bench::ClockingStyle::kGatedClock);
+  // Free a strip for the implementation itself.
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 6; ++c) rig.fab.clear_cell({r, c}, 0);
+  auto impl = rig.implementer.implement(
+      netlist::map_netlist(nl),
+      place::ImplementOptions{ClbRect{0, 0, 4, 5}, 0, {}});
+  // Free exactly one destination cell far away, but keep its CLB's other
+  // cells... the destination CLB itself holds cell 0; use cell 1.
+  EXPECT_THROW(
+      rig.engine.relocate_cell(impl, 0, place::CellSite{ClbCoord{10, 10}, 1}),
+      ResourceError);
+}
+
+}  // namespace
+}  // namespace relogic::reloc

@@ -1,0 +1,213 @@
+// Unit tests: relogic::sched (workloads, policies, event engine).
+#include <gtest/gtest.h>
+
+#include "relogic/config/port.hpp"
+#include "relogic/reloc/cost.hpp"
+#include "relogic/sched/scheduler.hpp"
+
+namespace relogic::sched {
+namespace {
+
+reloc::RelocationCostModel fast_cost() {
+  static const auto geom = fabric::DeviceGeometry::xcv200();
+  static const config::SelectMapPort port;
+  return reloc::RelocationCostModel(geom, port);
+}
+
+TEST(Workload, RandomTasksDeterministic) {
+  RandomTaskParams p;
+  p.task_count = 50;
+  const auto a = random_tasks(p);
+  const auto b = random_tasks(p);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].fn.height, b[i].fn.height);
+  }
+  // Arrivals are nondecreasing.
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+}
+
+TEST(Workload, Fig1ShapeMatchesPaper) {
+  const auto apps = fig1_applications();
+  ASSERT_EQ(apps.size(), 3u);
+  EXPECT_EQ(apps[0].functions.size(), 2u);  // A1, A2
+  EXPECT_EQ(apps[1].functions.size(), 2u);  // B1, B2
+  EXPECT_EQ(apps[2].functions.size(), 4u);  // C1..C4
+  EXPECT_EQ(apps[2].functions[1].name, "C2");
+}
+
+TEST(Scheduler, SingleTaskRunsToCompletion) {
+  SchedulerConfig cfg;
+  Scheduler sched(16, 16, fast_cost(), cfg);
+  FunctionSpec fn;
+  fn.name = "t";
+  fn.height = 4;
+  fn.width = 4;
+  fn.duration = SimTime::ms(10);
+  const auto stats = sched.run_tasks({TaskArrival{fn, SimTime::ms(1)}});
+  ASSERT_EQ(stats.tasks.size(), 1u);
+  const auto& t = stats.tasks[0];
+  EXPECT_FALSE(t.rejected);
+  EXPECT_GE(t.run_start, t.ready);
+  EXPECT_EQ(t.finish - t.run_start, SimTime::ms(10));
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GT(stats.config_port_busy, SimTime::zero());
+}
+
+TEST(Scheduler, OversizedTaskRejected) {
+  SchedulerConfig cfg;
+  Scheduler sched(8, 8, fast_cost(), cfg);
+  FunctionSpec fn;
+  fn.name = "big";
+  fn.height = 9;
+  fn.width = 2;
+  const auto stats = sched.run_tasks({TaskArrival{fn, SimTime::zero()}});
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_TRUE(stats.tasks[0].rejected);
+}
+
+TEST(Scheduler, QueueDrainsOnDepartures) {
+  // Two 8x8 tasks on an 8x8 device: strictly sequential.
+  SchedulerConfig cfg;
+  cfg.policy = ManagementPolicy::kNoRearrange;
+  Scheduler sched(8, 8, fast_cost(), cfg);
+  FunctionSpec fn;
+  fn.height = 8;
+  fn.width = 8;
+  fn.duration = SimTime::ms(5);
+  fn.name = "a";
+  std::vector<TaskArrival> tasks{{fn, SimTime::zero()}, {fn, SimTime::zero()}};
+  tasks[1].fn.name = "b";
+  const auto stats = sched.run_tasks(tasks);
+  EXPECT_EQ(stats.rejected, 0);
+  const auto& a = stats.tasks[0];
+  const auto& b = stats.tasks[1];
+  EXPECT_GE(b.run_start, a.finish);
+}
+
+TEST(Scheduler, TransparentPolicyNeverHalts) {
+  RandomTaskParams p;
+  p.task_count = 120;
+  p.min_side = 4;
+  p.max_side = 12;
+  p.mean_interarrival_ms = 10.0;
+  p.mean_duration_ms = 200.0;
+  SchedulerConfig cfg;
+  cfg.policy = ManagementPolicy::kTransparent;
+  Scheduler sched(20, 20, fast_cost(), cfg);
+  const auto stats = sched.run_tasks(random_tasks(p));
+  EXPECT_EQ(stats.total_halted, SimTime::zero());
+}
+
+TEST(Scheduler, HaltAndMoveChargesDowntimeWhenItMoves) {
+  RandomTaskParams p;
+  p.task_count = 120;
+  p.min_side = 4;
+  p.max_side = 12;
+  p.mean_interarrival_ms = 10.0;
+  p.mean_duration_ms = 200.0;
+  SchedulerConfig cfg;
+  cfg.policy = ManagementPolicy::kHaltAndMove;
+  Scheduler sched(20, 20, fast_cost(), cfg);
+  const auto stats = sched.run_tasks(random_tasks(p));
+  if (stats.rearrangement_moves > 0) {
+    EXPECT_GT(stats.total_halted, SimTime::zero());
+  }
+}
+
+TEST(Scheduler, RearrangementImprovesOnNone) {
+  // Moderate load (~85% offered area): fragmentation blocks requests now
+  // and then, and rearrangement has the headroom to pay off. (Under heavy
+  // overload no policy helps — see bench_defrag_policies' load sweep.)
+  RandomTaskParams p;
+  p.task_count = 150;
+  p.min_side = 5;
+  p.max_side = 12;
+  p.mean_interarrival_ms = 25.0;
+  p.mean_duration_ms = 180.0;
+  p.seed = 9;
+  const auto tasks = random_tasks(p);
+
+  auto run = [&](ManagementPolicy policy) {
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    cfg.max_wait = SimTime::ms(500);
+    Scheduler sched(20, 20, fast_cost(), cfg);
+    return sched.run_tasks(tasks);
+  };
+  const auto none = run(ManagementPolicy::kNoRearrange);
+  const auto transparent = run(ManagementPolicy::kTransparent);
+  // The paper's core claim at scheduler level: rearrangement admits at
+  // least as many tasks.
+  EXPECT_LE(transparent.rejected, none.rejected);
+  EXPECT_GT(transparent.rearrangement_moves, 0);
+}
+
+TEST(Scheduler, AppChainsRunInOrder) {
+  SchedulerConfig cfg;
+  Scheduler sched(28, 42, fast_cost(), cfg);
+  const auto stats = sched.run_apps(fig1_applications(6), 1);
+  // Within each application, functions finish in sequence.
+  auto find = [&](const std::string& name) {
+    for (const auto& t : stats.tasks)
+      if (t.name == name) return t;
+    throw std::runtime_error("missing " + name);
+  };
+  EXPECT_LE(find("A1").finish, find("A2").run_start);
+  EXPECT_LE(find("C1").finish, find("C2").run_start);
+  EXPECT_LE(find("C3").finish, find("C4").run_start);
+  EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(Scheduler, PrefetchHidesConfigurationLatency) {
+  // The Fig. 1 rt interval: the next function is configured while its
+  // predecessor still runs, which requires two resident functions
+  // (overlap = 2). With overlap = 1 prefetch cannot start early by
+  // construction.
+  const auto apps = fig1_applications(6);
+  auto run = [&](bool prefetch) {
+    SchedulerConfig cfg;
+    cfg.prefetch = prefetch;
+    Scheduler sched(28, 42, fast_cost(), cfg);
+    return sched.run_apps(apps, 2);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LE(with.makespan, without.makespan);
+  EXPECT_LT(with.avg_allocation_delay_ms(),
+            without.avg_allocation_delay_ms());
+}
+
+TEST(Scheduler, HigherParallelismNeedsMoreAreaOrDelays) {
+  // A device where the applications fit sequentially but not three-deep:
+  // the paper's "an increase in the degree of parallelism may retard the
+  // reconfiguration of incoming functions, due to lack of space".
+  const auto apps = fig1_applications(8);
+  auto run = [&](int overlap) {
+    SchedulerConfig cfg;
+    Scheduler sched(12, 16, fast_cost(), cfg);
+    return sched.run_apps(apps, overlap);
+  };
+  const auto seq = run(1);
+  const auto par = run(3);
+  EXPECT_EQ(seq.rejected, 0);
+  EXPECT_GT(par.avg_allocation_delay_ms() + par.rejected,
+            seq.avg_allocation_delay_ms() + seq.rejected);
+}
+
+TEST(Scheduler, UtilizationBoundedAndPositive) {
+  RandomTaskParams p;
+  p.task_count = 80;
+  SchedulerConfig cfg;
+  Scheduler sched(20, 20, fast_cost(), cfg);
+  const auto stats = sched.run_tasks(random_tasks(p));
+  EXPECT_GT(stats.utilization_avg, 0.0);
+  EXPECT_LE(stats.utilization_avg, 1.0);
+  EXPECT_GE(stats.fragmentation_avg, 0.0);
+  EXPECT_LE(stats.fragmentation_max, 1.0);
+}
+
+}  // namespace
+}  // namespace relogic::sched
