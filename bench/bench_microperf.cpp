@@ -7,6 +7,11 @@
 // drive and catch performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
 #include "relogic/area/defrag.hpp"
 #include "relogic/config/controller.hpp"
 #include "relogic/config/port.hpp"
@@ -127,6 +132,55 @@ void BM_DefragPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_DefragPlan)->Unit(benchmark::kMillisecond);
 
+/// google-benchmark 1.8.0 replaced Run::error_occurred with Run::skipped;
+/// these overloads pick whichever member the system library has.
+template <typename R>
+auto run_failed(const R& run, int)
+    -> decltype(static_cast<bool>(run.error_occurred)) {
+  return run.error_occurred;
+}
+template <typename R>
+auto run_failed(const R& run, long)
+    -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+
+/// Console output as usual, plus every run captured into the shared
+/// machine-readable report (BENCH_microperf.json).
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsole(bench_report::Report& report) : report_(&report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run_failed(run, 0)) continue;
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (c == '/' || c == ':') c = '_';
+      }
+      report_->add(name, run.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench_report::Report* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench_report::Report report("microperf");
+  ReportingConsole console(report);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  if (!report.write()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", report.path().c_str());
+  return 0;
+}

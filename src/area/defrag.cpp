@@ -6,88 +6,146 @@ namespace relogic::area {
 
 namespace {
 
-/// One greedy pass; `prefer_small_victims` selects the gain tie-break.
-std::optional<DefragPlan> greedy_plan(const AreaManager& mgr, int h, int w,
-                                      const DefragOptions& opt,
-                                      bool prefer_small_victims) {
-  AreaManager scratch = mgr;
-  DefragPlan plan;
-
-  while (!scratch.can_fit(h, w)) {
-    if (static_cast<int>(plan.moves.size()) >= opt.max_moves)
-      return std::nullopt;
-
-    // Greedy: the move that most enlarges the largest free rectangle.
-    std::optional<Move> best;
-    long best_gain = -1;
-    long best_dist = 0;
-    long best_area = 0;
-    for (const Region& r : scratch.regions()) {
-      // Candidate destinations: bottom-left and best-fit placements of the
-      // region's shape in the remaining free space (non-overlapping with
-      // its current rect, so plans execute move-by-move on the fabric).
-      for (PlacePolicy policy :
-           {PlacePolicy::kBottomLeft, PlacePolicy::kBestFit}) {
-        const auto dest =
-            scratch.find_free_rect(r.rect.height, r.rect.width, policy);
-        if (!dest || *dest == r.rect) continue;
-        AreaManager trial = scratch;
-        trial.move(r.id, *dest);
-        const long gain = trial.largest_free_rect().area();
-        const long dist =
-            std::abs(dest->row - r.rect.row) + std::abs(dest->col - r.rect.col);
-        // Relocation cost grows with the moved area (one procedure per
-        // cell), so by default prefer small victims on equal gain; the
-        // alternate pass prefers large ones (sometimes the small-victim
-        // move blocks the only escape of a large region).
-        const long area_penalty = r.rect.area();
-        bool better = false;
-        if (!best) {
-          better = true;
-        } else if (gain != best_gain) {
-          better = gain > best_gain;
-        } else if (area_penalty != best_area) {
-          better = prefer_small_victims ? area_penalty < best_area
-                                        : area_penalty > best_area;
-        } else if (opt.prefer_near) {
-          better = dist < best_dist;
-        }
-        if (better) {
-          best = Move{r.id, r.rect, *dest};
-          best_gain = gain;
-          best_dist = dist;
-          best_area = area_penalty;
-        }
+/// Best single move by the greedy criterion — the move that most enlarges
+/// the largest free rectangle; `prefer_small_victims` selects the
+/// equal-gain tie-break. Shape-independent: callers decide when to stop.
+std::optional<Move> best_move(AreaManager& scratch, const DefragOptions& opt,
+                              bool prefer_small_victims) {
+  std::optional<Move> best;
+  long best_gain = -1;
+  long best_dist = 0;
+  long best_area = 0;
+  for (const Region& r : scratch.regions()) {
+    // Candidate destinations: bottom-left and best-fit placements of the
+    // region's shape in the remaining free space (non-overlapping with
+    // its current rect, so plans execute move-by-move on the fabric).
+    for (PlacePolicy policy :
+         {PlacePolicy::kBottomLeft, PlacePolicy::kBestFit}) {
+      const auto dest =
+          scratch.find_free_rect(r.rect.height, r.rect.width, policy);
+      if (!dest || *dest == r.rect) continue;
+      // Score by trial move + rollback (cheaper than copying the whole
+      // manager per candidate; the rollback destination is the region's
+      // own just-vacated rect, so both moves are always legal).
+      scratch.move(r.id, *dest);
+      const long gain = scratch.largest_free_rect().area();
+      scratch.move(r.id, r.rect);
+      const long dist =
+          std::abs(dest->row - r.rect.row) + std::abs(dest->col - r.rect.col);
+      // Relocation cost grows with the moved area (one procedure per
+      // cell), so by default prefer small victims on equal gain; the
+      // alternate pass prefers large ones (sometimes the small-victim
+      // move blocks the only escape of a large region).
+      const long area_penalty = r.rect.area();
+      bool better = false;
+      if (!best) {
+        better = true;
+      } else if (gain != best_gain) {
+        better = gain > best_gain;
+      } else if (area_penalty != best_area) {
+        better = prefer_small_victims ? area_penalty < best_area
+                                      : area_penalty > best_area;
+      } else if (opt.prefer_near) {
+        better = dist < best_dist;
+      }
+      if (better) {
+        best = Move{r.id, r.rect, *dest};
+        best_gain = gain;
+        best_dist = dist;
+        best_area = area_penalty;
       }
     }
-    if (!best) return std::nullopt;
-    scratch.move(best->region, best->to);
-    plan.moves.push_back(*best);
+  }
+  return best;
+}
+
+/// profile[h-1] = widest w such that an all-free h x w rectangle exists.
+/// Maximal free rectangles via the shared sweep, then a suffix-max pass
+/// (a taller free rect contains every shorter one).
+std::vector<int> free_width_profile(const AreaManager& mgr) {
+  const int rows = mgr.rows();
+  std::vector<int> profile(static_cast<std::size_t>(rows), 0);
+  mgr.for_each_maximal_free_rect([&](const ClbRect& r) {
+    profile[static_cast<std::size_t>(r.height - 1)] =
+        std::max(profile[static_cast<std::size_t>(r.height - 1)], r.width);
+  });
+  for (int h = rows - 1; h >= 1; --h) {
+    profile[static_cast<std::size_t>(h - 1)] =
+        std::max(profile[static_cast<std::size_t>(h - 1)],
+                 profile[static_cast<std::size_t>(h)]);
+  }
+  return profile;
+}
+
+}  // namespace
+
+RequestPlanner::Sequence::Sequence(const AreaManager& mgr, bool prefer_small)
+    : scratch(mgr), prefer_small_victims(prefer_small) {
+  fit.push_back(free_width_profile(scratch));
+}
+
+RequestPlanner::RequestPlanner(const AreaManager& mgr, DefragOptions opt)
+    : mgr_(&mgr), opt_(opt), small_victims_(mgr, /*prefer_small=*/true) {}
+
+std::optional<DefragPlan> RequestPlanner::query(Sequence& seq, int h,
+                                                int w) const {
+  if (h > mgr_->rows() || w > mgr_->cols()) return std::nullopt;
+  std::size_t k = 0;
+  while (true) {
+    if (k == seq.fit.size()) {
+      // Extend the sequence by one move — exactly the move the per-shape
+      // greedy pass would have taken next.
+      if (seq.exhausted ||
+          static_cast<int>(seq.moves.size()) >= opt_.max_moves)
+        return std::nullopt;
+      const auto mv = best_move(seq.scratch, opt_, seq.prefer_small_victims);
+      if (!mv) {
+        seq.exhausted = true;
+        return std::nullopt;
+      }
+      seq.scratch.move(mv->region, mv->to);
+      seq.moves.push_back(*mv);
+      seq.fit.push_back(free_width_profile(seq.scratch));
+    }
+    if (seq.fit[k][static_cast<std::size_t>(h - 1)] >= w) break;
+    ++k;
   }
 
-  const auto slot = scratch.find_free_rect(h, w, PlacePolicy::kBottomLeft);
+  DefragPlan plan;
+  plan.moves.assign(seq.moves.begin(),
+                    seq.moves.begin() + static_cast<std::ptrdiff_t>(k));
+  std::optional<ClbRect> slot;
+  if (k == seq.moves.size()) {
+    // Satisfied at the sequence tip: scratch is already the post-move state.
+    slot = seq.scratch.find_free_rect(h, w, PlacePolicy::kBottomLeft);
+  } else {
+    AreaManager replay = *mgr_;
+    for (const Move& m : plan.moves) replay.move(m.region, m.to);
+    slot = replay.find_free_rect(h, w, PlacePolicy::kBottomLeft);
+  }
   RELOGIC_CHECK(slot.has_value());
   plan.request_slot = *slot;
   return plan;
 }
 
-}  // namespace
-
-std::optional<DefragPlan> plan_for_request(const AreaManager& mgr, int h,
-                                           int w, const DefragOptions& opt) {
+std::optional<DefragPlan> RequestPlanner::plan(int h, int w) const {
   RELOGIC_CHECK(h >= 1 && w >= 1);
-  if (mgr.free_clbs() < h * w) return std::nullopt;
+  if (mgr_->free_clbs() < h * w) return std::nullopt;
 
   // Greedy with the cheap tie-break first, the alternate second, full
   // bottom-left repacking as the last resort (still bounded by max_moves).
-  if (auto plan = greedy_plan(mgr, h, w, opt, /*prefer_small_victims=*/true))
-    return plan;
-  if (auto plan = greedy_plan(mgr, h, w, opt, /*prefer_small_victims=*/false))
-    return plan;
-  auto full = plan_full_compaction(mgr, {{h, w}});
-  if (full && static_cast<int>(full->moves.size()) <= opt.max_moves)
+  if (auto plan = query(small_victims_, h, w)) return plan;
+  if (!large_victims_) large_victims_.emplace(*mgr_, /*prefer_small=*/false);
+  if (auto plan = query(*large_victims_, h, w)) return plan;
+  auto full = plan_full_compaction(*mgr_, {{h, w}});
+  if (full && static_cast<int>(full->moves.size()) <= opt_.max_moves)
     return full;
   return std::nullopt;
+}
+
+std::optional<DefragPlan> plan_for_request(const AreaManager& mgr, int h,
+                                           int w, const DefragOptions& opt) {
+  return RequestPlanner(mgr, opt).plan(h, w);
 }
 
 std::optional<DefragPlan> plan_full_compaction(

@@ -58,6 +58,49 @@ std::optional<DefragPlan> plan_for_request(const AreaManager& mgr, int h,
                                            int w,
                                            const DefragOptions& opt = {});
 
+/// Shared planning front-end for one fixed area state.
+///
+/// The greedy search of plan_for_request picks each move by the largest
+/// free-rectangle gain — a criterion independent of the request shape; only
+/// the stopping point ("does h x w fit yet?") depends on it. RequestPlanner
+/// therefore runs the expensive greedy search once per tie-break variant
+/// (up to max_moves moves each) and records, after every prefix, the
+/// max-width-per-height profile of the free space. A plan(h, w) query then
+/// reduces to a profile lookup plus a cheap replay to recover the request
+/// slot — exact same results as plan_for_request, amortised across every
+/// request shape the on-line scheduler retries against one area state.
+class RequestPlanner {
+ public:
+  explicit RequestPlanner(const AreaManager& mgr, DefragOptions opt = {});
+
+  /// Identical result to plan_for_request(mgr, h, w, opt) for the state
+  /// the planner was built from. The manager must not have changed.
+  std::optional<DefragPlan> plan(int h, int w) const;
+
+ private:
+  /// One greedy move sequence (for one victim-preference tie-break),
+  /// extended lazily one move at a time as queries demand it.
+  struct Sequence {
+    Sequence(const AreaManager& mgr, bool prefer_small);
+
+    AreaManager scratch;  ///< state after all computed moves
+    bool prefer_small_victims;
+    bool exhausted = false;  ///< no further move exists
+    std::vector<Move> moves;
+    /// fit[k][h-1]: widest w such that a free h x w rect exists after the
+    /// first k moves (0 if none). Monotone nonincreasing in h.
+    std::vector<std::vector<int>> fit;
+  };
+
+  std::optional<DefragPlan> query(Sequence& seq, int h, int w) const;
+
+  const AreaManager* mgr_;
+  DefragOptions opt_;
+  mutable Sequence small_victims_;
+  /// Built lazily: only consulted when the small-victims pass fails.
+  mutable std::optional<Sequence> large_victims_;
+};
+
 /// Plans bottom-left repacking of all regions (sorted by height, then
 /// width). Returns the moves in execution order; positions never overlap a
 /// yet-unmoved region's current rect, which a sequential executor requires.

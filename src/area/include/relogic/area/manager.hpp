@@ -71,6 +71,41 @@ class AreaManager {
   }
   /// Largest rectangle of entirely free CLBs.
   ClbRect largest_free_rect() const;
+
+  /// Invokes fn(ClbRect) for every maximal-in-histogram rectangle of
+  /// entirely free CLBs (row-wise histogram sweep with a stack; every
+  /// maximal free rectangle of the grid is among the visited ones).
+  /// Shared by largest_free_rect and the defrag planner's fit profiles so
+  /// the subtle sweep lives in one place.
+  template <typename Fn>
+  void for_each_maximal_free_rect(Fn&& fn) const {
+    std::vector<int> height(static_cast<std::size_t>(cols_), 0);
+    std::vector<int> stack;
+    for (int row = 0; row < rows_; ++row) {
+      for (int col = 0; col < cols_; ++col) {
+        const bool free =
+            grid_[static_cast<std::size_t>(row) * cols_ + col] == kNoRegion;
+        height[static_cast<std::size_t>(col)] =
+            free ? height[static_cast<std::size_t>(col)] + 1 : 0;
+      }
+      stack.clear();
+      for (int col = 0; col <= cols_; ++col) {
+        const int h = col < cols_ ? height[static_cast<std::size_t>(col)] : 0;
+        while (!stack.empty() &&
+               height[static_cast<std::size_t>(stack.back())] > h) {
+          const int top = stack.back();
+          stack.pop_back();
+          const int hh = height[static_cast<std::size_t>(top)];
+          const int left = stack.empty() ? 0 : stack.back() + 1;
+          const int ww = col - left;
+          fn(ClbRect{row - hh + 1, left, hh, ww});
+        }
+        // Zero-height columns stay on the stack as barriers; otherwise a
+        // later pop would wrongly extend across the gap.
+        if (col < cols_) stack.push_back(col);
+      }
+    }
+  }
   /// 1 - largest_free_rect.area / free_clbs (0 when free space is one
   /// rectangle; -> 1 as it shatters). 0 when no free space.
   double fragmentation() const;

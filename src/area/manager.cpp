@@ -170,36 +170,10 @@ std::vector<Region> AreaManager::regions() const {
 }
 
 ClbRect AreaManager::largest_free_rect() const {
-  // Maximal rectangle under a histogram, per row.
-  std::vector<int> height(static_cast<std::size_t>(cols_), 0);
   ClbRect best{0, 0, 0, 0};
-  for (int row = 0; row < rows_; ++row) {
-    for (int col = 0; col < cols_; ++col) {
-      const bool free =
-          grid_[static_cast<std::size_t>(row) * cols_ + col] == kNoRegion;
-      height[static_cast<std::size_t>(col)] =
-          free ? height[static_cast<std::size_t>(col)] + 1 : 0;
-    }
-    // Stack-based largest rectangle in histogram.
-    std::vector<int> stack;
-    for (int col = 0; col <= cols_; ++col) {
-      const int h = col < cols_ ? height[static_cast<std::size_t>(col)] : 0;
-      while (!stack.empty() &&
-             height[static_cast<std::size_t>(stack.back())] > h) {
-        const int top = stack.back();
-        stack.pop_back();
-        const int hh = height[static_cast<std::size_t>(top)];
-        const int left = stack.empty() ? 0 : stack.back() + 1;
-        const int ww = col - left;
-        if (hh * ww > best.area()) {
-          best = ClbRect{row - hh + 1, left, hh, ww};
-        }
-      }
-      // Zero-height columns stay on the stack as barriers; otherwise a
-      // later pop would wrongly extend across the gap.
-      if (col < cols_) stack.push_back(col);
-    }
-  }
+  for_each_maximal_free_rect([&](const ClbRect& r) {
+    if (r.area() > best.area()) best = r;
+  });
   return best;
 }
 

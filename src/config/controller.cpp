@@ -85,12 +85,13 @@ std::set<FrameAddress> ConfigController::frames_of(const ConfigOp& op) const {
   return widened;
 }
 
-ApplyResult ConfigController::apply(const ConfigOp& op,
-                                    bool allow_lut_ram_columns) {
-  if (!allow_lut_ram_columns) check_lut_ram_columns(op);
+ApplyResult ConfigController::preview(const ConfigOp& op) const {
+  return preview(frames_of(op));
+}
 
+ApplyResult ConfigController::preview(
+    const std::set<FrameAddress>& frames) const {
   ApplyResult result;
-  const std::set<FrameAddress> frames = frames_of(op);
   result.frames_written = static_cast<int>(frames.size());
 
   std::set<std::pair<ColumnType, std::int16_t>> columns;
@@ -106,6 +107,15 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
       if (f.type == col.first && f.column == col.second) ++n;
     result.time += port_->write_time(n, frame_bits);
   }
+  return result;
+}
+
+ApplyResult ConfigController::apply(const ConfigOp& op,
+                                    bool allow_lut_ram_columns) {
+  const std::set<FrameAddress> frames = frames_of(op);
+  if (!allow_lut_ram_columns) check_lut_ram_columns(op, frames, nullptr);
+
+  ApplyResult result = preview(frames);
 
   // Apply the structural actions in order.
   for (const ConfigAction& a : op.actions) {
@@ -153,15 +163,24 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
   return result;
 }
 
-void ConfigController::check_lut_ram_columns(const ConfigOp& op) const {
+void ConfigController::check_lut_ram_columns(
+    const ConfigOp& op, const std::set<CellKey>* extra_rewritten) const {
+  check_lut_ram_columns(op, frames_of(op), extra_rewritten);
+}
+
+void ConfigController::check_lut_ram_columns(
+    const ConfigOp& op, const std::set<FrameAddress>& frames,
+    const std::set<CellKey>* extra_rewritten) const {
   // Columns the op writes.
   std::set<std::int16_t> cols;
-  for (const FrameAddress& f : frames_of(op))
+  for (const FrameAddress& f : frames)
     if (f.type == ColumnType::kClb) cols.insert(f.column);
   if (cols.empty()) return;
 
-  // Cells the op itself rewrites (those are intentional, hence exempt).
-  std::set<std::pair<int, int>> rewritten;  // (row, col*4+cell)
+  // Cells the op itself rewrites (those are intentional, hence exempt),
+  // plus any the caller knows are rewritten before this op applies.
+  std::set<CellKey> rewritten;  // (row, col*4+cell)
+  if (extra_rewritten != nullptr) rewritten = *extra_rewritten;
   for (const ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<CellWrite>(&a))
       rewritten.insert({cw->clb.row, cw->clb.col * 4 + cw->cell});

@@ -95,6 +95,9 @@ struct ConfigOp {
 /// Outcome of applying one ConfigOp.
 struct ApplyResult {
   int frames_written = 0;
+  /// Port transactions issued: the frame-address register must be rewritten
+  /// whenever the column changes, so each touched column is one transaction
+  /// paying the full TAP/header/pad overhead of the port model.
   int columns_touched = 0;
   SimTime time = SimTime::zero();
   /// Number of actions that changed fabric state (the rest were identical
@@ -106,6 +109,7 @@ struct ApplyResult {
 struct ConfigTotals {
   int ops = 0;
   int frames_written = 0;
+  /// Total per-column port transactions (see ApplyResult::columns_touched).
   int columns_touched = 0;
   SimTime time = SimTime::zero();
 };
@@ -126,16 +130,40 @@ class ConfigController {
   /// Frames a ConfigOp would write, without applying it.
   std::set<FrameAddress> frames_of(const ConfigOp& op) const;
 
+  /// Frame/column/port-time accounting of an op without applying it (the
+  /// effective_actions field is left 0 — effectiveness is only known at
+  /// apply time). Used by the transaction batcher to price the unbatched
+  /// baseline of a coalesced transaction.
+  ApplyResult preview(const ConfigOp& op) const;
+
+  /// Same accounting from an already-computed frame set (frames_of(op)),
+  /// for callers that need the frames anyway and shouldn't pay for the
+  /// mapping twice.
+  ApplyResult preview(const std::set<FrameAddress>& frames) const;
+
   /// Applies the op to the fabric and charges the port timing model.
   /// `allow_lut_ram_columns` waives the live-LUT-RAM column rule — legal
   /// only while the affected clock domain is stopped (paper, Sec. 2: the
   /// system must be halted to guarantee data coherency).
   ApplyResult apply(const ConfigOp& op, bool allow_lut_ram_columns = false);
 
+  /// Cell key used by the LUT-RAM legality check: (row, col * 4 + cell).
+  using CellKey = std::pair<int, int>;
+
   /// LUT-RAM legality (paper, Sec. 2): throws IllegalOperationError if any
   /// frame of the op lies in a CLB column containing a used LUT-RAM cell
-  /// that the op itself does not rewrite.
-  void check_lut_ram_columns(const ConfigOp& op) const;
+  /// that the op itself does not rewrite. `extra_rewritten` extends the
+  /// exemption set with cells known to be rewritten before this op applies
+  /// (the transaction batcher passes its pending batch's writes so each
+  /// queued op is checked exactly as the per-op sequence would be).
+  void check_lut_ram_columns(const ConfigOp& op,
+                             const std::set<CellKey>* extra_rewritten =
+                                 nullptr) const;
+
+  /// Same check from an already-computed frame set (frames_of(op)).
+  void check_lut_ram_columns(const ConfigOp& op,
+                             const std::set<FrameAddress>& frames,
+                             const std::set<CellKey>* extra_rewritten) const;
 
   const ConfigTotals& totals() const { return totals_; }
   void reset_totals() { totals_ = ConfigTotals{}; }

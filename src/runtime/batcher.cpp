@@ -1,0 +1,109 @@
+#include "relogic/runtime/batcher.hpp"
+
+#include <utility>
+
+#include "relogic/common/logging.hpp"
+
+namespace relogic::runtime {
+
+TransactionBatcher::TransactionBatcher(config::ConfigController& controller,
+                                       BatchOptions options)
+    : controller_(&controller), options_(options) {}
+
+void TransactionBatcher::enqueue(const config::ConfigOp& op) {
+  if (op.empty()) return;
+  // One frame-set computation per op; the unbatched-baseline preview, the
+  // legality check, and the max_columns gate all share it. Stats are only
+  // recorded once the op is past the checks that can throw, so a rejected
+  // op never skews the batched-vs-unbatched comparison.
+  const std::set<config::FrameAddress> frames = controller_->frames_of(op);
+  const auto alone = controller_->preview(frames);
+
+  // An op that writes a LUT-RAM cell config must apply alone: the live
+  // LUT-RAM column check runs once per transaction against the fabric
+  // state at apply time, and this is the one case where checking a merged
+  // op diverges from checking each op in sequence (a later op touching the
+  // column of a RAM cell an earlier pending op just created would slip
+  // through the merged check's exemption set).
+  bool writes_lut_ram = false;
+  for (const config::ConfigAction& a : op.actions) {
+    if (const auto* cw = std::get_if<config::CellWrite>(&a)) {
+      if (cw->cfg.used && cw->cfg.lut_mode == fabric::LutMode::kRam)
+        writes_lut_ram = true;
+    }
+  }
+
+  if (options_.max_ops <= 1 || writes_lut_ram) {
+    flush();
+    const auto r = controller_->apply(op, options_.allow_lut_ram_columns);
+    ++stats_.ops_in;
+    stats_.unbatched_column_writes += alone.columns_touched;
+    stats_.unbatched_frames += alone.frames_written;
+    stats_.unbatched_time += alone.time;
+    ++stats_.transactions;
+    stats_.column_writes += r.columns_touched;
+    stats_.frames_written += r.frames_written;
+    stats_.time += r.time;
+    return;
+  }
+
+  // Exact per-op legality: check this op now, against the current fabric
+  // with the pending batch's cell writes as extra exemptions. Pending ops
+  // never create LUT-RAM cells (isolated above), so a RAM cell rewritten
+  // by a pending op is guaranteed dead by the time this op would apply in
+  // the unbatched sequence — exempting exactly those cells reproduces the
+  // per-op check's verdict. The merged apply()'s own check is strictly
+  // weaker and serves as a safety net only.
+  if (!options_.allow_lut_ram_columns)
+    controller_->check_lut_ram_columns(op, frames, &pending_rewrites_);
+
+  ++stats_.ops_in;
+  stats_.unbatched_column_writes += alone.columns_touched;
+  stats_.unbatched_frames += alone.frames_written;
+  stats_.unbatched_time += alone.time;
+
+  std::set<Column> op_columns;
+  if (options_.max_columns > 0) {
+    for (const auto& f : frames) op_columns.insert({f.type, f.column});
+    if (pending_ops_ > 0) {
+      std::set<Column> merged = pending_columns_;
+      merged.insert(op_columns.begin(), op_columns.end());
+      if (static_cast<int>(merged.size()) > options_.max_columns) flush();
+    }
+  }
+
+  if (pending_ops_ == 0) {
+    pending_ = op;
+    pending_ops_ = 1;
+  } else {
+    pending_.label += " + " + op.label;
+    pending_.actions.insert(pending_.actions.end(), op.actions.begin(),
+                            op.actions.end());
+    ++pending_ops_;
+  }
+  pending_columns_.insert(op_columns.begin(), op_columns.end());
+  for (const config::ConfigAction& a : op.actions) {
+    if (const auto* cw = std::get_if<config::CellWrite>(&a))
+      pending_rewrites_.insert({cw->clb.row, cw->clb.col * 4 + cw->cell});
+  }
+  if (pending_ops_ >= options_.max_ops) flush();
+}
+
+void TransactionBatcher::flush() {
+  if (pending_ops_ == 0) return;
+  const int batched = std::exchange(pending_ops_, 0);
+  config::ConfigOp op = std::move(pending_);
+  pending_ = config::ConfigOp{};
+  pending_columns_.clear();
+  pending_rewrites_.clear();
+  const auto r = controller_->apply(op, options_.allow_lut_ram_columns);
+  ++stats_.transactions;
+  stats_.column_writes += r.columns_touched;
+  stats_.frames_written += r.frames_written;
+  stats_.time += r.time;
+  RELOGIC_LOG(kDebug) << "batched " << batched << " config ops into one "
+                      << r.columns_touched << "-column transaction ("
+                      << r.time.to_string() << ")";
+}
+
+}  // namespace relogic::runtime

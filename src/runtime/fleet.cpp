@@ -1,0 +1,358 @@
+#include "relogic/runtime/fleet.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "relogic/common/logging.hpp"
+#include "relogic/reloc/cost.hpp"
+
+namespace relogic::runtime {
+
+std::string to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicy::kLeastLoaded:
+      return "least-loaded";
+    case DispatchPolicy::kBestFit:
+      return "best-fit";
+  }
+  return "?";
+}
+
+std::optional<DispatchPolicy> parse_dispatch_policy(const std::string& name) {
+  if (name == "rr" || name == "round-robin") return DispatchPolicy::kRoundRobin;
+  if (name == "ll" || name == "least-loaded")
+    return DispatchPolicy::kLeastLoaded;
+  if (name == "bf" || name == "best-fit") return DispatchPolicy::kBestFit;
+  return std::nullopt;
+}
+
+FleetManager::FleetManager(FleetConfig config) : cfg_(std::move(config)) {
+  RELOGIC_CHECK(cfg_.devices >= 1);
+  RELOGIC_CHECK(cfg_.rows >= 1 && cfg_.cols >= 1);
+  RELOGIC_CHECK(cfg_.overlap >= 1);
+}
+
+void FleetManager::submit(const sched::TaskArrival& task) {
+  sched::AppSpec app;
+  app.name = task.fn.name;
+  app.functions = {task.fn};
+  app.start = task.arrival;
+  submit(app);
+}
+
+void FleetManager::submit(const sched::AppSpec& app) {
+  RELOGIC_CHECK_MSG(!app.functions.empty(), "application with no functions");
+  Request req;
+  req.app = app;
+  req.est_end = app.start;
+  for (const auto& fn : app.functions) {
+    req.footprint_clbs = std::max(req.footprint_clbs, fn.clbs());
+    req.est_end += fn.duration;
+  }
+  queue_.push_back(std::move(req));
+  dispatched_ = false;
+}
+
+void FleetManager::submit_all(const std::vector<sched::TaskArrival>& tasks) {
+  for (const auto& t : tasks) submit(t);
+}
+
+const std::vector<int>& FleetManager::dispatch() {
+  if (dispatched_) return assignment_;
+  assignment_.assign(queue_.size(), -1);
+  rr_next_ = 0;  // recomputes start from a clean round-robin cycle
+
+  // Admission order: by request start time, submission order as tie-break.
+  std::vector<std::size_t> order(queue_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return queue_[a].app.start < queue_[b].app.start;
+  });
+
+  // Occupancy ledger per device: (estimated end, CLB footprint) of every
+  // request dispatched so far. The estimate ignores queueing inside the
+  // device — the device's own run-time manager handles that exactly; the
+  // ledger only has to rank devices consistently.
+  struct Entry {
+    SimTime end;
+    int clbs;
+  };
+  std::vector<std::vector<Entry>> ledger(
+      static_cast<std::size_t>(cfg_.devices));
+  const int capacity = cfg_.rows * cfg_.cols;
+  auto free_at = [&](int d, SimTime t) {
+    int used = 0;
+    for (const Entry& e : ledger[static_cast<std::size_t>(d)])
+      if (e.end > t) used += e.clbs;
+    return capacity - used;
+  };
+
+  for (std::size_t qi : order) {
+    Request& req = queue_[qi];
+    // Geometric admission: a request no device can ever hold is rejected
+    // here rather than bouncing through every device queue.
+    bool fits = true;
+    for (const auto& fn : req.app.functions)
+      fits = fits && fn.height <= cfg_.rows && fn.width <= cfg_.cols;
+    if (!fits) continue;  // assignment stays -1
+
+    // free_at can go below zero on an oversubscribed fleet (the ledger has
+    // no capacity feedback), so the argmax seeds with a sentinel no device
+    // can fail to beat. Lowest id wins ties.
+    auto least_loaded = [&](SimTime t) {
+      int best = 0;
+      int best_free = std::numeric_limits<int>::min();
+      for (int d = 0; d < cfg_.devices; ++d) {
+        const int f = free_at(d, t);
+        if (f > best_free) {
+          best_free = f;
+          best = d;
+        }
+      }
+      return best;
+    };
+
+    int pick = -1;
+    switch (cfg_.dispatch) {
+      case DispatchPolicy::kRoundRobin:
+        pick = rr_next_;
+        rr_next_ = (rr_next_ + 1) % cfg_.devices;
+        break;
+      case DispatchPolicy::kLeastLoaded:
+        pick = least_loaded(req.app.start);
+        break;
+      case DispatchPolicy::kBestFit: {
+        // Tightest estimated fit; a device already too full to (estimatedly)
+        // hold the footprint is skipped, falling back to least-loaded.
+        int best_slack = -1;
+        for (int d = 0; d < cfg_.devices; ++d) {
+          const int slack = free_at(d, req.app.start) - req.footprint_clbs;
+          if (slack >= 0 && (best_slack < 0 || slack < best_slack)) {
+            best_slack = slack;
+            pick = d;
+          }
+        }
+        if (pick < 0) pick = least_loaded(req.app.start);
+        break;
+      }
+    }
+    assignment_[qi] = pick;
+    ledger[static_cast<std::size_t>(pick)].push_back(
+        Entry{req.est_end, req.footprint_clbs});
+  }
+  dispatched_ = true;
+  return assignment_;
+}
+
+DeviceReport FleetManager::run_device(
+    int device, const std::vector<sched::AppSpec>& apps) const {
+  DeviceReport report;
+  report.device = device;
+
+  const auto geom = fabric::DeviceGeometry::tiny(cfg_.rows, cfg_.cols);
+  const config::BoundaryScanPort bscan;
+  const config::SelectMapPort smap;
+  const config::ConfigPort& port =
+      cfg_.use_selectmap ? static_cast<const config::ConfigPort&>(smap)
+                         : static_cast<const config::ConfigPort&>(bscan);
+  const reloc::RelocationCostModel cost(geom, port);
+
+  sched::Scheduler scheduler(cfg_.rows, cfg_.cols, cost, cfg_.sched);
+  report.stats = scheduler.run_apps(apps, cfg_.overlap);
+
+  // Replay the initial partial configuration of every placed task against a
+  // real fabric through the transaction batcher, so the report carries
+  // measured (not estimated) transaction counts for batched vs unbatched.
+  fabric::Fabric fab(geom);
+  config::ConfigController controller(fab, port, /*column_granular=*/true);
+  BatchOptions bopt = cfg_.batch;
+  if (!cfg_.batch_config) bopt.max_ops = 1;
+  TransactionBatcher batcher(controller, bopt);
+
+  std::vector<std::size_t> by_config_start;
+  for (std::size_t i = 0; i < report.stats.tasks.size(); ++i) {
+    if (!report.stats.tasks[i].rejected && !report.stats.tasks[i].slot.empty())
+      by_config_start.push_back(i);
+  }
+  std::stable_sort(by_config_start.begin(), by_config_start.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return report.stats.tasks[a].config_start <
+                            report.stats.tasks[b].config_start;
+                   });
+  for (std::size_t i : by_config_start) {
+    const auto& task = report.stats.tasks[i];
+    config::ConfigOp op(task.name);
+    for (int r = task.slot.row; r < task.slot.row_end(); ++r) {
+      for (int c = task.slot.col; c < task.slot.col_end(); ++c) {
+        for (int k = 0; k < geom.cells_per_clb; ++k) {
+          fabric::LogicCellConfig cell;
+          cell.used = true;
+          cell.reg = fabric::RegMode::kFF;
+          // Distinct truth table per task so successive occupants of the
+          // same slot are effective rewrites, not suppressed identical ones.
+          cell.lut = static_cast<std::uint16_t>(
+              (2654435761u * (static_cast<unsigned>(i) + 1) +
+               40503u * static_cast<unsigned>(k)) >>
+              12);
+          op.write_cell(ClbCoord{r, c}, k, cell);
+        }
+      }
+    }
+    batcher.enqueue(op);
+  }
+  batcher.flush();
+  report.batch = batcher.stats();
+
+  // ---- per-device telemetry ----------------------------------------------
+  Telemetry& t = report.telemetry;
+  const auto& s = report.stats;
+  t.counter("tasks_admitted").add(static_cast<std::int64_t>(s.tasks.size()));
+  t.counter("tasks_completed")
+      .add(static_cast<std::int64_t>(s.tasks.size()) - s.rejected);
+  t.counter("tasks_rejected").add(s.rejected);
+  t.counter("rearrangement_moves").add(s.rearrangement_moves);
+  t.counter("moved_clbs").add(s.moved_clbs);
+  t.counter("config_ops").add(report.batch.ops_in);
+  t.counter("config_transactions").add(report.batch.column_writes);
+  t.counter("config_transactions_unbatched")
+      .add(report.batch.unbatched_column_writes);
+  t.counter("frames_written").add(report.batch.frames_written);
+  t.counter("frames_unbatched").add(report.batch.unbatched_frames);
+
+  for (const auto& task : s.tasks) {
+    if (task.rejected) continue;
+    t.histogram("queue_wait_ms").observe(task.allocation_delay().milliseconds());
+    t.histogram("turnaround_ms").observe((task.finish - task.ready).milliseconds());
+  }
+  for (const SimTime& mt : s.move_times)
+    t.histogram("relocation_ms").observe(mt.milliseconds());
+
+  t.gauge("makespan_ms").set(s.makespan.milliseconds());
+  t.gauge("utilization_avg").set(s.utilization_avg);
+  t.gauge("fragmentation_avg").set(s.fragmentation_avg);
+  t.gauge("fragmentation_max").set(s.fragmentation_max);
+  t.gauge("port_utilization")
+      .set(s.makespan > SimTime::zero()
+               ? s.config_port_busy.milliseconds() / s.makespan.milliseconds()
+               : 0.0);
+  t.gauge("config_time_saved_ms").set(report.batch.saved().milliseconds());
+  return report;
+}
+
+FleetReport FleetManager::run() {
+  dispatch();
+
+  std::vector<std::vector<sched::AppSpec>> per_device(
+      static_cast<std::size_t>(cfg_.devices));
+  int admission_rejects = 0;
+  int admitted_tasks = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const int d = assignment_[i];
+    if (d < 0) {
+      admission_rejects += static_cast<int>(queue_[i].app.functions.size());
+      continue;
+    }
+    admitted_tasks += static_cast<int>(queue_[i].app.functions.size());
+    per_device[static_cast<std::size_t>(d)].push_back(queue_[i].app);
+  }
+
+  FleetReport report;
+  report.config = cfg_;
+  report.devices.resize(static_cast<std::size_t>(cfg_.devices));
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int workers = cfg_.threads > 0 ? cfg_.threads : std::max(1, hw);
+  workers = std::min(workers, cfg_.devices);
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  auto work = [&](int w) {
+    try {
+      for (int d = w; d < cfg_.devices; d += workers) {
+        report.devices[static_cast<std::size_t>(d)] =
+            run_device(d, per_device[static_cast<std::size_t>(d)]);
+      }
+    } catch (...) {
+      errors[static_cast<std::size_t>(w)] = std::current_exception();
+    }
+  };
+  if (workers <= 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work, w);
+    for (auto& th : pool) th.join();
+  }
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+
+  report.admitted = admitted_tasks;
+  report.rejected = admission_rejects;
+  for (const DeviceReport& d : report.devices) {
+    report.completed +=
+        static_cast<int>(d.stats.tasks.size()) - d.stats.rejected;
+    report.rejected += d.stats.rejected;
+    report.makespan = std::max(report.makespan, d.stats.makespan);
+    report.aggregate.merge(d.telemetry);
+  }
+  report.aggregate.counter("admission_rejected").add(admission_rejects);
+
+  queue_.clear();
+  assignment_.clear();
+  dispatched_ = false;
+  rr_next_ = 0;
+  return report;
+}
+
+double FleetReport::throughput_tasks_per_s() const {
+  const double secs = makespan.seconds();
+  return secs > 0 ? completed / secs : 0.0;
+}
+
+std::string FleetReport::to_json() const {
+  std::ostringstream os;
+  int txn = 0, txn_unbatched = 0;
+  SimTime port_time = SimTime::zero(), port_time_unbatched = SimTime::zero();
+  for (const DeviceReport& d : devices) {
+    txn += d.batch.column_writes;
+    txn_unbatched += d.batch.unbatched_column_writes;
+    port_time += d.batch.time;
+    port_time_unbatched += d.batch.unbatched_time;
+  }
+  os << "{\n";
+  os << "  \"fleet\": {\"devices\": " << config.devices
+     << ", \"rows\": " << config.rows << ", \"cols\": " << config.cols
+     << ", \"dispatch\": \"" << to_string(config.dispatch)
+     << "\", \"policy\": \"" << sched::to_string(config.sched.policy)
+     << "\", \"overlap\": " << config.overlap << ", \"port\": \""
+     << (config.use_selectmap ? "SelectMAP" : "BoundaryScan")
+     << "\", \"batching\": " << (config.batch_config ? "true" : "false")
+     << ", \"batch_max_ops\": " << config.batch.max_ops << "},\n";
+  os << "  \"totals\": {\"admitted\": " << admitted
+     << ", \"completed\": " << completed << ", \"rejected\": " << rejected
+     << ", \"makespan_ms\": " << json_number(makespan.milliseconds())
+     << ", \"throughput_tasks_per_s\": " << json_number(throughput_tasks_per_s())
+     << ", \"config_transactions\": " << txn
+     << ", \"config_transactions_unbatched\": " << txn_unbatched
+     << ", \"config_port_time_ms\": " << json_number(port_time.milliseconds())
+     << ", \"config_port_time_unbatched_ms\": "
+     << json_number(port_time_unbatched.milliseconds()) << "},\n";
+  os << "  \"aggregate\": " << aggregate.to_json(2) << ",\n";
+  os << "  \"devices\": [";
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    os << (i ? ",\n" : "\n") << "    {\"device\": " << devices[i].device
+       << ", \"telemetry\": " << devices[i].telemetry.to_json(4) << "}";
+  }
+  os << (devices.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace relogic::runtime

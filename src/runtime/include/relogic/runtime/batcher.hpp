@@ -1,0 +1,96 @@
+// TransactionBatcher: coalesces adjacent ConfigOps into single
+// configuration-port transactions.
+//
+// The controller issues one port transaction per touched column (the frame
+// address register must be rewritten when the column changes), and every
+// transaction pays the fixed TAP-walking / header / pad-frame overhead of
+// the port model (config/port.hpp). Back-to-back ConfigOps bound for the
+// same device frequently touch overlapping column sets — consecutive task
+// configurations packed bottom-left share columns, and a relocation's op
+// sequence revisits its source and destination columns several times. By
+// concatenating adjacent ops and applying them as one ConfigOp, each shared
+// column is written once instead of once per op, amortising both the
+// per-transaction overhead and (in the column-granular JBits regime) the
+// full column rewrite.
+//
+// Coalescing preserves semantics: a ConfigOp's actions apply in order,
+// concatenation keeps the order across ops, so the fabric end state is
+// identical to applying the ops one by one — and ops that write LUT-RAM
+// cell configs are applied alone so the controller's live-LUT-RAM column
+// check sees exactly the states a per-op sequence would. The batcher
+// tracks what the unbatched sequence would have cost (via
+// ConfigController::preview) so callers can report the saving honestly.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "relogic/config/controller.hpp"
+
+namespace relogic::runtime {
+
+struct BatchOptions {
+  /// Flush automatically once this many ops are pending. <= 1 disables
+  /// coalescing (every op is its own transaction).
+  int max_ops = 8;
+  /// Flush before a merge would make the coalesced op span more than this
+  /// many columns (0 = unlimited). Bounds the atomicity window: one huge
+  /// transaction monopolises the port.
+  int max_columns = 0;
+  /// Passed through to ConfigController::apply.
+  bool allow_lut_ram_columns = false;
+};
+
+struct BatchStats {
+  int ops_in = 0;        ///< ConfigOps enqueued
+  int transactions = 0;  ///< coalesced ConfigOps actually applied
+  /// Per-column port transactions issued / frames written / port time, for
+  /// the batched stream and for the unbatched baseline (each op applied
+  /// alone) on the same workload.
+  int column_writes = 0;
+  int unbatched_column_writes = 0;
+  int frames_written = 0;
+  int unbatched_frames = 0;
+  SimTime time = SimTime::zero();
+  SimTime unbatched_time = SimTime::zero();
+
+  int merged_ops() const { return ops_in - transactions; }
+  SimTime saved() const { return unbatched_time - time; }
+};
+
+class TransactionBatcher {
+ public:
+  explicit TransactionBatcher(config::ConfigController& controller,
+                              BatchOptions options = {});
+
+  /// Queues an op, coalescing it with the pending batch. May flush first if
+  /// the batch would exceed the options' limits. Empty ops are dropped.
+  void enqueue(const config::ConfigOp& op);
+
+  /// Applies the pending batch as one transaction. No-op when empty.
+  void flush();
+
+  int pending_ops() const { return pending_ops_; }
+  const BatchStats& stats() const { return stats_; }
+  config::ConfigController& controller() { return *controller_; }
+
+ private:
+  using Column = std::pair<config::ColumnType, std::int16_t>;
+
+  config::ConfigController* controller_;
+  BatchOptions options_;
+  config::ConfigOp pending_;
+  /// Columns the pending batch touches (running union, so the max_columns
+  /// gate costs one frames_of per incoming op, not a re-preview of the
+  /// whole batch).
+  std::set<Column> pending_columns_;
+  /// Cells written by the pending batch — the exemption set that makes the
+  /// enqueue-time LUT-RAM legality check match the per-op sequence.
+  std::set<config::ConfigController::CellKey> pending_rewrites_;
+  int pending_ops_ = 0;
+  BatchStats stats_;
+};
+
+}  // namespace relogic::runtime

@@ -1,0 +1,131 @@
+// relogic::runtime — fleet-level run-time manager.
+//
+// The paper's run-time manager (relogic::sched) schedules functions onto
+// ONE device. FleetManager scales that out: it owns N independent device
+// contexts, admits a stream of application / task requests through an
+// admission queue, picks a device per request with a pluggable dispatch
+// policy, and executes every device's discrete-event run on a worker
+// thread pool. Devices are fully isolated — each worker builds its own
+// fabric, configuration port, cost model and scheduler, so runs are
+// deterministic regardless of thread count, and a fleet run with the same
+// seed produces byte-identical telemetry JSON.
+//
+// Alongside the area-level schedule, each device replays the partial
+// configurations of its admitted tasks against a real Fabric +
+// ConfigController through a TransactionBatcher, so fleet reports carry
+// honest configuration-port transaction counts: batched versus the
+// one-transaction-per-op baseline on the same workload.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relogic/config/controller.hpp"
+#include "relogic/runtime/batcher.hpp"
+#include "relogic/runtime/telemetry.hpp"
+#include "relogic/sched/scheduler.hpp"
+#include "relogic/sched/workload.hpp"
+
+namespace relogic::runtime {
+
+/// How the admission queue maps requests to devices.
+enum class DispatchPolicy {
+  kRoundRobin,   ///< cycle through devices in id order
+  kLeastLoaded,  ///< device with the most estimated free CLBs at arrival
+  kBestFit,      ///< device whose estimated free CLBs tightest-fit the
+                 ///< request's footprint (falls back to least-loaded)
+};
+
+std::string to_string(DispatchPolicy p);
+std::optional<DispatchPolicy> parse_dispatch_policy(const std::string& name);
+
+struct FleetConfig {
+  int devices = 4;
+  /// Per-device CLB grid (every device of the fleet is identical).
+  int rows = 24;
+  int cols = 24;
+  DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+  /// Per-device run-time manager configuration (management policy,
+  /// placement, defrag options, ...).
+  sched::SchedulerConfig sched;
+  /// Intra-application parallelism passed to Scheduler::run_apps.
+  int overlap = 1;
+  /// Use the SelectMAP port model instead of Boundary-Scan (the paper's
+  /// set-up) for configuration timing.
+  bool use_selectmap = false;
+  /// Coalesce adjacent configuration ops per device (TransactionBatcher).
+  bool batch_config = true;
+  BatchOptions batch;
+  /// Worker threads for the per-device runs; 0 = one per device, capped at
+  /// hardware concurrency.
+  int threads = 0;
+};
+
+/// Everything measured about one device's run.
+struct DeviceReport {
+  int device = 0;
+  sched::RunStats stats;
+  BatchStats batch;
+  Telemetry telemetry;
+};
+
+struct FleetReport {
+  FleetConfig config;
+  std::vector<DeviceReport> devices;
+  Telemetry aggregate;
+  int admitted = 0;   ///< tasks (application functions) assigned to devices
+  int completed = 0;
+  int rejected = 0;   ///< per-device rejects plus admission rejects
+  SimTime makespan = SimTime::zero();  ///< max over devices
+
+  /// Aggregate modelled throughput: completed tasks per second of
+  /// simulated fleet time.
+  double throughput_tasks_per_s() const;
+
+  /// Deterministic JSON document (same seed => byte-identical output).
+  std::string to_json() const;
+};
+
+class FleetManager {
+ public:
+  explicit FleetManager(FleetConfig config);
+
+  const FleetConfig& config() const { return cfg_; }
+
+  /// Admits a one-shot task.
+  void submit(const sched::TaskArrival& task);
+  /// Admits an application (its function chain stays on one device).
+  void submit(const sched::AppSpec& app);
+  void submit_all(const std::vector<sched::TaskArrival>& tasks);
+
+  std::size_t pending_requests() const { return queue_.size(); }
+
+  /// Drains the admission queue onto devices. Returns one device index per
+  /// admitted request, in submission order (-1 = rejected at admission:
+  /// no device can ever hold the request). Idempotent until the next
+  /// submit; run() calls it implicitly.
+  const std::vector<int>& dispatch();
+
+  /// Dispatches, executes every device run on the worker pool, and
+  /// gathers telemetry. Leaves the admission queue empty.
+  FleetReport run();
+
+ private:
+  struct Request {
+    sched::AppSpec app;
+    int footprint_clbs = 0;  ///< largest concurrent function footprint
+    SimTime est_end = SimTime::zero();
+  };
+
+  DeviceReport run_device(int device,
+                          const std::vector<sched::AppSpec>& apps) const;
+
+  FleetConfig cfg_;
+  std::vector<Request> queue_;
+  std::vector<int> assignment_;
+  bool dispatched_ = false;
+  int rr_next_ = 0;
+};
+
+}  // namespace relogic::runtime

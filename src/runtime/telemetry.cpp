@@ -1,0 +1,170 @@
+#include "relogic/runtime/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "relogic/common/error.hpp"
+
+namespace relogic::runtime {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2,  0.5,  1.0,    2.0,
+          5.0,  10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+          2000.0, 5000.0, 10000.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  RELOGIC_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  RELOGIC_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be sorted");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    std::ceil(q * static_cast<double>(count_))));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      if (i < bounds_.size()) return std::min(bounds_[i], max());
+      return max();  // overflow bucket
+    }
+  }
+  return max();
+}
+
+void Histogram::merge(const Histogram& other) {
+  RELOGIC_CHECK_MSG(bounds_ == other.bounds_,
+                    "merging histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Histogram& Telemetry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(name, Histogram()).first;
+  return it->second;
+}
+
+Histogram& Telemetry::histogram(const std::string& name,
+                                std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  return it->second;
+}
+
+std::int64_t Telemetry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void Telemetry::merge(const Telemetry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string Telemetry::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << "{\n";
+
+  os << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << pad << "    " << quoted(name) << ": "
+       << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << pad << "    " << quoted(name)
+       << ": {\"mean\": " << json_number(g.mean())
+       << ", \"samples\": " << g.samples() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << pad << "    " << quoted(name) << ": {"
+       << "\"count\": " << h.count() << ", \"sum\": " << json_number(h.sum())
+       << ", \"min\": " << json_number(h.min())
+       << ", \"max\": " << json_number(h.max())
+       << ", \"mean\": " << json_number(h.mean())
+       << ", \"p50\": " << json_number(h.quantile(0.5))
+       << ", \"p90\": " << json_number(h.quantile(0.9))
+       << ", \"p99\": " << json_number(h.quantile(0.99)) << ", \"buckets\": [";
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ", ";
+      os << "{\"le\": "
+         << (i < h.bounds().size() ? json_number(h.bounds()[i]) : "\"inf\"")
+         << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "}\n";
+
+  os << pad << "}";
+  return os.str();
+}
+
+}  // namespace relogic::runtime

@@ -61,6 +61,10 @@ struct SchedulerConfig {
 struct TaskRecord {
   std::string name;
   int clbs = 0;
+  /// Rectangle the task was initially configured into (empty if it never
+  /// placed). Rearrangements may move it later; this is the slot its
+  /// initial partial configuration was written to.
+  ClbRect slot;
   SimTime ready = SimTime::zero();     ///< became eligible to configure
   /// Earliest moment execution could have begun (for chained functions:
   /// the predecessor's end; prefetching earlier does not count as delay).
@@ -77,6 +81,9 @@ struct TaskRecord {
 
 struct RunStats {
   std::vector<TaskRecord> tasks;
+  /// Configuration-port cost of each rearrangement move, in execution
+  /// order (one entry per move counted in rearrangement_moves).
+  std::vector<SimTime> move_times;
   SimTime makespan = SimTime::zero();
   SimTime config_port_busy = SimTime::zero();
   SimTime total_halted = SimTime::zero();

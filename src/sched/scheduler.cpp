@@ -1,6 +1,7 @@
 #include "relogic/sched/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "relogic/common/logging.hpp"
@@ -63,6 +64,7 @@ struct Job {
 
   // runtime state
   area::RegionId region = area::kNoRegion;
+  ClbRect slot;  // initial placement rectangle
   SimTime config_start = SimTime::zero();
   SimTime config_done = SimTime::zero();
   SimTime run_start = SimTime::zero();
@@ -165,9 +167,7 @@ class Engine {
     auto slot = mgr_.find_free_rect(job.fn.height, job.fn.width,
                                     cfg_->placement);
     if (!slot && cfg_->policy != ManagementPolicy::kNoRearrange) {
-      const auto plan =
-          area::plan_for_request(mgr_, job.fn.height, job.fn.width,
-                                 cfg_->defrag);
+      const auto plan = plan_request(job.fn.height, job.fn.width);
       if (plan && plan_affordable(*plan, job)) {
         execute_moves(*plan);
         slot = plan->request_slot;
@@ -179,6 +179,8 @@ class Engine {
     }
 
     job.region = mgr_.allocate_at(job.fn.name, *slot);
+    ++area_gen_;
+    job.slot = *slot;
     job.placed = true;
     region_job_[job.region] = job.id;
 
@@ -215,6 +217,7 @@ class Engine {
     job.done = true;
     job.end = now_;
     mgr_.release(job.region);
+    ++area_gen_;
     region_job_.erase(job.region);
 
     // Successor may begin (it might still be configuring; kConfigDone
@@ -263,6 +266,7 @@ class Engine {
       for (auto it = ok_moves.rbegin(); it != ok_moves.rend(); ++it) {
         mgr_.move(it->region, it->from);
       }
+      ++area_gen_;  // trial moves were rolled back, but stay conservative
       plan->moves = std::move(ok_moves);
     }
     if (plan->moves.empty()) return;
@@ -277,6 +281,26 @@ class Engine {
       Job& job = jobs[static_cast<std::size_t>(id)];
       if (!job.placed && !job.done && !job.rejected) try_start(job);
     }
+  }
+
+  /// Planning is deterministic in the area state, and that state only
+  /// changes on allocate/release/move — yet the retry loop used to re-plan
+  /// from scratch for every waiting task at every departure. Two layers of
+  /// reuse, both invalidated when the area generation advances:
+  ///  * a RequestPlanner shares the greedy move-sequence search across all
+  ///    request shapes queried against one area state,
+  ///  * a per-shape memo caches each query's final plan outright.
+  /// Affordability is still judged per task — it depends on the requesting
+  /// task's own duration, not just the plan.
+  std::optional<area::DefragPlan> plan_request(int h, int w) {
+    if (plan_gen_ != area_gen_) {
+      plan_cache_.clear();
+      planner_.emplace(mgr_, cfg_->defrag);
+      plan_gen_ = area_gen_;
+    }
+    auto [it, inserted] = plan_cache_.try_emplace({h, w});
+    if (inserted) it->second = planner_->plan(h, w);
+    return it->second;
   }
 
   SimTime move_cost(const area::Move& mv) const {
@@ -311,10 +335,12 @@ class Engine {
       const SimTime done = start + cost;
       port_free_at_ = done;
       stats_.config_port_busy += cost;
+      stats_.move_times.push_back(cost);
       ++stats_.rearrangement_moves;
       stats_.moved_clbs += mv.from.area();
 
       mgr_.move(mv.region, mv.to);
+      ++area_gen_;
 
       if (cfg_->policy == ManagementPolicy::kHaltAndMove && victim.running) {
         // The victim is stopped while it is being moved: its remaining
@@ -341,6 +367,7 @@ class Engine {
       TaskRecord r;
       r.name = job.fn.name;
       r.clbs = job.fn.clbs();
+      r.slot = job.slot;
       r.ready = job.ready;
       r.eligible = job.ready;
       if (job.predecessor) {
@@ -365,6 +392,10 @@ class Engine {
   SimTime now_ = SimTime::zero();
   SimTime port_free_at_ = SimTime::zero();
   std::deque<int> waiting_;
+  std::uint64_t area_gen_ = 0;
+  std::uint64_t plan_gen_ = std::numeric_limits<std::uint64_t>::max();
+  std::optional<area::RequestPlanner> planner_;
+  std::map<std::pair<int, int>, std::optional<area::DefragPlan>> plan_cache_;
   std::map<area::RegionId, int> region_job_;
   std::multimap<int, int> pending_run_;  // predecessor job -> successor job
   RunStats stats_;

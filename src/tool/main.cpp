@@ -14,6 +14,8 @@
 //               --move b01:16,2 --script
 //   relogic-cli --load b02@1,1 --relocate 2,2.0:9,9.0 --out patch.bit
 //   relogic-cli --load b01@2,2 --load b06@2,10 --defrag 8x8 --script
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +35,8 @@
 #include "relogic/netlist/benchmarks.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
+#include "relogic/runtime/fleet.hpp"
+#include "relogic/sched/workload.hpp"
 #include "relogic/sim/harness.hpp"
 
 namespace {
@@ -51,6 +55,16 @@ struct Options {
   bool gated = false;
   bool verbose = false;
   bool map = false;
+
+  // Fleet mode (--fleet N): multi-device runtime instead of the
+  // single-device rearrangement tool.
+  int fleet = 0;
+  int random_tasks = 200;
+  runtime::FleetConfig fleet_cfg;
+  std::uint64_t seed = 1;
+  double mean_interarrival_ms = 2.0;
+  double mean_duration_ms = 20.0;
+  std::string telemetry_file;
 };
 
 [[noreturn]] void usage(int code) {
@@ -68,7 +82,22 @@ struct Options {
       "  --out FILE             write the partial bitstream image\n"
       "  --script               print the configuration script\n"
       "  --map                  print the occupancy map before and after\n"
-      "  --verbose              narrate every engine step\n");
+      "  --verbose              narrate every engine step\n"
+      "\n"
+      "fleet mode (multi-device runtime):\n"
+      "  --fleet N              run the fleet runtime with N devices\n"
+      "  --random-tasks M       admit M random tasks (default 200)\n"
+      "  --grid RxC             per-device CLB grid (default 24x24)\n"
+      "  --dispatch P           round-robin | least-loaded | best-fit\n"
+      "  --mgmt P               none | halt | transparent (default)\n"
+      "  --seed S               workload seed (default 1)\n"
+      "  --mean-interarrival MS --mean-duration MS\n"
+      "                         workload shape (defaults 2 / 20)\n"
+      "  --no-batch             disable config-transaction batching\n"
+      "  --batch-ops K          max ops coalesced per transaction\n"
+      "  --selectmap            SelectMAP port model instead of JTAG\n"
+      "  --threads N            worker threads (default: one per device)\n"
+      "  --telemetry FILE       write the fleet telemetry JSON to FILE\n");
   std::exit(code);
 }
 
@@ -155,6 +184,49 @@ Options parse_args(int argc, char** argv) {
       RELOGIC_CHECK_MSG(x != std::string::npos, "--defrag HxW");
       opt.defrag_request = {std::stoi(v.substr(0, x)),
                             std::stoi(v.substr(x + 1))};
+    } else if (arg == "--fleet") {
+      opt.fleet = std::stoi(need(i));
+      RELOGIC_CHECK_MSG(opt.fleet >= 1, "--fleet needs at least 1 device");
+    } else if (arg == "--random-tasks") {
+      opt.random_tasks = std::stoi(need(i));
+    } else if (arg == "--grid") {
+      const std::string v = need(i);
+      const auto x = v.find('x');
+      RELOGIC_CHECK_MSG(x != std::string::npos, "--grid RxC");
+      opt.fleet_cfg.rows = std::stoi(v.substr(0, x));
+      opt.fleet_cfg.cols = std::stoi(v.substr(x + 1));
+    } else if (arg == "--dispatch") {
+      const std::string v = need(i);
+      const auto p = runtime::parse_dispatch_policy(v);
+      RELOGIC_CHECK_MSG(p.has_value(), "unknown dispatch policy: " + v);
+      opt.fleet_cfg.dispatch = *p;
+    } else if (arg == "--mgmt") {
+      const std::string v = need(i);
+      if (v == "none") {
+        opt.fleet_cfg.sched.policy = sched::ManagementPolicy::kNoRearrange;
+      } else if (v == "halt") {
+        opt.fleet_cfg.sched.policy = sched::ManagementPolicy::kHaltAndMove;
+      } else if (v == "transparent") {
+        opt.fleet_cfg.sched.policy = sched::ManagementPolicy::kTransparent;
+      } else {
+        throw ContractError("unknown management policy: " + v);
+      }
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need(i));
+    } else if (arg == "--mean-interarrival") {
+      opt.mean_interarrival_ms = std::stod(need(i));
+    } else if (arg == "--mean-duration") {
+      opt.mean_duration_ms = std::stod(need(i));
+    } else if (arg == "--no-batch") {
+      opt.fleet_cfg.batch_config = false;
+    } else if (arg == "--batch-ops") {
+      opt.fleet_cfg.batch.max_ops = std::stoi(need(i));
+    } else if (arg == "--selectmap") {
+      opt.fleet_cfg.use_selectmap = true;
+    } else if (arg == "--threads") {
+      opt.fleet_cfg.threads = std::stoi(need(i));
+    } else if (arg == "--telemetry") {
+      opt.telemetry_file = need(i);
     } else if (arg == "--out") {
       opt.out_file = need(i);
     } else if (arg == "--script") {
@@ -183,12 +255,83 @@ class OpRecorder {
   std::vector<config::ConfigOp> ops_;
 };
 
+int run_fleet(const Options& opt) {
+  runtime::FleetConfig cfg = opt.fleet_cfg;
+  cfg.devices = opt.fleet;
+
+  sched::RandomTaskParams params;
+  params.task_count = opt.random_tasks;
+  params.mean_interarrival_ms = opt.mean_interarrival_ms;
+  params.mean_duration_ms = opt.mean_duration_ms;
+  params.max_side = std::min(10, std::min(cfg.rows, cfg.cols));
+  params.seed = opt.seed;
+
+  runtime::FleetManager fleet(cfg);
+  fleet.submit_all(sched::random_tasks(params));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto report = fleet.run();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  std::printf("fleet run: %d devices (%dx%d), dispatch %s, policy %s\n",
+              cfg.devices, cfg.rows, cfg.cols,
+              runtime::to_string(cfg.dispatch).c_str(),
+              sched::to_string(cfg.sched.policy).c_str());
+  for (const auto& d : report.devices) {
+    std::printf(
+        "  device %d: %4lld admitted, %4lld done, %3lld rejected, "
+        "%3lld moves, makespan %s, config txns %lld (unbatched %lld)\n",
+        d.device,
+        static_cast<long long>(d.telemetry.counter_value("tasks_admitted")),
+        static_cast<long long>(d.telemetry.counter_value("tasks_completed")),
+        static_cast<long long>(d.telemetry.counter_value("tasks_rejected")),
+        static_cast<long long>(
+            d.telemetry.counter_value("rearrangement_moves")),
+        d.stats.makespan.to_string().c_str(),
+        static_cast<long long>(
+            d.telemetry.counter_value("config_transactions")),
+        static_cast<long long>(
+            d.telemetry.counter_value("config_transactions_unbatched")));
+  }
+  std::printf(
+      "aggregate: %d admitted, %d completed, %d rejected, makespan %s\n",
+      report.admitted, report.completed, report.rejected,
+      report.makespan.to_string().c_str());
+  std::printf(
+      "throughput: %.1f tasks/s (model), wall %.1f ms; config txns %lld vs "
+      "%lld unbatched\n",
+      report.throughput_tasks_per_s(), wall_ms,
+      static_cast<long long>(
+          report.aggregate.counter_value("config_transactions")),
+      static_cast<long long>(
+          report.aggregate.counter_value("config_transactions_unbatched")));
+
+  if (!opt.telemetry_file.empty()) {
+    std::ofstream out(opt.telemetry_file);
+    out << report.to_json();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed to write telemetry to %s\n",
+                   opt.telemetry_file.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", opt.telemetry_file.c_str());
+  } else {
+    std::printf("\n%s", report.to_json().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opt = parse_args(argc, argv);
     if (opt.verbose) set_log_level(LogLevel::kInfo);
+    if (opt.fleet > 0) return run_fleet(opt);
 
     fabric::Fabric fab(parse_device(opt.device));
     const fabric::DelayModel dm;

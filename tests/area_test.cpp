@@ -181,5 +181,44 @@ TEST(Defrag, FullCompactionWithPendingReservesSlot) {
   EXPECT_EQ(plan->request_slot.width, 4);
 }
 
+TEST(Defrag, RequestPlannerMatchesPerShapePlanning) {
+  // The planner's contract: plan(h, w) on one shared move sequence returns
+  // exactly what a fresh plan_for_request(mgr, h, w) would — including
+  // after other shapes have extended the shared sequence, and regardless
+  // of query order. Exercise many fragmented states and shape orders.
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    AreaManager mgr(16, 16);
+    std::vector<RegionId> live;
+    for (int i = 0; i < 14; ++i) {
+      const auto id =
+          mgr.allocate("r", rng.next_int(2, 6), rng.next_int(2, 6));
+      if (id != kNoRegion) live.push_back(id);
+    }
+    for (std::size_t i = 0; i < live.size(); i += 2) mgr.release(live[i]);
+
+    std::vector<std::pair<int, int>> shapes;
+    for (int h = 1; h <= 12; h += 3)
+      for (int w = 1; w <= 12; w += 3) shapes.push_back({h, w});
+    rng.shuffle(shapes);  // query order must not matter
+
+    const RequestPlanner planner(mgr);
+    for (const auto& [h, w] : shapes) {
+      const auto shared = planner.plan(h, w);
+      const auto fresh = plan_for_request(mgr, h, w);
+      ASSERT_EQ(shared.has_value(), fresh.has_value())
+          << "trial " << trial << " shape " << h << "x" << w;
+      if (!shared) continue;
+      EXPECT_EQ(shared->request_slot, fresh->request_slot);
+      ASSERT_EQ(shared->moves.size(), fresh->moves.size());
+      for (std::size_t i = 0; i < shared->moves.size(); ++i) {
+        EXPECT_EQ(shared->moves[i].region, fresh->moves[i].region);
+        EXPECT_EQ(shared->moves[i].from, fresh->moves[i].from);
+        EXPECT_EQ(shared->moves[i].to, fresh->moves[i].to);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace relogic::area

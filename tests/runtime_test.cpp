@@ -1,0 +1,414 @@
+// Unit tests: relogic::runtime (fleet manager, transaction batcher,
+// telemetry).
+#include <gtest/gtest.h>
+
+#include "relogic/config/controller.hpp"
+#include "relogic/config/port.hpp"
+#include "relogic/fabric/fabric.hpp"
+#include "relogic/runtime/batcher.hpp"
+#include "relogic/runtime/fleet.hpp"
+#include "relogic/runtime/telemetry.hpp"
+#include "relogic/sched/workload.hpp"
+
+namespace relogic::runtime {
+namespace {
+
+// ---- telemetry --------------------------------------------------------------
+
+TEST(Telemetry, CounterAccumulates) {
+  Telemetry t;
+  t.counter("a").add();
+  t.counter("a").add(41);
+  EXPECT_EQ(t.counter_value("a"), 42);
+  EXPECT_EQ(t.counter_value("missing"), 0);
+}
+
+TEST(Telemetry, HistogramBucketsAndStats) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(1.0);   // on the boundary: falls in the <= 1.0 bucket
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);  // overflow
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  const auto& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  // Quantiles: bucket upper bounds, capped by the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.6), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);
+}
+
+TEST(Telemetry, HistogramMerge) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a.observe(0.5);
+  b.observe(5.0);
+  b.observe(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  Histogram c({2.0});
+  EXPECT_THROW(a.merge(c), Error);
+}
+
+TEST(Telemetry, RegistryMergeAndJson) {
+  Telemetry a;
+  Telemetry b;
+  a.counter("n").add(1);
+  b.counter("n").add(2);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(3.0);
+  a.histogram("h").observe(1.0);
+  b.histogram("h").observe(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("n"), 3);
+  EXPECT_DOUBLE_EQ(a.gauge("g").mean(), 2.0);
+  EXPECT_EQ(a.histogram("h").count(), 2);
+
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 2"), std::string::npos);
+  // Export is deterministic.
+  EXPECT_EQ(json, a.to_json());
+}
+
+// ---- batcher ----------------------------------------------------------------
+
+config::ConfigOp cell_op(const std::string& label, ClbCoord clb,
+                         std::uint16_t lut) {
+  config::ConfigOp op(label);
+  fabric::LogicCellConfig cfg;
+  cfg.used = true;
+  cfg.lut = lut;
+  op.write_cell(clb, 0, cfg);
+  return op;
+}
+
+TEST(TransactionBatcher, CoalescesSharedColumns) {
+  const auto geom = fabric::DeviceGeometry::tiny(8, 8);
+  const config::BoundaryScanPort port;
+
+  // Two identical fabrics: one batched, one op-at-a-time baseline.
+  fabric::Fabric batched_fab(geom);
+  fabric::Fabric plain_fab(geom);
+  config::ConfigController batched_ctl(batched_fab, port, true);
+  config::ConfigController plain_ctl(plain_fab, port, true);
+
+  TransactionBatcher batcher(batched_ctl, BatchOptions{.max_ops = 8});
+
+  // Four ops in the same CLB column: unbatched writes that column 4 times.
+  std::vector<config::ConfigOp> ops;
+  for (int r = 0; r < 4; ++r)
+    ops.push_back(cell_op("op" + std::to_string(r), ClbCoord{r, 3},
+                          static_cast<std::uint16_t>(0x1111 * (r + 1))));
+  for (const auto& op : ops) {
+    batcher.enqueue(op);
+    plain_ctl.apply(op);
+  }
+  batcher.flush();
+
+  const BatchStats& s = batcher.stats();
+  EXPECT_EQ(s.ops_in, 4);
+  EXPECT_EQ(s.transactions, 1);
+  EXPECT_EQ(s.merged_ops(), 3);
+  // The shared column is one transaction instead of four.
+  EXPECT_EQ(s.column_writes, 1);
+  EXPECT_EQ(s.unbatched_column_writes, 4);
+  EXPECT_EQ(s.unbatched_column_writes, plain_ctl.totals().columns_touched);
+  EXPECT_LT(s.frames_written, s.unbatched_frames);
+  EXPECT_LT(s.time, s.unbatched_time);
+  EXPECT_GT(s.saved(), SimTime::zero());
+
+  // Coalescing must not change the fabric end state.
+  const auto a = batched_fab.capture();
+  const auto b = plain_fab.capture();
+  ASSERT_EQ(a.clbs.size(), b.clbs.size());
+  for (std::size_t i = 0; i < a.clbs.size(); ++i) EXPECT_EQ(a.clbs[i], b.clbs[i]);
+}
+
+TEST(TransactionBatcher, MaxOpsTriggersFlush) {
+  const auto geom = fabric::DeviceGeometry::tiny(8, 8);
+  const config::BoundaryScanPort port;
+  fabric::Fabric fab(geom);
+  config::ConfigController ctl(fab, port, true);
+  TransactionBatcher batcher(ctl, BatchOptions{.max_ops = 2});
+
+  for (int r = 0; r < 4; ++r)
+    batcher.enqueue(cell_op("op", ClbCoord{r, 1},
+                            static_cast<std::uint16_t>(r + 1)));
+  EXPECT_EQ(batcher.stats().transactions, 2);  // two auto-flushes of 2 ops
+  EXPECT_EQ(batcher.pending_ops(), 0);
+}
+
+TEST(TransactionBatcher, DisabledBatchingMatchesBaseline) {
+  const auto geom = fabric::DeviceGeometry::tiny(8, 8);
+  const config::BoundaryScanPort port;
+  fabric::Fabric fab(geom);
+  config::ConfigController ctl(fab, port, true);
+  TransactionBatcher batcher(ctl, BatchOptions{.max_ops = 1});
+
+  for (int r = 0; r < 3; ++r)
+    batcher.enqueue(cell_op("op", ClbCoord{r, 2},
+                            static_cast<std::uint16_t>(r + 1)));
+  batcher.flush();
+  const BatchStats& s = batcher.stats();
+  EXPECT_EQ(s.transactions, 3);
+  EXPECT_EQ(s.column_writes, s.unbatched_column_writes);
+  EXPECT_EQ(s.frames_written, s.unbatched_frames);
+  EXPECT_EQ(s.time, s.unbatched_time);
+}
+
+TEST(TransactionBatcher, MaxColumnsBoundsTransactionWidth) {
+  const auto geom = fabric::DeviceGeometry::tiny(8, 8);
+  const config::BoundaryScanPort port;
+  fabric::Fabric fab(geom);
+  config::ConfigController ctl(fab, port, true);
+  TransactionBatcher batcher(ctl, BatchOptions{.max_ops = 8, .max_columns = 2});
+
+  for (int c = 0; c < 4; ++c)
+    batcher.enqueue(cell_op("op", ClbCoord{1, c},
+                            static_cast<std::uint16_t>(c + 1)));
+  batcher.flush();
+  // Columns 0..3 with a 2-column cap: two transactions of 2 columns each.
+  EXPECT_EQ(batcher.stats().transactions, 2);
+  EXPECT_EQ(batcher.stats().column_writes, 4);
+}
+
+TEST(TransactionBatcher, LutRamOpsApplyAloneSoLegalityMatchesUnbatched) {
+  const auto geom = fabric::DeviceGeometry::tiny(8, 8);
+  const config::BoundaryScanPort port;
+  fabric::Fabric fab(geom);
+  config::ConfigController ctl(fab, port, true);
+  TransactionBatcher batcher(ctl, BatchOptions{.max_ops = 8});
+
+  // Op A creates a live LUT-RAM cell in column 3. Applied per-op, a later
+  // op touching column 3 without rewriting that cell throws; coalescing
+  // must not let it slip through, so RAM-writing ops apply alone.
+  config::ConfigOp ram_op("ram");
+  fabric::LogicCellConfig ram_cfg;
+  ram_cfg.used = true;
+  ram_cfg.lut_mode = fabric::LutMode::kRam;
+  ram_op.write_cell(ClbCoord{1, 3}, 0, ram_cfg);
+  batcher.enqueue(ram_op);
+  EXPECT_EQ(batcher.pending_ops(), 0);  // applied immediately, alone
+  EXPECT_EQ(batcher.stats().transactions, 1);
+
+  // Touching the RAM's column without rewriting it throws at enqueue,
+  // exactly where the per-op sequence would throw — a later op rewriting
+  // the RAM cell must not retroactively legalise this one.
+  EXPECT_THROW(batcher.enqueue(cell_op("b", ClbCoord{5, 3}, 0x00FF)),
+               IllegalOperationError);
+
+  // But once a pending op has rewritten the RAM cell to plain logic, a
+  // subsequent op in the same batch may touch the column (the per-op
+  // sequence would also allow it).
+  batcher.enqueue(cell_op("clear-ram", ClbCoord{1, 3}, 0x1234));
+  EXPECT_NO_THROW(batcher.enqueue(cell_op("b2", ClbCoord{5, 3}, 0x0F0F)));
+  EXPECT_NO_THROW(batcher.flush());
+}
+
+// ---- dispatch policies ------------------------------------------------------
+
+sched::TaskArrival task(const std::string& name, int side, double start_ms,
+                        double duration_ms) {
+  sched::TaskArrival t;
+  t.fn.name = name;
+  t.fn.height = side;
+  t.fn.width = side;
+  t.fn.duration = SimTime::ps(static_cast<std::int64_t>(duration_ms * 1e9));
+  t.arrival = SimTime::ps(static_cast<std::int64_t>(start_ms * 1e9));
+  return t;
+}
+
+FleetConfig small_fleet(int devices, DispatchPolicy dispatch) {
+  FleetConfig cfg;
+  cfg.devices = devices;
+  cfg.rows = 12;
+  cfg.cols = 12;
+  cfg.dispatch = dispatch;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(FleetDispatch, RoundRobinCycles) {
+  FleetManager fleet(small_fleet(3, DispatchPolicy::kRoundRobin));
+  for (int i = 0; i < 7; ++i)
+    fleet.submit(task("t" + std::to_string(i), 2, i, 10));
+  const auto& a = fleet.dispatch();
+  ASSERT_EQ(a.size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(a[static_cast<std::size_t>(i)], i % 3);
+}
+
+TEST(FleetDispatch, LeastLoadedPrefersEmptiestDevice) {
+  FleetManager fleet(small_fleet(2, DispatchPolicy::kLeastLoaded));
+  // A long-running large task loads device 0, so the next two concurrent
+  // tasks go to device 1, which stays emptier even after one lands there
+  // (8x8=64 vs 4x4=16 CLBs outstanding).
+  fleet.submit(task("big", 8, 0, 1000));
+  fleet.submit(task("a", 4, 1, 1000));
+  fleet.submit(task("b", 4, 2, 1000));
+  const auto& a = fleet.dispatch();
+  EXPECT_EQ(a[0], 0);  // empty fleet: lowest id wins
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[2], 1);
+}
+
+TEST(FleetDispatch, BestFitPicksTightestDevice) {
+  FleetManager fleet(small_fleet(2, DispatchPolicy::kBestFit));
+  // Load device 0 down to 144-100=44 estimated free CLBs. A 6x6=36 task
+  // then tight-fits device 0 (slack 8) rather than the empty device 1
+  // (slack 108); least-loaded would have picked device 1.
+  fleet.submit(task("big", 10, 0, 1000));
+  fleet.submit(task("tight", 6, 1, 1000));
+  const auto& a = fleet.dispatch();
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 0);
+
+  FleetManager ll(small_fleet(2, DispatchPolicy::kLeastLoaded));
+  ll.submit(task("big", 10, 0, 1000));
+  ll.submit(task("tight", 6, 1, 1000));
+  EXPECT_EQ(ll.dispatch()[1], 1);
+}
+
+TEST(FleetDispatch, ImpossibleRequestRejectedAtAdmission) {
+  FleetManager fleet(small_fleet(2, DispatchPolicy::kRoundRobin));
+  fleet.submit(task("huge", 13, 0, 10));  // 13 > 12-CLB grid
+  fleet.submit(task("ok", 2, 0, 10));
+  const auto& a = fleet.dispatch();
+  EXPECT_EQ(a[0], -1);
+  EXPECT_EQ(a[1], 0);
+  const auto report = fleet.run();
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_EQ(report.completed, 1);
+  EXPECT_EQ(report.aggregate.counter_value("admission_rejected"), 1);
+}
+
+TEST(FleetDispatch, OversubscribedFleetStillDispatches) {
+  // The occupancy ledger has no capacity feedback, so estimated free CLBs
+  // can go negative on every device; dispatch must still pick one
+  // (regression: used to index ledger[-1]).
+  for (auto policy : {DispatchPolicy::kLeastLoaded, DispatchPolicy::kBestFit}) {
+    FleetManager fleet(small_fleet(2, policy));
+    for (int i = 0; i < 60; ++i)
+      fleet.submit(task("t" + std::to_string(i), 10, 0, 1000));
+    const auto& a = fleet.dispatch();
+    for (int d : a) EXPECT_GE(d, 0);
+  }
+}
+
+// ---- fleet runs -------------------------------------------------------------
+
+std::vector<sched::TaskArrival> workload(int n, std::uint64_t seed) {
+  sched::RandomTaskParams p;
+  p.task_count = n;
+  p.max_side = 8;
+  p.seed = seed;
+  return sched::random_tasks(p);
+}
+
+TEST(Fleet, BatchingReducesTransactionsOnSameWorkload) {
+  FleetConfig cfg = small_fleet(4, DispatchPolicy::kLeastLoaded);
+  FleetConfig unbatched_cfg = cfg;
+  unbatched_cfg.batch_config = false;
+
+  FleetManager batched(cfg);
+  FleetManager unbatched(unbatched_cfg);
+  batched.submit_all(workload(120, 5));
+  unbatched.submit_all(workload(120, 5));
+  const auto rb = batched.run();
+  const auto ru = unbatched.run();
+
+  // Identical schedule either way (batching is config-port accounting).
+  EXPECT_EQ(rb.completed, ru.completed);
+  EXPECT_EQ(rb.makespan, ru.makespan);
+
+  const auto txn = rb.aggregate.counter_value("config_transactions");
+  const auto txn_baseline =
+      rb.aggregate.counter_value("config_transactions_unbatched");
+  EXPECT_LT(txn, txn_baseline);
+  // The unbatched run's actual transactions equal the batched run's
+  // baseline accounting: same workload, one op per transaction.
+  EXPECT_EQ(ru.aggregate.counter_value("config_transactions"), txn_baseline);
+  EXPECT_GT(rb.aggregate.counter_value("frames_written"), 0);
+}
+
+TEST(Fleet, SeededRunIsDeterministicAcrossThreadCounts) {
+  FleetConfig cfg = small_fleet(4, DispatchPolicy::kBestFit);
+  cfg.threads = 1;
+  FleetConfig cfg4 = cfg;
+  cfg4.threads = 4;
+
+  FleetManager a(cfg);
+  FleetManager b(cfg4);
+  a.submit_all(workload(100, 42));
+  b.submit_all(workload(100, 42));
+  const std::string ja = a.run().to_json();
+  const std::string jb = b.run().to_json();
+  EXPECT_EQ(ja, jb);
+
+  // And a different seed changes the run.
+  FleetManager c(cfg);
+  c.submit_all(workload(100, 43));
+  EXPECT_NE(ja, c.run().to_json());
+}
+
+TEST(Fleet, SpreadsWorkAndReportsTelemetry) {
+  FleetConfig cfg = small_fleet(4, DispatchPolicy::kLeastLoaded);
+  FleetManager fleet(cfg);
+  fleet.submit_all(workload(150, 9));
+  const auto report = fleet.run();
+
+  EXPECT_EQ(report.admitted, 150);
+  EXPECT_EQ(report.completed + report.rejected, 150);
+  EXPECT_GT(report.completed, 0);
+  EXPECT_GT(report.throughput_tasks_per_s(), 0.0);
+  ASSERT_EQ(report.devices.size(), 4u);
+  for (const auto& d : report.devices) {
+    EXPECT_GT(d.telemetry.counter_value("tasks_admitted"), 0)
+        << "device " << d.device << " got no work";
+  }
+  // Histogram sample counts line up with completions.
+  std::int64_t wait_samples = 0;
+  for (const auto& d : report.devices)
+    wait_samples += d.telemetry.has_histogram("queue_wait_ms")
+                        ? d.telemetry.counter_value("tasks_completed")
+                        : 0;
+  EXPECT_EQ(wait_samples, report.completed);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"throughput_tasks_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"devices\": ["), std::string::npos);
+}
+
+TEST(Fleet, ApplicationChainsStayOnOneDevice) {
+  FleetConfig cfg = small_fleet(3, DispatchPolicy::kRoundRobin);
+  FleetManager fleet(cfg);
+  sched::AppSpec app;
+  app.name = "chain";
+  for (int f = 0; f < 3; ++f) {
+    sched::FunctionSpec fn;
+    fn.name = "chain.f" + std::to_string(f);
+    fn.height = fn.width = 3;
+    fn.duration = SimTime::ms(5);
+    app.functions.push_back(fn);
+  }
+  fleet.submit(app);
+  const auto report = fleet.run();
+  EXPECT_EQ(report.completed, 3);
+  // All three functions ran on device 0 (round-robin, single request).
+  EXPECT_EQ(report.devices[0].telemetry.counter_value("tasks_completed"), 3);
+  EXPECT_EQ(report.devices[1].telemetry.counter_value("tasks_admitted"), 0);
+}
+
+}  // namespace
+}  // namespace relogic::runtime
