@@ -33,10 +33,27 @@ std::optional<DispatchPolicy> parse_dispatch_policy(const std::string& name) {
   return std::nullopt;
 }
 
+std::string to_string(AdmissionMode m) {
+  switch (m) {
+    case AdmissionMode::kOnline:
+      return "online";
+    case AdmissionMode::kOffline:
+      return "offline";
+  }
+  return "?";
+}
+
+std::optional<AdmissionMode> parse_admission_mode(const std::string& name) {
+  if (name == "online") return AdmissionMode::kOnline;
+  if (name == "offline") return AdmissionMode::kOffline;
+  return std::nullopt;
+}
+
 FleetManager::FleetManager(FleetConfig config) : cfg_(std::move(config)) {
   RELOGIC_CHECK(cfg_.devices >= 1);
   RELOGIC_CHECK(cfg_.rows >= 1 && cfg_.cols >= 1);
   RELOGIC_CHECK(cfg_.overlap >= 1);
+  ledger_.resize(static_cast<std::size_t>(cfg_.devices));
 }
 
 void FleetManager::submit(const sched::TaskArrival& task) {
@@ -51,10 +68,9 @@ void FleetManager::submit(const sched::AppSpec& app) {
   RELOGIC_CHECK_MSG(!app.functions.empty(), "application with no functions");
   Request req;
   req.app = app;
-  req.est_end = app.start;
   for (const auto& fn : app.functions) {
     req.footprint_clbs = std::max(req.footprint_clbs, fn.clbs());
-    req.est_end += fn.duration;
+    req.duration += fn.duration;
   }
   queue_.push_back(std::move(req));
   dispatched_ = false;
@@ -64,89 +80,242 @@ void FleetManager::submit_all(const std::vector<sched::TaskArrival>& tasks) {
   for (const auto& t : tasks) submit(t);
 }
 
+int FleetManager::free_at(int d, SimTime t) const {
+  // Committed load: every placed request occupies its footprint until its
+  // estimated end, whether it has (estimatedly) started or is still queued
+  // on the device — queued work is capacity the device has promised away.
+  int used = 0;
+  for (const LedgerEntry& e : ledger_[static_cast<std::size_t>(d)])
+    if (e.est_end > t) used += e.clbs;
+  return cfg_.rows * cfg_.cols - used;
+}
+
+double FleetManager::backlog_ms(int d, SimTime t) const {
+  double ms = 0.0;
+  for (const LedgerEntry& e : ledger_[static_cast<std::size_t>(d)])
+    if (e.est_end > t) ms += (e.est_end - std::max(e.est_start, t)).milliseconds();
+  return ms;
+}
+
+SimTime FleetManager::est_start_in(const std::vector<LedgerEntry>& entries,
+                                   SimTime t, int clbs) const {
+  int free = cfg_.rows * cfg_.cols;
+  for (const LedgerEntry& e : entries)
+    if (e.est_end > t) free -= e.clbs;
+  if (free >= clbs) return t;
+  // Walk future departures in end order, crediting capacity back until the
+  // request fits. Everything on the ledger ends eventually, and capacity
+  // >= clbs for any geometrically-admitted request, so this terminates.
+  std::vector<std::pair<SimTime, int>> ends;
+  for (const LedgerEntry& e : entries)
+    if (e.est_end > t) ends.emplace_back(e.est_end, e.clbs);
+  std::sort(ends.begin(), ends.end());
+  for (const auto& [end, c] : ends) {
+    free += c;
+    if (free >= clbs) return end;
+  }
+  return ends.empty() ? t : ends.back().first;
+}
+
+SimTime FleetManager::est_start_on(int d, SimTime t, int clbs) const {
+  return est_start_in(ledger_[static_cast<std::size_t>(d)], t, clbs);
+}
+
+void FleetManager::place(std::size_t qi, int d, SimTime now,
+                         bool queue_aware) {
+  const Request& req = queue_[qi];
+  LedgerEntry e;
+  e.req = qi;
+  e.clbs = req.footprint_clbs;
+  // Queue-aware (online) placement folds estimated on-device queueing into
+  // the entry; the offline planner books every request as starting at its
+  // arrival, exactly as the PR 1 planner did.
+  e.est_start = queue_aware ? est_start_on(d, now, req.footprint_clbs) : now;
+  e.est_end = e.est_start + req.duration;
+  ledger_[static_cast<std::size_t>(d)].push_back(e);
+  assignment_[qi] = d;
+}
+
+void FleetManager::refresh_queued_estimates(int d, SimTime now) {
+  // A shed entry no longer constrains the device's queue: re-derive the
+  // remaining queued entries' starts, each against only the entries placed
+  // before it — exactly the computation its original placement ran, minus
+  // whatever has been shed since. est_start therefore never grows, and a
+  // refresh never increases the device's backlog.
+  auto& entries = ledger_[static_cast<std::size_t>(d)];
+  std::vector<LedgerEntry> rebuilt;
+  rebuilt.reserve(entries.size());
+  for (const LedgerEntry& e : entries) {
+    if (e.est_start <= now) {
+      rebuilt.push_back(e);  // (estimatedly) running: pinned
+      continue;
+    }
+    LedgerEntry q = e;
+    q.est_start = est_start_in(rebuilt, now, q.clbs);
+    q.est_end = q.est_start + queue_[q.req].duration;
+    rebuilt.push_back(q);
+  }
+  entries = std::move(rebuilt);
+}
+
+void FleetManager::rebalance(SimTime now) {
+  if (cfg_.rebalance_backlog_ms <= 0.0 || cfg_.devices < 2) return;
+  // A few migrations per admission event are enough — the next event
+  // continues the work. Unbounded draining here would make a single event
+  // O(queue), and under fleet-wide overload (every device past the
+  // threshold) there is nothing useful to shed anyway: the dst-side
+  // threshold check below keeps saturated fleets from churning requests
+  // between equally drowned devices.
+  int budget = cfg_.devices;
+  bool moved = true;
+  while (moved && budget > 0) {
+    moved = false;
+    // One backlog computation per device per round (re-ranked after every
+    // migration, since a move changes both ends).
+    std::vector<double> backlog(static_cast<std::size_t>(cfg_.devices));
+    std::vector<std::pair<double, int>> over;
+    for (int d = 0; d < cfg_.devices; ++d) {
+      backlog[static_cast<std::size_t>(d)] = backlog_ms(d, now);
+      if (backlog[static_cast<std::size_t>(d)] > cfg_.rebalance_backlog_ms)
+        over.emplace_back(-backlog[static_cast<std::size_t>(d)], d);
+    }
+    // Every device over the threshold may shed, most backlogged first.
+    std::sort(over.begin(), over.end());
+
+    for (const auto& [neg_b, src] : over) {
+      const double src_b = -neg_b;
+      int dst = -1;
+      double dst_b = std::numeric_limits<double>::max();
+      for (int d = 0; d < cfg_.devices; ++d) {
+        if (d != src && backlog[static_cast<std::size_t>(d)] < dst_b) {
+          dst_b = backlog[static_cast<std::size_t>(d)];
+          dst = d;
+        }
+      }
+      // Only a peer with headroom receives migrations.
+      if (dst >= 0 && dst_b > cfg_.rebalance_backlog_ms) continue;
+
+      // Candidates: queued-but-not-started requests, most recently placed
+      // (least sunk estimate) first. A request whose est_start has passed
+      // is treated as running and never migrated. The move must strictly
+      // reduce the imbalance — the destination, with the request added,
+      // stays below the source's old backlog — which is what guarantees
+      // the outer loop terminates.
+      auto& entries = ledger_[static_cast<std::size_t>(src)];
+      for (std::size_t i = entries.size(); i-- > 0 && !moved;) {
+        if (entries[i].est_start <= now) continue;
+        const double work =
+            (entries[i].est_end - entries[i].est_start).milliseconds();
+        if (dst < 0 || dst_b + work >= src_b) continue;
+        const std::size_t qi = entries[i].req;
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        place(qi, dst, now, /*queue_aware=*/true);
+        refresh_queued_estimates(src, now);
+        ++rebalanced_;
+        --budget;
+        moved = true;
+        RELOGIC_LOG(kDebug) << "rebalanced request " << qi << " device "
+                            << src << " -> " << dst;
+      }
+      if (moved) break;  // backlogs changed: re-rank before the next move
+    }
+  }
+}
+
+int FleetManager::pick_device(SimTime now, int footprint) {
+  // free_at can go below zero on an oversubscribed fleet (the ledger has
+  // no capacity feedback), so the argmax seeds with a sentinel no device
+  // can fail to beat. Lowest id wins ties.
+  auto least_loaded = [&] {
+    int best = 0;
+    int best_free = std::numeric_limits<int>::min();
+    for (int d = 0; d < cfg_.devices; ++d) {
+      const int f = free_at(d, now);
+      if (f > best_free) {
+        best_free = f;
+        best = d;
+      }
+    }
+    return best;
+  };
+
+  switch (cfg_.dispatch) {
+    case DispatchPolicy::kRoundRobin: {
+      const int pick = rr_next_;
+      rr_next_ = (rr_next_ + 1) % cfg_.devices;
+      return pick;
+    }
+    case DispatchPolicy::kLeastLoaded:
+      return least_loaded();
+    case DispatchPolicy::kBestFit: {
+      // Tightest estimated fit; a device already too full to (estimatedly)
+      // hold the footprint is skipped, falling back to least-loaded.
+      int pick = -1;
+      int best_slack = -1;
+      for (int d = 0; d < cfg_.devices; ++d) {
+        const int slack = free_at(d, now) - footprint;
+        if (slack >= 0 && (best_slack < 0 || slack < best_slack)) {
+          best_slack = slack;
+          pick = d;
+        }
+      }
+      return pick >= 0 ? pick : least_loaded();
+    }
+  }
+  return 0;
+}
+
 const std::vector<int>& FleetManager::dispatch() {
   if (dispatched_) return assignment_;
-  assignment_.assign(queue_.size(), -1);
-  rr_next_ = 0;  // recomputes start from a clean round-robin cycle
+  const bool online = cfg_.admission == AdmissionMode::kOnline;
+  if (online) {
+    assignment_.resize(queue_.size(), -1);
+  } else {
+    // The offline planner re-plans the whole batch from scratch (exactly
+    // the PR 1 planner: arrival-sorted, departures reclaim capacity, but
+    // no queue estimates, no rebalancing, no incrementality).
+    assignment_.assign(queue_.size(), -1);
+    for (auto& l : ledger_) l.clear();
+    placed_ = 0;
+    clock_ = SimTime::zero();
+    rr_next_ = 0;
+  }
 
-  // Admission order: by request start time, submission order as tie-break.
-  std::vector<std::size_t> order(queue_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return queue_[a].app.start < queue_[b].app.start;
-  });
-
-  // Occupancy ledger per device: (estimated end, CLB footprint) of every
-  // request dispatched so far. The estimate ignores queueing inside the
-  // device — the device's own run-time manager handles that exactly; the
-  // ledger only has to rank devices consistently.
-  struct Entry {
-    SimTime end;
-    int clbs;
-  };
-  std::vector<std::vector<Entry>> ledger(
-      static_cast<std::size_t>(cfg_.devices));
-  const int capacity = cfg_.rows * cfg_.cols;
-  auto free_at = [&](int d, SimTime t) {
-    int used = 0;
-    for (const Entry& e : ledger[static_cast<std::size_t>(d)])
-      if (e.end > t) used += e.clbs;
-    return capacity - used;
-  };
+  // Event order over the not-yet-placed requests: arrival time, submission
+  // order as tie-break. The admission clock never runs backwards — a
+  // request submitted late with an early arrival is admitted at the time
+  // admission actually happens.
+  std::vector<std::size_t> order(queue_.size() - placed_);
+  std::iota(order.begin(), order.end(), placed_);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return queue_[a].app.start < queue_[b].app.start;
+                   });
 
   for (std::size_t qi : order) {
-    Request& req = queue_[qi];
+    const Request& req = queue_[qi];
+    clock_ = std::max(clock_, req.app.start);
+    const SimTime now = clock_;
+
+    // The clock is monotone and every ledger query filters on est_end >
+    // now, so departed entries can be dropped for good — this keeps the
+    // per-event scans proportional to the *live* entry count instead of
+    // every request ever placed.
+    for (auto& l : ledger_)
+      std::erase_if(l, [&](const LedgerEntry& e) { return e.est_end <= now; });
+
     // Geometric admission: a request no device can ever hold is rejected
     // here rather than bouncing through every device queue.
     bool fits = true;
     for (const auto& fn : req.app.functions)
       fits = fits && fn.height <= cfg_.rows && fn.width <= cfg_.cols;
-    if (!fits) continue;  // assignment stays -1
+    if (!fits) continue;  // assignment stays -1; round-robin keeps its slot
 
-    // free_at can go below zero on an oversubscribed fleet (the ledger has
-    // no capacity feedback), so the argmax seeds with a sentinel no device
-    // can fail to beat. Lowest id wins ties.
-    auto least_loaded = [&](SimTime t) {
-      int best = 0;
-      int best_free = std::numeric_limits<int>::min();
-      for (int d = 0; d < cfg_.devices; ++d) {
-        const int f = free_at(d, t);
-        if (f > best_free) {
-          best_free = f;
-          best = d;
-        }
-      }
-      return best;
-    };
-
-    int pick = -1;
-    switch (cfg_.dispatch) {
-      case DispatchPolicy::kRoundRobin:
-        pick = rr_next_;
-        rr_next_ = (rr_next_ + 1) % cfg_.devices;
-        break;
-      case DispatchPolicy::kLeastLoaded:
-        pick = least_loaded(req.app.start);
-        break;
-      case DispatchPolicy::kBestFit: {
-        // Tightest estimated fit; a device already too full to (estimatedly)
-        // hold the footprint is skipped, falling back to least-loaded.
-        int best_slack = -1;
-        for (int d = 0; d < cfg_.devices; ++d) {
-          const int slack = free_at(d, req.app.start) - req.footprint_clbs;
-          if (slack >= 0 && (best_slack < 0 || slack < best_slack)) {
-            best_slack = slack;
-            pick = d;
-          }
-        }
-        if (pick < 0) pick = least_loaded(req.app.start);
-        break;
-      }
-    }
-    assignment_[qi] = pick;
-    ledger[static_cast<std::size_t>(pick)].push_back(
-        Entry{req.est_end, req.footprint_clbs});
+    place(qi, pick_device(now, req.footprint_clbs), now,
+          /*queue_aware=*/online);
+    if (online) rebalance(now);
   }
+  placed_ = queue_.size();
   dispatched_ = true;
   return assignment_;
 }
@@ -211,6 +380,12 @@ DeviceReport FleetManager::run_device(
   report.batch = batcher.stats();
 
   // ---- per-device telemetry ----------------------------------------------
+  // Counter semantics (see README "Fleet telemetry schema"):
+  //   tasks_admitted  = tasks handed to this device by dispatch, including
+  //                     tasks the device itself later rejected;
+  //   tasks_completed = tasks that ran to completion;
+  //   tasks_rejected  = tasks this device gave up on (queue timeout /
+  //                     never-fitting), so admitted == completed + rejected.
   Telemetry& t = report.telemetry;
   const auto& s = report.stats;
   t.counter("tasks_admitted").add(static_cast<std::int64_t>(s.tasks.size()));
@@ -220,8 +395,14 @@ DeviceReport FleetManager::run_device(
   t.counter("rearrangement_moves").add(s.rearrangement_moves);
   t.counter("moved_clbs").add(s.moved_clbs);
   t.counter("config_ops").add(report.batch.ops_in);
-  t.counter("config_transactions").add(report.batch.column_writes);
-  t.counter("config_transactions_unbatched")
+  // Transactions are coalesced op applications; the unbatched baseline is
+  // one transaction per op on the same stream. Column writes (per-column
+  // port transactions) are their own metric — feeding them into the
+  // transaction counters is how this telemetry used to lie.
+  t.counter("config_transactions").add(report.batch.transactions);
+  t.counter("config_transactions_unbatched").add(report.batch.ops_in);
+  t.counter("column_writes").add(report.batch.column_writes);
+  t.counter("column_writes_unbatched")
       .add(report.batch.unbatched_column_writes);
   t.counter("frames_written").add(report.batch.frames_written);
   t.counter("frames_unbatched").add(report.batch.unbatched_frames);
@@ -295,6 +476,7 @@ FleetReport FleetManager::run() {
 
   report.admitted = admitted_tasks;
   report.rejected = admission_rejects;
+  report.rebalanced = rebalanced_;
   for (const DeviceReport& d : report.devices) {
     report.completed +=
         static_cast<int>(d.stats.tasks.size()) - d.stats.rejected;
@@ -303,9 +485,14 @@ FleetReport FleetManager::run() {
     report.aggregate.merge(d.telemetry);
   }
   report.aggregate.counter("admission_rejected").add(admission_rejects);
+  report.aggregate.counter("rebalanced_requests").add(rebalanced_);
 
   queue_.clear();
   assignment_.clear();
+  for (auto& l : ledger_) l.clear();
+  placed_ = 0;
+  clock_ = SimTime::zero();
+  rebalanced_ = 0;
   dispatched_ = false;
   rr_next_ = 0;
   return report;
@@ -318,11 +505,13 @@ double FleetReport::throughput_tasks_per_s() const {
 
 std::string FleetReport::to_json() const {
   std::ostringstream os;
-  int txn = 0, txn_unbatched = 0;
+  int txn = 0, txn_unbatched = 0, columns = 0, columns_unbatched = 0;
   SimTime port_time = SimTime::zero(), port_time_unbatched = SimTime::zero();
   for (const DeviceReport& d : devices) {
-    txn += d.batch.column_writes;
-    txn_unbatched += d.batch.unbatched_column_writes;
+    txn += d.batch.transactions;
+    txn_unbatched += d.batch.ops_in;
+    columns += d.batch.column_writes;
+    columns_unbatched += d.batch.unbatched_column_writes;
     port_time += d.batch.time;
     port_time_unbatched += d.batch.unbatched_time;
   }
@@ -330,17 +519,23 @@ std::string FleetReport::to_json() const {
   os << "  \"fleet\": {\"devices\": " << config.devices
      << ", \"rows\": " << config.rows << ", \"cols\": " << config.cols
      << ", \"dispatch\": \"" << to_string(config.dispatch)
-     << "\", \"policy\": \"" << sched::to_string(config.sched.policy)
+     << "\", \"admission\": \"" << to_string(config.admission)
+     << "\", \"rebalance_backlog_ms\": "
+     << json_number(config.rebalance_backlog_ms)
+     << ", \"policy\": \"" << sched::to_string(config.sched.policy)
      << "\", \"overlap\": " << config.overlap << ", \"port\": \""
      << (config.use_selectmap ? "SelectMAP" : "BoundaryScan")
      << "\", \"batching\": " << (config.batch_config ? "true" : "false")
      << ", \"batch_max_ops\": " << config.batch.max_ops << "},\n";
   os << "  \"totals\": {\"admitted\": " << admitted
      << ", \"completed\": " << completed << ", \"rejected\": " << rejected
+     << ", \"rebalanced\": " << rebalanced
      << ", \"makespan_ms\": " << json_number(makespan.milliseconds())
      << ", \"throughput_tasks_per_s\": " << json_number(throughput_tasks_per_s())
      << ", \"config_transactions\": " << txn
      << ", \"config_transactions_unbatched\": " << txn_unbatched
+     << ", \"column_writes\": " << columns
+     << ", \"column_writes_unbatched\": " << columns_unbatched
      << ", \"config_port_time_ms\": " << json_number(port_time.milliseconds())
      << ", \"config_port_time_unbatched_ms\": "
      << json_number(port_time_unbatched.milliseconds()) << "},\n";

@@ -10,6 +10,22 @@
 // deterministic regardless of thread count, and a fleet run with the same
 // seed produces byte-identical telemetry JSON.
 //
+// Admission is *online*, mirroring the paper's run-time manager: requests
+// are dispatched one event at a time, in arrival order, each against the
+// occupancy ledger as it stands at that request's arrival — capacity tied
+// up by departed tasks has already been reclaimed. Submission can be
+// incremental (submit, dispatch, submit more, dispatch again); earlier
+// placements are never recomputed, only extended. A live rebalancing pass
+// migrates queued-but-not-started requests off a device whose estimated
+// backlog exceeds a configurable threshold onto the least-backlogged peer
+// (counted as `rebalanced_requests` in the fleet telemetry). The previous
+// one-shot batch planner is kept, faithfully, as AdmissionMode::kOffline:
+// it walks the same arrival order against the same departure-reclaiming
+// ledger, but books every request as starting at its arrival (no queueing
+// estimates), never rebalances, and re-plans the whole batch on every
+// dispatch. That is the baseline bench_fleet_online measures the online
+// loop against.
+//
 // Alongside the area-level schedule, each device replays the partial
 // configurations of its admitted tasks against a real Fabric +
 // ConfigController through a TransactionBatcher, so fleet reports carry
@@ -17,6 +33,7 @@
 // one-transaction-per-op baseline on the same workload.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,12 +57,34 @@ enum class DispatchPolicy {
 std::string to_string(DispatchPolicy p);
 std::optional<DispatchPolicy> parse_dispatch_policy(const std::string& name);
 
+/// When placement decisions are made.
+enum class AdmissionMode {
+  kOnline,   ///< event-ordered: each request placed at its arrival time
+             ///< against the live, queue-aware ledger; supports
+             ///< incremental submission and rebalancing
+  kOffline,  ///< one-shot batch re-plan (the PR 1 planner): arrival-sorted
+             ///< against the departure-reclaiming ledger, but without
+             ///< queueing estimates or rebalancing
+};
+
+std::string to_string(AdmissionMode m);
+std::optional<AdmissionMode> parse_admission_mode(const std::string& name);
+
 struct FleetConfig {
   int devices = 4;
   /// Per-device CLB grid (every device of the fleet is identical).
   int rows = 24;
   int cols = 24;
   DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+  AdmissionMode admission = AdmissionMode::kOnline;
+  /// Online mode: after each admission, a device whose estimated backlog
+  /// (remaining estimated work of everything on its ledger, in ms)
+  /// exceeds this threshold sheds queued-but-not-started requests onto
+  /// the least-backlogged peer — provided that peer is itself under the
+  /// threshold (fleet-wide overload has nothing useful to shed), and at
+  /// most a handful of migrations per admission event. <= 0 disables
+  /// rebalancing.
+  double rebalance_backlog_ms = 0.0;
   /// Per-device run-time manager configuration (management policy,
   /// placement, defrag options, ...).
   sched::SchedulerConfig sched;
@@ -74,10 +113,16 @@ struct FleetReport {
   FleetConfig config;
   std::vector<DeviceReport> devices;
   Telemetry aggregate;
-  int admitted = 0;   ///< tasks (application functions) assigned to devices
+  int admitted = 0;   ///< tasks (application functions) assigned to devices,
+                      ///< including tasks their device later rejected
   int completed = 0;
   int rejected = 0;   ///< per-device rejects plus admission rejects
+  int rebalanced = 0; ///< requests migrated between devices before starting
   SimTime makespan = SimTime::zero();  ///< max over devices
+  /// Counting identity (asserted in tests):
+  ///   admitted == completed + rejected - admission_rejected
+  /// where admission_rejected is the aggregate counter of requests no
+  /// device could ever hold.
 
   /// Aggregate modelled throughput: completed tasks per second of
   /// simulated fleet time.
@@ -101,11 +146,17 @@ class FleetManager {
 
   std::size_t pending_requests() const { return queue_.size(); }
 
-  /// Drains the admission queue onto devices. Returns one device index per
-  /// admitted request, in submission order (-1 = rejected at admission:
-  /// no device can ever hold the request). Idempotent until the next
-  /// submit; run() calls it implicitly.
+  /// Places every not-yet-placed request onto a device. Online mode walks
+  /// the new requests in arrival order, placing each against the ledger at
+  /// its arrival time and rebalancing after every admission; offline mode
+  /// recomputes the whole batch. Returns one device index per submitted
+  /// request, in submission order (-1 = rejected at admission: no device
+  /// can ever hold the request). Idempotent until the next submit; run()
+  /// calls it implicitly.
   const std::vector<int>& dispatch();
+
+  /// Requests migrated by the rebalancer so far (reset by run()).
+  int rebalanced_requests() const { return rebalanced_; }
 
   /// Dispatches, executes every device run on the worker pool, and
   /// gathers telemetry. Leaves the admission queue empty.
@@ -115,8 +166,40 @@ class FleetManager {
   struct Request {
     sched::AppSpec app;
     int footprint_clbs = 0;  ///< largest concurrent function footprint
-    SimTime est_end = SimTime::zero();
+    SimTime duration = SimTime::zero();  ///< sum of function durations
   };
+
+  /// One placed request on a device's occupancy ledger. est_start folds in
+  /// estimated queueing on that device: the earliest time the ledger says
+  /// enough CLBs are free. A request with est_start in the future is
+  /// "queued-but-not-started" — the rebalancer may still migrate it.
+  struct LedgerEntry {
+    std::size_t req = 0;  ///< index into queue_ / assignment_
+    SimTime est_start = SimTime::zero();
+    SimTime est_end = SimTime::zero();
+    int clbs = 0;
+  };
+
+  /// Estimated free CLBs on device d at time t (can go negative when the
+  /// fleet is oversubscribed).
+  int free_at(int d, SimTime t) const;
+  /// Estimated remaining work on device d at time t, in milliseconds.
+  double backlog_ms(int d, SimTime t) const;
+  /// Earliest time >= t a given entry list estimates `clbs` CLBs free.
+  SimTime est_start_in(const std::vector<LedgerEntry>& entries, SimTime t,
+                       int clbs) const;
+  /// Earliest time >= t the ledger estimates `clbs` CLBs free on d.
+  SimTime est_start_on(int d, SimTime t, int clbs) const;
+  /// Applies the configured dispatch policy against the ledger at `now`
+  /// (advances the round-robin cursor when that policy is active).
+  int pick_device(SimTime now, int footprint);
+  void place(std::size_t qi, int d, SimTime now, bool queue_aware);
+  /// Re-derives est_start/est_end for device d's queued-but-not-started
+  /// entries after the rebalancer shed one of them.
+  void refresh_queued_estimates(int d, SimTime now);
+  /// Sheds queued-but-not-started entries from over-threshold devices onto
+  /// the least-backlogged peer while that strictly reduces the imbalance.
+  void rebalance(SimTime now);
 
   DeviceReport run_device(int device,
                           const std::vector<sched::AppSpec>& apps) const;
@@ -124,6 +207,10 @@ class FleetManager {
   FleetConfig cfg_;
   std::vector<Request> queue_;
   std::vector<int> assignment_;
+  std::vector<std::vector<LedgerEntry>> ledger_;
+  std::size_t placed_ = 0;  ///< requests already processed (online mode)
+  SimTime clock_ = SimTime::zero();  ///< admission event clock (online)
+  int rebalanced_ = 0;
   bool dispatched_ = false;
   int rr_next_ = 0;
 };

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,5 +58,69 @@ struct RandomTaskParams {
   std::uint64_t seed = 1;
 };
 std::vector<TaskArrival> random_tasks(const RandomTaskParams& params);
+
+/// Shape of the arrival process the WorkloadGenerator samples.
+enum class ArrivalPattern {
+  kPoisson,    ///< homogeneous Poisson (exponential interarrivals)
+  kBursty,     ///< on/off: dense bursts separated by idle gaps
+  kDiurnal,    ///< sinusoidal rate wave (a scaled-down day/night cycle)
+  kHeavyTail,  ///< Poisson arrivals, bounded-Pareto (heavy-tailed) durations
+};
+
+std::string to_string(ArrivalPattern p);
+std::optional<ArrivalPattern> parse_arrival_pattern(const std::string& name);
+
+struct WorkloadParams {
+  ArrivalPattern pattern = ArrivalPattern::kPoisson;
+  int task_count = 200;
+  /// Long-run mean interarrival; every pattern is normalised so the
+  /// offered load matches Poisson at the same mean.
+  double mean_interarrival_ms = 2.0;
+  int min_side = 2;
+  int max_side = 10;
+  double mean_duration_ms = 20.0;
+  double gated_fraction = 0.5;
+  std::uint64_t seed = 1;
+
+  // kBursty: during a burst, arrivals come `burst_rate_boost` times faster
+  // than the long-run mean; bursts hold `burst_length` tasks, and the idle
+  // gap between bursts restores the long-run mean rate.
+  int burst_length = 16;
+  double burst_rate_boost = 8.0;
+
+  // kDiurnal: rate(t) = base * (1 + wave_amplitude * sin(2*pi*t/period)),
+  // sampled by thinning. Amplitude in [0, 1).
+  double wave_period_ms = 400.0;
+  double wave_amplitude = 0.8;
+
+  // kHeavyTail: bounded Pareto durations with this shape (alpha <= 2 gives
+  // the classic infinite-variance regime) capped at `tail_cap` times the
+  // mean so a single task cannot dominate a whole trace.
+  double tail_alpha = 1.3;
+  double tail_cap = 50.0;
+};
+
+/// Deterministic arrival-trace generator: one seed, one byte-identical
+/// trace, whatever the pattern. kPoisson with matching parameters produces
+/// exactly the random_tasks() stream, so existing experiments keep their
+/// seeds.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadParams params);
+
+  const WorkloadParams& params() const { return params_; }
+
+  /// Samples the whole trace (task_count arrivals, nondecreasing times).
+  std::vector<TaskArrival> generate();
+
+ private:
+  double next_interarrival_ms();
+  FunctionSpec next_function(int index);
+
+  WorkloadParams params_;
+  Rng rng_;
+  int burst_remaining_ = 0;
+  double now_ms_ = 0.0;
+};
 
 }  // namespace relogic::sched

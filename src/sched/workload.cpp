@@ -1,5 +1,8 @@
 #include "relogic/sched/workload.hpp"
 
+#include <cmath>
+#include <cstdio>
+
 #include "relogic/common/error.hpp"
 
 namespace relogic::sched {
@@ -31,25 +34,135 @@ std::vector<AppSpec> fig1_applications(int scale_clbs) {
 }
 
 std::vector<TaskArrival> random_tasks(const RandomTaskParams& p) {
-  RELOGIC_CHECK(p.task_count >= 1 && p.min_side >= 1 &&
-                p.max_side >= p.min_side);
-  Rng rng(p.seed);
+  WorkloadParams wp;
+  wp.pattern = ArrivalPattern::kPoisson;
+  wp.task_count = p.task_count;
+  wp.mean_interarrival_ms = p.mean_interarrival_ms;
+  wp.min_side = p.min_side;
+  wp.max_side = p.max_side;
+  wp.mean_duration_ms = p.mean_duration_ms;
+  wp.gated_fraction = p.gated_fraction;
+  wp.seed = p.seed;
+  return WorkloadGenerator(wp).generate();
+}
+
+std::string to_string(ArrivalPattern p) {
+  switch (p) {
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
+    case ArrivalPattern::kHeavyTail:
+      return "heavy-tail";
+  }
+  return "?";
+}
+
+std::optional<ArrivalPattern> parse_arrival_pattern(const std::string& name) {
+  if (name == "poisson") return ArrivalPattern::kPoisson;
+  if (name == "bursty") return ArrivalPattern::kBursty;
+  if (name == "diurnal") return ArrivalPattern::kDiurnal;
+  if (name == "heavy-tail" || name == "heavytail")
+    return ArrivalPattern::kHeavyTail;
+  return std::nullopt;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadParams params)
+    : params_(std::move(params)), rng_(params_.seed) {
+  RELOGIC_CHECK(params_.task_count >= 1);
+  RELOGIC_CHECK(params_.min_side >= 1 && params_.max_side >= params_.min_side);
+  RELOGIC_CHECK(params_.mean_interarrival_ms > 0.0);
+  RELOGIC_CHECK(params_.mean_duration_ms > 0.0);
+  RELOGIC_CHECK(params_.burst_length >= 1 && params_.burst_rate_boost > 1.0);
+  RELOGIC_CHECK(params_.wave_period_ms > 0.0);
+  RELOGIC_CHECK(params_.wave_amplitude >= 0.0 && params_.wave_amplitude < 1.0);
+  RELOGIC_CHECK(params_.tail_alpha > 1.0 && params_.tail_cap > 1.0);
+  burst_remaining_ = params_.burst_length;  // traces open with a burst
+}
+
+double WorkloadGenerator::next_interarrival_ms() {
+  const double mean = params_.mean_interarrival_ms;
+  switch (params_.pattern) {
+    case ArrivalPattern::kPoisson:
+    case ArrivalPattern::kHeavyTail:
+      return rng_.next_exponential(mean);
+    case ArrivalPattern::kBursty: {
+      // Bursts of burst_length tasks at boost x the long-run rate; the idle
+      // gap between bursts restores the long-run mean, so total offered
+      // load matches Poisson with the same mean_interarrival_ms. The
+      // gap-terminating arrival is the burst's first task, so a steady
+      // cycle is 1 gap + (L-1) fast interarrivals for L tasks: gap_mean =
+      // L*mean - (L-1)*mean/boost keeps the cycle averaging L*mean.
+      const int L = params_.burst_length;
+      if (burst_remaining_ == 0) {
+        burst_remaining_ = L - 1;
+        const double gap_mean =
+            L * mean - (L - 1) * mean / params_.burst_rate_boost;
+        return rng_.next_exponential(gap_mean);
+      }
+      --burst_remaining_;
+      return rng_.next_exponential(mean / params_.burst_rate_boost);
+    }
+    case ArrivalPattern::kDiurnal: {
+      // Non-homogeneous Poisson by thinning: propose at the peak rate,
+      // accept with probability rate(t)/peak.
+      const double base_rate = 1.0 / mean;
+      const double peak = base_rate * (1.0 + params_.wave_amplitude);
+      double dt = 0.0;
+      for (;;) {
+        dt += rng_.next_exponential(1.0 / peak);
+        const double phase =
+            2.0 * 3.14159265358979323846 * (now_ms_ + dt) /
+            params_.wave_period_ms;
+        const double rate =
+            base_rate * (1.0 + params_.wave_amplitude * std::sin(phase));
+        if (rng_.next_double() * peak <= rate) return dt;
+      }
+    }
+  }
+  return rng_.next_exponential(mean);
+}
+
+FunctionSpec WorkloadGenerator::next_function(int index) {
+  FunctionSpec f;
+  char name[16];
+  std::snprintf(name, sizeof(name), "t%d", index);
+  f.name = name;
+  f.height = rng_.next_skewed(params_.min_side, params_.max_side);
+  f.width = rng_.next_skewed(params_.min_side, params_.max_side);
+  double duration_ms;
+  if (params_.pattern == ArrivalPattern::kHeavyTail) {
+    // Bounded Pareto: x_m / U^(1/alpha), scaled so the untruncated mean is
+    // mean_duration_ms, capped at tail_cap x the mean.
+    const double alpha = params_.tail_alpha;
+    const double xm = params_.mean_duration_ms * (alpha - 1.0) / alpha;
+    const double u = 1.0 - rng_.next_double();  // (0, 1]
+    duration_ms = std::min(xm / std::pow(u, 1.0 / alpha),
+                           params_.tail_cap * params_.mean_duration_ms);
+  } else {
+    duration_ms = rng_.next_exponential(params_.mean_duration_ms);
+  }
+  f.duration = SimTime::ps(static_cast<std::int64_t>(duration_ms * 1e9));
+  if (f.duration < SimTime::ms(1)) f.duration = SimTime::ms(1);
+  f.gated_clock = rng_.next_bool(params_.gated_fraction);
+  f.reg = fabric::RegMode::kFF;
+  return f;
+}
+
+std::vector<TaskArrival> WorkloadGenerator::generate() {
+  // Restart the stream: every generate() call yields the same trace.
+  rng_ = Rng(params_.seed);
+  now_ms_ = 0.0;
+  burst_remaining_ = params_.burst_length;
   std::vector<TaskArrival> tasks;
-  tasks.reserve(static_cast<std::size_t>(p.task_count));
-  double now_ms = 0.0;
-  for (int i = 0; i < p.task_count; ++i) {
-    now_ms += rng.next_exponential(p.mean_interarrival_ms);
-    FunctionSpec f;
-    f.name = "t" + std::to_string(i);
-    f.height = rng.next_skewed(p.min_side, p.max_side);
-    f.width = rng.next_skewed(p.min_side, p.max_side);
-    f.duration = SimTime::ps(static_cast<std::int64_t>(
-        rng.next_exponential(p.mean_duration_ms) * 1e9));
-    if (f.duration < SimTime::ms(1)) f.duration = SimTime::ms(1);
-    f.gated_clock = rng.next_bool(p.gated_fraction);
-    f.reg = fabric::RegMode::kFF;
-    tasks.push_back(TaskArrival{f, SimTime::ps(static_cast<std::int64_t>(
-                                       now_ms * 1e9))});
+  tasks.reserve(static_cast<std::size_t>(params_.task_count));
+  for (int i = 0; i < params_.task_count; ++i) {
+    now_ms_ += next_interarrival_ms();
+    tasks.push_back(TaskArrival{
+        next_function(i),
+        SimTime::ps(static_cast<std::int64_t>(now_ms_ * 1e9))});
   }
   return tasks;
 }

@@ -61,6 +61,7 @@ struct Options {
   int fleet = 0;
   int random_tasks = 200;
   runtime::FleetConfig fleet_cfg;
+  sched::ArrivalPattern workload = sched::ArrivalPattern::kPoisson;
   std::uint64_t seed = 1;
   double mean_interarrival_ms = 2.0;
   double mean_duration_ms = 20.0;
@@ -87,8 +88,13 @@ struct Options {
       "fleet mode (multi-device runtime):\n"
       "  --fleet N              run the fleet runtime with N devices\n"
       "  --random-tasks M       admit M random tasks (default 200)\n"
+      "  --workload W           arrival pattern: poisson (default) |\n"
+      "                         bursty | diurnal | heavy-tail\n"
       "  --grid RxC             per-device CLB grid (default 24x24)\n"
       "  --dispatch P           round-robin | least-loaded | best-fit\n"
+      "  --admission M          online (default) | offline batch planning\n"
+      "  --rebalance MS         online: migrate queued requests off a\n"
+      "                         device whose backlog exceeds MS (0 = off)\n"
       "  --mgmt P               none | halt | transparent (default)\n"
       "  --seed S               workload seed (default 1)\n"
       "  --mean-interarrival MS --mean-duration MS\n"
@@ -189,6 +195,18 @@ Options parse_args(int argc, char** argv) {
       RELOGIC_CHECK_MSG(opt.fleet >= 1, "--fleet needs at least 1 device");
     } else if (arg == "--random-tasks") {
       opt.random_tasks = std::stoi(need(i));
+    } else if (arg == "--workload") {
+      const std::string v = need(i);
+      const auto p = sched::parse_arrival_pattern(v);
+      RELOGIC_CHECK_MSG(p.has_value(), "unknown workload pattern: " + v);
+      opt.workload = *p;
+    } else if (arg == "--admission") {
+      const std::string v = need(i);
+      const auto m = runtime::parse_admission_mode(v);
+      RELOGIC_CHECK_MSG(m.has_value(), "unknown admission mode: " + v);
+      opt.fleet_cfg.admission = *m;
+    } else if (arg == "--rebalance") {
+      opt.fleet_cfg.rebalance_backlog_ms = std::stod(need(i));
     } else if (arg == "--grid") {
       const std::string v = need(i);
       const auto x = v.find('x');
@@ -259,7 +277,8 @@ int run_fleet(const Options& opt) {
   runtime::FleetConfig cfg = opt.fleet_cfg;
   cfg.devices = opt.fleet;
 
-  sched::RandomTaskParams params;
+  sched::WorkloadParams params;
+  params.pattern = opt.workload;
   params.task_count = opt.random_tasks;
   params.mean_interarrival_ms = opt.mean_interarrival_ms;
   params.mean_duration_ms = opt.mean_duration_ms;
@@ -267,7 +286,7 @@ int run_fleet(const Options& opt) {
   params.seed = opt.seed;
 
   runtime::FleetManager fleet(cfg);
-  fleet.submit_all(sched::random_tasks(params));
+  fleet.submit_all(sched::WorkloadGenerator(params).generate());
 
   const auto wall_start = std::chrono::steady_clock::now();
   const auto report = fleet.run();
@@ -276,10 +295,14 @@ int run_fleet(const Options& opt) {
           std::chrono::steady_clock::now() - wall_start)
           .count();
 
-  std::printf("fleet run: %d devices (%dx%d), dispatch %s, policy %s\n",
-              cfg.devices, cfg.rows, cfg.cols,
-              runtime::to_string(cfg.dispatch).c_str(),
-              sched::to_string(cfg.sched.policy).c_str());
+  std::printf(
+      "fleet run: %d devices (%dx%d), %s admission, dispatch %s, policy %s, "
+      "workload %s\n",
+      cfg.devices, cfg.rows, cfg.cols,
+      runtime::to_string(cfg.admission).c_str(),
+      runtime::to_string(cfg.dispatch).c_str(),
+      sched::to_string(cfg.sched.policy).c_str(),
+      sched::to_string(opt.workload).c_str());
   for (const auto& d : report.devices) {
     std::printf(
         "  device %d: %4lld admitted, %4lld done, %3lld rejected, "
@@ -297,8 +320,9 @@ int run_fleet(const Options& opt) {
             d.telemetry.counter_value("config_transactions_unbatched")));
   }
   std::printf(
-      "aggregate: %d admitted, %d completed, %d rejected, makespan %s\n",
-      report.admitted, report.completed, report.rejected,
+      "aggregate: %d admitted, %d completed, %d rejected, %d rebalanced, "
+      "makespan %s\n",
+      report.admitted, report.completed, report.rejected, report.rebalanced,
       report.makespan.to_string().c_str());
   std::printf(
       "throughput: %.1f tasks/s (model), wall %.1f ms; config txns %lld vs "

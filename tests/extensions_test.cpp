@@ -10,6 +10,7 @@
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
 #include "relogic/sim/harness.hpp"
+#include "testenv.hpp"
 
 namespace relogic {
 namespace {
@@ -51,7 +52,7 @@ TEST(RouteOptimization, ImprovesStretchedNetsAndStaysInLockstep) {
     EXPECT_GT(rep.frames_written, 0);
   }
 
-  for (int i = 0; i < 15; ++i)
+  for (int i = 0; i < testenv::iters(5, 15); ++i)
     ASSERT_TRUE(harness.step({}).ok()) << harness.mismatch_log().back();
   EXPECT_TRUE(rig.sim.monitor().clean());
   for (const auto& [sig, net] : impl.signal_nets) {
@@ -110,7 +111,7 @@ TEST(MultiClock, IndependentDomainsRelocateIndependently) {
   EXPECT_GT(ra.frames_written, 0);
   EXPECT_GT(rb.frames_written, 0);
 
-  for (int i = 0; i < 20; ++i) {
+  for (int i = 0; i < testenv::iters(8, 20); ++i) {
     ASSERT_TRUE(ha.step({}).ok()) << ha.mismatch_log().back();
     ASSERT_TRUE(hb.step({}).ok()) << hb.mismatch_log().back();
   }
@@ -192,7 +193,7 @@ TEST(LutRamHalt, StopTheSystemRelocationPreservesFunction) {
   EXPECT_GT(rep.halted, SimTime::zero());
   EXPECT_GT(rep.frames_written, 0);
 
-  for (int i = 0; i < 10; ++i) {
+  for (int i = 0; i < testenv::iters(5, 10); ++i) {
     ASSERT_TRUE(victim.step_random(rng).ok())
         << victim.mismatch_log().back();
     ASSERT_TRUE(bystander.step({}).ok())

@@ -9,6 +9,7 @@
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
 #include "relogic/sim/harness.hpp"
+#include "testenv.hpp"
 
 namespace relogic {
 namespace {
@@ -66,8 +67,9 @@ TEST_P(RandomWalkReloc, LockstepThroughRandomMoves) {
     ASSERT_TRUE(harness.step_random(rng).ok())
         << harness.mismatch_log().back();
 
-  // Random walk: 6 relocations of random cells to random free sites.
-  for (int move = 0; move < 6; ++move) {
+  // Random walk: relocations of random cells to random free sites (6 in
+  // the full campaign, 4 in smoke mode).
+  for (int move = 0; move < testenv::iters(4, 6); ++move) {
     const int cell = rng.next_int(0, impl.cell_count() - 1);
     // Find a random free destination.
     CellSite dest{};
@@ -95,7 +97,12 @@ TEST_P(RandomWalkReloc, LockstepThroughRandomMoves) {
 
 std::vector<Param> walk_params() {
   std::vector<Param> out;
-  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+  // Two seeds in the default smoke mode; RELOGIC_SLOW_TESTS=ON walks all
+  // four.
+  const auto seeds = testenv::slow_tests_enabled()
+                         ? std::vector<std::uint64_t>{11, 22, 33, 44}
+                         : std::vector<std::uint64_t>{11, 22};
+  for (std::uint64_t seed : seeds) {
     out.push_back({seed, ClockingStyle::kFreeRunning});
     out.push_back({seed, ClockingStyle::kGatedClock});
   }

@@ -60,6 +60,24 @@ TEST(Telemetry, HistogramMerge) {
   EXPECT_THROW(a.merge(c), Error);
 }
 
+TEST(Telemetry, HostileMetricNamesProduceValidJson) {
+  Telemetry t;
+  t.counter("evil\nname\twith\x01" "ctl\"quote\\slash").add(1);
+  t.gauge("g\r\f").set(2.0);
+  t.histogram("h\x1f").observe(1.0);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"evil\\nname\\twith\\u0001ctl\\\"quote\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"g\\r\\f\""), std::string::npos);
+  EXPECT_NE(json.find("\"h\\u001f\""), std::string::npos);
+  // No raw control characters survive into the document (newlines outside
+  // strings are the formatter's own and allowed).
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+  EXPECT_EQ(json.find('\x1f'), std::string::npos);
+}
+
 TEST(Telemetry, RegistryMergeAndJson) {
   Telemetry a;
   Telemetry b;
@@ -280,6 +298,120 @@ TEST(FleetDispatch, BestFitPicksTightestDevice) {
   EXPECT_EQ(ll.dispatch()[1], 1);
 }
 
+TEST(FleetDispatch, BestFitFallsBackToLeastLoadedWhenNoSlack) {
+  FleetManager fleet(small_fleet(2, DispatchPolicy::kBestFit));
+  fleet.submit(task("big0", 11, 0, 1000));  // ties -> d0; d0 free drops to 23
+  fleet.submit(task("big1", 10, 1, 1000));  // d0 slack < 0 -> d1 (slack 44)
+  // 7x7 = 49 CLBs: no device has non-negative slack, so best-fit falls
+  // back to least-loaded, which prefers d1 (44 free vs 23).
+  fleet.submit(task("wide", 7, 2, 1000));
+  const auto& a = fleet.dispatch();
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[2], 1);
+}
+
+TEST(FleetDispatch, LeastLoadedRanksNegativeFreeCorrectly) {
+  // Five 11x11 = 121-CLB requests on two 144-CLB devices: estimated free
+  // goes negative, and the ranking must still prefer the less-negative
+  // device instead of collapsing onto one.
+  FleetManager fleet(small_fleet(2, DispatchPolicy::kLeastLoaded));
+  for (int i = 0; i < 5; ++i)
+    fleet.submit(task("t" + std::to_string(i), 11, i, 1000));
+  EXPECT_EQ(fleet.dispatch(), (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(FleetDispatch, RoundRobinSkipsInfeasibleWithoutBurningSlot) {
+  FleetManager fleet(small_fleet(3, DispatchPolicy::kRoundRobin));
+  fleet.submit(task("a", 2, 0, 10));
+  fleet.submit(task("huge", 13, 1, 10));  // 13 > 12-CLB grid
+  fleet.submit(task("b", 2, 2, 10));
+  fleet.submit(task("c", 2, 3, 10));
+  const auto& a = fleet.dispatch();
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], -1);
+  EXPECT_EQ(a[2], 1);  // the rejection did not advance the cycle
+  EXPECT_EQ(a[3], 2);
+}
+
+TEST(FleetDispatch, OnlineAdmissionIsIncremental) {
+  FleetManager fleet(small_fleet(2, DispatchPolicy::kRoundRobin));
+  fleet.submit(task("a", 2, 0, 10));
+  const std::vector<int> first = fleet.dispatch();
+  EXPECT_EQ(first, (std::vector<int>{0}));
+  fleet.submit(task("b", 2, 1, 10));
+  const auto& second = fleet.dispatch();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], 0);  // earlier placement never recomputed
+  EXPECT_EQ(second[1], 1);  // round-robin resumes where it left off
+  const auto report = fleet.run();
+  EXPECT_EQ(report.completed, 2);
+}
+
+TEST(FleetDispatch, OnlineQueueEstimatesDivertLateArrivals) {
+  // Both modes walk the same arrival order, and both reclaim departed
+  // capacity — the online ledger additionally folds estimated on-device
+  // queueing into each entry. Task "c" ties onto device 0 behind "a", so
+  // online books it as busy until ~20 ms; the offline (PR 1) planner books
+  // it at its arrival (2–12 ms). A task arriving at 13 ms therefore lands
+  // on device 1 online, but back on device 0 offline.
+  for (const auto mode : {AdmissionMode::kOnline, AdmissionMode::kOffline}) {
+    FleetConfig cfg = small_fleet(2, DispatchPolicy::kLeastLoaded);
+    cfg.rows = cfg.cols = 8;
+    cfg.admission = mode;
+    FleetManager fleet(cfg);
+    fleet.submit(task("a", 8, 0, 10));
+    fleet.submit(task("b", 8, 1, 10));
+    fleet.submit(task("c", 8, 2, 10));
+    fleet.submit(task("late", 8, 13, 10));
+    const bool online = mode == AdmissionMode::kOnline;
+    EXPECT_EQ(fleet.dispatch(),
+              (std::vector<int>{0, 1, 0, online ? 1 : 0}))
+        << to_string(mode);
+  }
+}
+
+TEST(FleetDispatch, RebalancerMigratesQueuedRequestOffBackloggedDevice) {
+  // Three full-device tasks on two 8x8 devices: "c" lands on device 0
+  // behind "a" (est_start 100 ms, queued-but-not-started). With device 0's
+  // backlog (~148 ms) over the threshold and device 1 strictly less loaded,
+  // the rebalancer migrates "c"; with rebalancing off it stays put.
+  auto dispatch_with = [&](double threshold) {
+    FleetConfig cfg = small_fleet(2, DispatchPolicy::kLeastLoaded);
+    cfg.rows = cfg.cols = 8;
+    cfg.rebalance_backlog_ms = threshold;
+    FleetManager fleet(cfg);
+    fleet.submit(task("a", 8, 0, 100));
+    fleet.submit(task("b", 8, 1, 60));
+    fleet.submit(task("c", 8, 2, 50));
+    std::vector<int> a = fleet.dispatch();
+    return std::pair{a, fleet.rebalanced_requests()};
+  };
+
+  const auto [off, off_moves] = dispatch_with(0.0);
+  EXPECT_EQ(off, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(off_moves, 0);
+
+  const auto [on, on_moves] = dispatch_with(120.0);
+  EXPECT_EQ(on, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(on_moves, 1);
+
+  // And the full run reports the migration in every telemetry surface.
+  FleetConfig cfg = small_fleet(2, DispatchPolicy::kLeastLoaded);
+  cfg.rows = cfg.cols = 8;
+  cfg.rebalance_backlog_ms = 120.0;
+  FleetManager fleet(cfg);
+  fleet.submit(task("a", 8, 0, 100));
+  fleet.submit(task("b", 8, 1, 60));
+  fleet.submit(task("c", 8, 2, 50));
+  const auto report = fleet.run();
+  EXPECT_EQ(report.rebalanced, 1);
+  EXPECT_EQ(report.aggregate.counter_value("rebalanced_requests"), 1);
+  EXPECT_NE(report.to_json().find("\"rebalanced\": 1"), std::string::npos);
+  EXPECT_EQ(report.completed, 3);
+}
+
 TEST(FleetDispatch, ImpossibleRequestRejectedAtAdmission) {
   FleetManager fleet(small_fleet(2, DispatchPolicy::kRoundRobin));
   fleet.submit(task("huge", 13, 0, 10));  // 13 > 12-CLB grid
@@ -388,6 +520,97 @@ TEST(Fleet, SpreadsWorkAndReportsTelemetry) {
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"throughput_tasks_per_s\""), std::string::npos);
   EXPECT_NE(json.find("\"devices\": ["), std::string::npos);
+}
+
+TEST(Fleet, ConfigTransactionCountersMatchBatcherStats) {
+  FleetConfig cfg = small_fleet(3, DispatchPolicy::kLeastLoaded);
+  FleetManager fleet(cfg);
+  fleet.submit_all(workload(100, 7));
+  const auto report = fleet.run();
+
+  std::int64_t txn = 0, txn_unbatched = 0;
+  for (const auto& d : report.devices) {
+    // The transaction counters carry the batcher's transaction stats — not
+    // column writes, which have their own counters (regression: these used
+    // to be fed column_writes / unbatched_column_writes).
+    EXPECT_EQ(d.telemetry.counter_value("config_transactions"),
+              d.batch.transactions);
+    EXPECT_EQ(d.telemetry.counter_value("config_transactions_unbatched"),
+              d.batch.ops_in);
+    EXPECT_EQ(d.telemetry.counter_value("column_writes"),
+              d.batch.column_writes);
+    EXPECT_EQ(d.telemetry.counter_value("column_writes_unbatched"),
+              d.batch.unbatched_column_writes);
+    // batched <= unbatched, for transactions and for port time.
+    EXPECT_LE(d.batch.transactions, d.batch.ops_in);
+    EXPECT_LE(d.batch.column_writes, d.batch.unbatched_column_writes);
+    EXPECT_LE(d.batch.time, d.batch.unbatched_time);
+    txn += d.batch.transactions;
+    txn_unbatched += d.batch.ops_in;
+  }
+  EXPECT_GT(txn, 0);
+  EXPECT_LE(txn, txn_unbatched);
+  EXPECT_EQ(report.aggregate.counter_value("config_transactions"), txn);
+  EXPECT_EQ(report.aggregate.counter_value("config_transactions_unbatched"),
+            txn_unbatched);
+
+  // The JSON totals agree with the counters.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"config_transactions\": " + std::to_string(txn)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"config_transactions_unbatched\": " +
+                      std::to_string(txn_unbatched)),
+            std::string::npos);
+}
+
+TEST(Fleet, AdmittedCompletedRejectedIdentity) {
+  // One geometrically-impossible request (admission reject) plus an
+  // overload of full-device tasks with a short queue timeout (device
+  // rejects): the chosen counting identity must hold —
+  //   admitted == completed + rejected - admission_rejected.
+  FleetConfig cfg = small_fleet(2, DispatchPolicy::kLeastLoaded);
+  cfg.rows = cfg.cols = 8;
+  cfg.sched.max_wait = SimTime::ms(3);
+  FleetManager fleet(cfg);
+  fleet.submit(task("impossible", 9, 0, 10));
+  for (int i = 0; i < 12; ++i)
+    fleet.submit(task("t" + std::to_string(i), 8, 0.1 * i, 50));
+  const auto report = fleet.run();
+
+  const auto adm_rej = report.aggregate.counter_value("admission_rejected");
+  EXPECT_EQ(adm_rej, 1);
+  EXPECT_GT(report.rejected, adm_rej);  // device-level rejects did happen
+  EXPECT_EQ(report.admitted, report.completed + report.rejected - adm_rej);
+  // Aggregate counters implement the same definition: tasks_admitted is
+  // what dispatch handed to devices (device rejects included), so it
+  // equals tasks_completed + tasks_rejected.
+  EXPECT_EQ(report.aggregate.counter_value("tasks_admitted"), report.admitted);
+  EXPECT_EQ(report.aggregate.counter_value("tasks_completed"),
+            report.completed);
+  EXPECT_EQ(report.aggregate.counter_value("tasks_rejected"),
+            report.rejected - adm_rej);
+}
+
+TEST(Fleet, OnlineRebalancingRunIsDeterministic) {
+  sched::WorkloadParams wp;
+  wp.pattern = sched::ArrivalPattern::kBursty;
+  wp.task_count = 120;
+  wp.mean_interarrival_ms = 0.8;
+  wp.seed = 11;
+  const auto trace = sched::WorkloadGenerator(wp).generate();
+
+  FleetConfig cfg = small_fleet(4, DispatchPolicy::kLeastLoaded);
+  cfg.rebalance_backlog_ms = 80.0;
+  FleetConfig cfg4 = cfg;
+  cfg4.threads = 4;
+
+  FleetManager a(cfg);
+  FleetManager b(cfg4);
+  a.submit_all(trace);
+  b.submit_all(trace);
+  const auto ra = a.run();
+  EXPECT_GT(ra.rebalanced, 0);
+  EXPECT_EQ(ra.to_json(), b.run().to_json());
 }
 
 TEST(Fleet, ApplicationChainsStayOnOneDevice) {

@@ -1,6 +1,8 @@
 // Unit tests: relogic::sched (workloads, policies, event engine).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "relogic/config/port.hpp"
 #include "relogic/reloc/cost.hpp"
 #include "relogic/sched/scheduler.hpp"
@@ -27,6 +29,110 @@ TEST(Workload, RandomTasksDeterministic) {
   // Arrivals are nondecreasing.
   for (std::size_t i = 1; i < a.size(); ++i)
     EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+}
+
+TEST(Workload, GeneratorPoissonMatchesRandomTasks) {
+  // random_tasks() delegates to the generator; same seed, same trace —
+  // existing experiment seeds stay meaningful.
+  RandomTaskParams p;
+  p.task_count = 40;
+  p.seed = 5;
+  const auto legacy = random_tasks(p);
+  WorkloadParams wp;
+  wp.task_count = 40;
+  wp.seed = 5;
+  const auto gen = WorkloadGenerator(wp).generate();
+  ASSERT_EQ(gen.size(), legacy.size());
+  for (std::size_t i = 0; i < gen.size(); ++i) {
+    EXPECT_EQ(gen[i].arrival, legacy[i].arrival);
+    EXPECT_EQ(gen[i].fn.name, legacy[i].fn.name);
+    EXPECT_EQ(gen[i].fn.height, legacy[i].fn.height);
+    EXPECT_EQ(gen[i].fn.width, legacy[i].fn.width);
+    EXPECT_EQ(gen[i].fn.duration, legacy[i].fn.duration);
+    EXPECT_EQ(gen[i].fn.gated_clock, legacy[i].fn.gated_clock);
+  }
+}
+
+TEST(Workload, AllPatternsDeterministicPerSeed) {
+  for (const auto pattern :
+       {ArrivalPattern::kPoisson, ArrivalPattern::kBursty,
+        ArrivalPattern::kDiurnal, ArrivalPattern::kHeavyTail}) {
+    WorkloadParams wp;
+    wp.pattern = pattern;
+    wp.task_count = 100;
+    wp.seed = 9;
+    const auto a = WorkloadGenerator(wp).generate();
+    const auto b = WorkloadGenerator(wp).generate();
+    ASSERT_EQ(a.size(), 100u) << to_string(pattern);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].arrival, b[i].arrival) << to_string(pattern);
+      EXPECT_EQ(a[i].fn.duration, b[i].fn.duration) << to_string(pattern);
+    }
+    for (std::size_t i = 1; i < a.size(); ++i)
+      EXPECT_GE(a[i].arrival, a[i - 1].arrival) << to_string(pattern);
+
+    wp.seed = 10;
+    const auto c = WorkloadGenerator(wp).generate();
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      differs = differs || a[i].arrival != c[i].arrival;
+    EXPECT_TRUE(differs) << to_string(pattern);
+  }
+}
+
+TEST(Workload, BurstyTraceHasBurstsAndGaps) {
+  WorkloadParams wp;
+  wp.pattern = ArrivalPattern::kBursty;
+  wp.task_count = 200;
+  wp.seed = 3;
+  const auto t = WorkloadGenerator(wp).generate();
+  double max_gap = 0.0;
+  int fast = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double gap = (t[i].arrival - t[i - 1].arrival).milliseconds();
+    max_gap = std::max(max_gap, gap);
+    if (gap < wp.mean_interarrival_ms) ++fast;
+  }
+  // Bursts: most interarrivals are far below the long-run mean...
+  EXPECT_GT(fast, static_cast<int>(t.size()) * 3 / 4);
+  // ...separated by gaps far above it.
+  EXPECT_GT(max_gap, 5.0 * wp.mean_interarrival_ms);
+}
+
+TEST(Workload, HeavyTailDurationsBoundedButSpread) {
+  WorkloadParams wp;
+  wp.pattern = ArrivalPattern::kHeavyTail;
+  wp.task_count = 300;
+  wp.seed = 4;
+  const auto t = WorkloadGenerator(wp).generate();
+  double max_ms = 0.0;
+  int below_mean = 0;
+  for (const auto& task : t) {
+    const double d = task.fn.duration.milliseconds();
+    EXPECT_LE(d, wp.tail_cap * wp.mean_duration_ms);
+    max_ms = std::max(max_ms, d);
+    if (d < wp.mean_duration_ms) ++below_mean;
+  }
+  // Heavy tail: most tasks are short, a few are very long.
+  EXPECT_GT(below_mean, static_cast<int>(t.size()) * 2 / 3);
+  EXPECT_GT(max_ms, 5.0 * wp.mean_duration_ms);
+}
+
+TEST(Workload, DiurnalWaveModulatesArrivalRate) {
+  WorkloadParams wp;
+  wp.pattern = ArrivalPattern::kDiurnal;
+  wp.task_count = 400;
+  wp.seed = 6;
+  const auto t = WorkloadGenerator(wp).generate();
+  // The first half of each period carries the positive half of the sine:
+  // with amplitude 0.8 it should receive markedly more arrivals.
+  int peak = 0, trough = 0;
+  for (const auto& task : t) {
+    const double phase =
+        std::fmod(task.arrival.milliseconds(), wp.wave_period_ms);
+    (phase < wp.wave_period_ms / 2 ? peak : trough)++;
+  }
+  EXPECT_GT(peak, 2 * trough);
 }
 
 TEST(Workload, Fig1ShapeMatchesPaper) {

@@ -1,0 +1,27 @@
+// Shared test-suite environment knobs.
+//
+// The heavyweight suites (suite_lockstep_test, property_reloc_test,
+// extensions_test) default to a reduced-iteration smoke mode so CI and the
+// edit-compile-test loop stay fast; RELOGIC_SLOW_TESTS=ON opts into the
+// full campaign (the CMake `slow` ctest label marks the suites affected).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace relogic::testenv {
+
+inline bool slow_tests_enabled() {
+  const char* v = std::getenv("RELOGIC_SLOW_TESTS");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "ON" || s == "on" || s == "1" || s == "TRUE" || s == "true";
+}
+
+/// Iteration count selector: `full` under RELOGIC_SLOW_TESTS=ON, the
+/// reduced `smoke` count otherwise.
+inline int iters(int smoke, int full) {
+  return slow_tests_enabled() ? full : smoke;
+}
+
+}  // namespace relogic::testenv
