@@ -13,8 +13,10 @@
 // SelectMAP numbers are printed for contrast, and the analytical cost
 // model (used by the scheduler) is validated against the measured values.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "bench_report.hpp"
 #include "relogic/config/controller.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/netlist/benchmarks.hpp"
@@ -86,13 +88,16 @@ Result run_circuit(const netlist::bench::SuiteEntry& entry,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quick bounds per-circuit sampling for CI-style runs.
-  int max_cells = 10;
+  // --quick bounds per-circuit sampling for CI-style runs;
+  // RELOGIC_BENCH_SMOKE=1 additionally trims the circuit suite (CI smoke).
+  const bool smoke = std::getenv("RELOGIC_BENCH_SMOKE") != nullptr;
+  int max_cells = smoke ? 2 : 10;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--full") max_cells = 1 << 20;
   }
 
-  const auto suite = netlist::bench::itc99_suite(ClockingStyle::kGatedClock);
+  auto suite = netlist::bench::itc99_suite(ClockingStyle::kGatedClock);
+  if (smoke && suite.size() > 3) suite.resize(3);
   config::BoundaryScanPort jtag;  // 20 MHz TCK — the paper's configuration
   config::SelectMapPort smap;
 
@@ -118,12 +123,16 @@ int main(int argc, char** argv) {
               "(paper: ~22.6 ms)\n",
               avg);
 
+  bench_report::Report json("fig4_relocation_time");
+  json.add("per_cell_boundary_scan", avg, "ms");
+
   // SelectMAP contrast: the same procedure through the parallel port.
   {
     const Result r = run_circuit(suite[0], smap, std::min(max_cells, 5));
     std::printf("SelectMAP contrast (%s): %.2f ms per cell — the port, not "
                 "the procedure, dominates\n",
                 r.name.c_str(), r.per_cell_ms());
+    json.add("per_cell_selectmap", r.per_cell_ms(), "ms");
   }
 
   // Cost-model validation (the scheduler prices moves with this model).
@@ -135,6 +144,8 @@ int main(int argc, char** argv) {
     std::printf("analytical cost model: %.1f ms per gated cell "
                 "(measured %.1f ms, error %+.0f%%)\n",
                 modelled, avg, 100.0 * (modelled - avg) / avg);
+    json.add("cost_model_error_pct", 100.0 * (modelled - avg) / avg, "%");
   }
+  json.write();
   return all_clean ? 0 : 1;
 }

@@ -8,7 +8,11 @@
 //     frame-granular writes — the DESIGN.md §6.1 ablation;
 //   * staged whole-function relocation vs direct long-distance moves.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "bench_report.hpp"
 #include "relogic/config/controller.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/netlist/benchmarks.hpp"
@@ -75,11 +79,19 @@ int main() {
               "", "frame-gran", "");
   std::printf("%-10s | %10s %10s %12s | %10s %10s\n", "distance", "frames",
               "time/ms", "delay/ns", "frames", "time/ms");
-  for (const int d : {1, 2, 4, 8, 16, 24, 32}) {
+  // RELOGIC_BENCH_SMOKE=1: fewer distances, same shape (CI smoke mode).
+  const bool smoke = std::getenv("RELOGIC_BENCH_SMOKE") != nullptr;
+  const std::vector<int> distances =
+      smoke ? std::vector<int>{1, 8, 24}
+            : std::vector<int>{1, 2, 4, 8, 16, 24, 32};
+  bench_report::Report json("frame_cost");
+  for (const int d : distances) {
     const Sample cg = relocate_at_distance(d, true);
     const Sample fg = relocate_at_distance(d, false);
     std::printf("%-10d | %10d %10.2f %12.3f | %10d %10.3f\n", d, cg.frames,
                 cg.ms, cg.delay_ns, fg.frames, fg.ms);
+    json.add("d" + std::to_string(d) + "_col_granular", cg.ms, "ms");
+    json.add("d" + std::to_string(d) + "_frame_granular", fg.ms, "ms");
   }
   std::printf("\n# shape: frames are dominated by the fixed op structure "
               "(column writes),\n# while the worst path delay grows with "
@@ -101,7 +113,7 @@ int main() {
     reloc::RelocationEngine engine(controller, router, &sim);
 
     const auto nl = netlist::bench::counter(
-        6, netlist::bench::ClockingStyle::kFreeRunning);
+        smoke ? 3 : 6, netlist::bench::ClockingStyle::kFreeRunning);
     const auto mapped = netlist::map_netlist(nl);
     place::ImplementOptions opts;
     opts.region =
@@ -112,8 +124,10 @@ int main() {
 
     SimTime config = SimTime::zero();
     int frames = 0;
+    const std::vector<int> stage_cols =
+        smoke ? std::vector<int>{6, 9, 12} : std::vector<int>{8, 14, 20};
     if (staged) {
-      for (const int col : {8, 14, 20}) {
+      for (const int col : stage_cols) {
         ClbRect dest = impl.region;
         dest.col = col;
         const auto r = engine.relocate_function(impl, dest);
@@ -122,7 +136,7 @@ int main() {
       }
     } else {
       ClbRect dest = impl.region;
-      dest.col = 20;
+      dest.col = stage_cols.back();
       const auto r = engine.relocate_function(impl, dest);
       config += r.config_time;
       frames += r.frames_written;
@@ -132,6 +146,9 @@ int main() {
     std::printf("  %-7s: %6d frames, %8.2f ms config, lockstep %s\n",
                 staged ? "staged" : "direct", frames, config.milliseconds(),
                 harness.total_mismatches() == 0 ? "clean" : "FAILED");
+    json.add(staged ? "function_staged" : "function_direct",
+             config.milliseconds(), "ms");
   }
+  json.write();
   return 0;
 }

@@ -151,8 +151,14 @@ std::optional<DefragPlan> plan_for_request(const AreaManager& mgr, int h,
 std::optional<DefragPlan> plan_full_compaction(
     const AreaManager& mgr, std::optional<std::pair<int, int>> pending) {
   // Pack everything into a fresh grid: pending request first (it must end
-  // up placed), then regions by area descending.
+  // up placed), then regions by area descending. Faulty CLBs masked in the
+  // source keep their mask so no repacking target ever lands on one.
   AreaManager packed(mgr.rows(), mgr.cols());
+  for (int r = 0; r < mgr.rows(); ++r) {
+    for (int c = 0; c < mgr.cols(); ++c) {
+      if (mgr.masked({r, c})) packed.mask_faulty({r, c});
+    }
+  }
   DefragPlan plan;
 
   if (pending) {

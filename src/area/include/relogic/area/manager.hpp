@@ -22,6 +22,10 @@ namespace relogic::area {
 
 using RegionId = int;
 inline constexpr RegionId kNoRegion = 0;
+/// Pseudo-occupant of a CLB masked out by the health subsystem: a detected
+/// fault makes the CLB permanently unusable for placement, defragmentation
+/// and relocation. Negative so it can never collide with a real region id.
+inline constexpr RegionId kFaultyRegion = -1;
 
 enum class PlacePolicy {
   kBottomLeft,  ///< first position scanning rows top-to-bottom, then cols
@@ -44,8 +48,11 @@ class AreaManager {
 
   // ---- allocation -----------------------------------------------------------
   /// Position where an h x w rect fits entirely in free space, or nullopt.
-  std::optional<ClbRect> find_free_rect(int h, int w,
-                                        PlacePolicy policy) const;
+  /// `avoid` (optional) additionally excludes positions overlapping the
+  /// given rectangle — how the roving self-test keeps relocations and
+  /// placements out of the window it is about to reclaim.
+  std::optional<ClbRect> find_free_rect(int h, int w, PlacePolicy policy,
+                                        const ClbRect* avoid = nullptr) const;
   /// Allocates a region; returns kNoRegion if nothing fits.
   RegionId allocate(std::string name, int h, int w,
                     PlacePolicy policy = PlacePolicy::kBottomLeft);
@@ -62,6 +69,14 @@ class AreaManager {
   const Region& region(RegionId id) const;
   std::vector<Region> regions() const;
   std::size_t region_count() const { return regions_.size(); }
+
+  // ---- fault masking --------------------------------------------------------
+  /// Permanently removes a free CLB from circulation (detected fault). The
+  /// CLB must not currently host a region; free-space accounting, placement
+  /// queries and the defrag planners treat it as occupied from this moment.
+  void mask_faulty(ClbCoord c);
+  bool masked(ClbCoord c) const { return at(c) == kFaultyRegion; }
+  int masked_clbs() const { return masked_clbs_; }
 
   // ---- metrics ----------------------------------------------------------------
   int free_clbs() const { return free_clbs_; }
@@ -130,6 +145,7 @@ class AreaManager {
   std::unordered_map<RegionId, Region> regions_;
   RegionId next_id_ = 1;
   int free_clbs_;
+  int masked_clbs_ = 0;
 };
 
 }  // namespace relogic::area

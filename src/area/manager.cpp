@@ -36,8 +36,21 @@ void AreaManager::fill(const ClbRect& r, RegionId id) {
   }
 }
 
+void AreaManager::mask_faulty(ClbCoord c) {
+  RELOGIC_CHECK(c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_);
+  RegionId& slot = grid_[static_cast<std::size_t>(c.row) * cols_ + c.col];
+  if (slot == kFaultyRegion) return;  // already masked
+  RELOGIC_CHECK_MSG(slot == kNoRegion,
+                    "cannot mask " + c.to_string() +
+                        ": CLB currently hosts a region");
+  slot = kFaultyRegion;
+  --free_clbs_;
+  ++masked_clbs_;
+}
+
 std::optional<ClbRect> AreaManager::find_free_rect(int h, int w,
-                                                   PlacePolicy policy) const {
+                                                   PlacePolicy policy,
+                                                   const ClbRect* avoid) const {
   RELOGIC_CHECK(h >= 1 && w >= 1);
   if (h > rows_ || w > cols_) return std::nullopt;
 
@@ -65,6 +78,7 @@ std::optional<ClbRect> AreaManager::find_free_rect(int h, int w,
       run = (down[i] >= h) ? run + 1 : 0;
       if (run >= w) {
         const ClbRect r{row, col - w + 1, h, w};
+        if (avoid != nullptr && r.overlaps(*avoid)) continue;
         if (policy == PlacePolicy::kBottomLeft) return r;
         // Best-fit: prefer positions hugging occupied space / edges —
         // score = number of occupied-or-border cells adjacent to the rect.
@@ -186,6 +200,8 @@ std::string AreaManager::to_ascii() const {
       const RegionId id = grid_[static_cast<std::size_t>(r) * cols_ + c];
       if (id == kNoRegion) {
         out += '.';
+      } else if (id == kFaultyRegion) {
+        out += 'X';  // masked faulty CLB
       } else {
         out += static_cast<char>('A' + (id - 1) % 26);
       }

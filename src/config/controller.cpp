@@ -179,11 +179,11 @@ void ConfigController::check_lut_ram_columns(
 
   // Cells the op itself rewrites (those are intentional, hence exempt),
   // plus any the caller knows are rewritten before this op applies.
-  std::set<CellKey> rewritten;  // (row, col*4+cell)
+  std::set<CellKey> rewritten;  // {row, col, cell}
   if (extra_rewritten != nullptr) rewritten = *extra_rewritten;
   for (const ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<CellWrite>(&a))
-      rewritten.insert({cw->clb.row, cw->clb.col * 4 + cw->cell});
+      rewritten.insert({cw->clb.row, cw->clb.col, cw->cell});
   }
 
   const auto& g = fabric_->geometry();
@@ -193,7 +193,7 @@ void ConfigController::check_lut_ram_columns(
       for (int k = 0; k < g.cells_per_clb; ++k) {
         const auto& cell = fabric_->cell(c, k);
         if (cell.used && cell.lut_mode == fabric::LutMode::kRam &&
-            !rewritten.contains({row, col * 4 + k})) {
+            !rewritten.contains({row, col, k})) {
           throw IllegalOperationError(
               "config op '" + op.label + "' touches column " +
               std::to_string(col) + " which holds a live LUT-RAM at " +

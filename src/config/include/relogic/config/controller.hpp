@@ -20,6 +20,7 @@
 
 #include <set>
 #include <string>
+#include <tuple>
 #include <variant>
 #include <vector>
 
@@ -147,8 +148,12 @@ class ConfigController {
   /// system must be halted to guarantee data coherency).
   ApplyResult apply(const ConfigOp& op, bool allow_lut_ram_columns = false);
 
-  /// Cell key used by the LUT-RAM legality check: (row, col * 4 + cell).
-  using CellKey = std::pair<int, int>;
+  /// Cell key used by the LUT-RAM legality check: {row, col, cell}. A
+  /// packed (row, col * 4 + cell) pair was used before; it aliased distinct
+  /// cells on any geometry with cells_per_clb > 4 (e.g. col 0 cell 4 and
+  /// col 1 cell 0), silently exempting live LUT-RAM cells from the column
+  /// check. The tuple is alias-free for every geometry.
+  using CellKey = std::tuple<int, int, int>;
 
   /// LUT-RAM legality (paper, Sec. 2): throws IllegalOperationError if any
   /// frame of the op lies in a CLB column containing a used LUT-RAM cell

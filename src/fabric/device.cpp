@@ -65,4 +65,14 @@ DeviceGeometry DeviceGeometry::tiny(int rows, int cols) {
   return g;
 }
 
+DeviceGeometry DeviceGeometry::tiny_dense(int rows, int cols) {
+  DeviceGeometry g = tiny(rows, cols);
+  g.name = "DENSE" + std::to_string(rows) + "x" + std::to_string(cols);
+  g.cells_per_clb = 8;
+  // Keep the column able to hold every cell's config frames plus routing:
+  // 8 cells x 4 frames = 32 logic frames; the Virtex 48-frame column still
+  // leaves [32, 48) for routing bits.
+  return g;
+}
+
 }  // namespace relogic::fabric

@@ -29,6 +29,9 @@ Fabric::Fabric(DeviceGeometry geometry)
     : geom_(std::move(geometry)),
       graph_(geom_),
       clbs_(static_cast<std::size_t>(geom_.clb_count())) {
+  RELOGIC_CHECK_MSG(
+      geom_.cells_per_clb >= 1 && geom_.cells_per_clb <= kMaxCellsPerClb,
+      "cells_per_clb outside the fabric's storable range");
   nets_.emplace_back();       // id 0 is reserved / invalid
   net_alive_.push_back(false);
 }
@@ -61,12 +64,36 @@ LogicCellConfig& Fabric::mutable_cell(ClbCoord c, int cell) {
 bool Fabric::set_cell_config(ClbCoord c, int cell,
                              const LogicCellConfig& cfg) {
   LogicCellConfig& slot = mutable_cell(c, cell);
-  if (slot == cfg) return false;  // identical rewrite: no effect, no event
+  // A defective cell stores the corrupted image of whatever is written; the
+  // identical-rewrite comparison runs against what the memory will actually
+  // hold, so rewriting the same value through the same fault stays a no-op.
+  LogicCellConfig stored = cfg;
+  if (!faults_.empty()) {
+    if (auto it = faults_.find(cell_index(c, cell)); it != faults_.end())
+      stored = it->second.corrupt(stored);
+  }
+  if (slot == stored) return false;  // identical rewrite: no effect, no event
   const LogicCellConfig before = slot;
-  used_cells_ += (cfg.used ? 1 : 0) - (before.used ? 1 : 0);
-  slot = cfg;
-  for (auto* l : listeners_) l->on_cell_changed(c, cell, before, cfg);
+  used_cells_ += (stored.used ? 1 : 0) - (before.used ? 1 : 0);
+  slot = stored;
+  for (auto* l : listeners_) l->on_cell_changed(c, cell, before, stored);
   return true;
+}
+
+void Fabric::inject_fault(ClbCoord c, int cell, CellFault fault) {
+  RELOGIC_CHECK(geom_.in_bounds(c) && cell >= 0 &&
+                cell < geom_.cells_per_clb);
+  faults_[cell_index(c, cell)] = fault;
+  // Re-corrupt the stored value so the memory is consistent with the fault
+  // from the moment of injection (notifies listeners iff a bit flips).
+  set_cell_config(c, cell, this->cell(c, cell));
+}
+
+const CellFault* Fabric::fault_at(ClbCoord c, int cell) const {
+  RELOGIC_CHECK(geom_.in_bounds(c) && cell >= 0 &&
+                cell < geom_.cells_per_clb);
+  const auto it = faults_.find(cell_index(c, cell));
+  return it == faults_.end() ? nullptr : &it->second;
 }
 
 bool Fabric::clear_cell(ClbCoord c, int cell) {

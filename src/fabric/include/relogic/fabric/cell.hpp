@@ -69,9 +69,16 @@ struct LogicCellConfig {
   }
 };
 
-/// Configuration of one CLB: its four logic cells.
+/// Upper bound on DeviceGeometry::cells_per_clb that the fabric can store.
+/// Virtex CLBs hold 4 cells; denser (Virtex-II-style) geometries may ask for
+/// up to 8. Storage is fixed-size so ClbConfig stays trivially copyable;
+/// cells beyond the geometry's cells_per_clb remain default (unused).
+inline constexpr int kMaxCellsPerClb = 8;
+
+/// Configuration of one CLB: its logic cells (geometry decides how many of
+/// the slots are real; the rest stay default-initialised and unused).
 struct ClbConfig {
-  std::array<LogicCellConfig, 4> cells;
+  std::array<LogicCellConfig, kMaxCellsPerClb> cells;
 
   constexpr auto operator<=>(const ClbConfig&) const = default;
 
@@ -89,6 +96,28 @@ struct ClbConfig {
     int n = 0;
     for (const auto& c : cells) n += c.used ? 1 : 0;
     return n;
+  }
+};
+
+/// A permanent configuration-memory defect of one logic cell: one LUT
+/// truth-table bit reads back stuck at `stuck_value` no matter what is
+/// written. This is the fault model of the roving on-line self-test
+/// (relogic::health): structural, deterministic, and observable through a
+/// write/readback mismatch — the way Gericota's companion DATE-era work
+/// detects faults by sweeping a test region across the live fabric.
+struct CellFault {
+  std::uint8_t lut_bit = 0;  ///< which truth-table bit is stuck (0..15)
+  bool stuck_value = false;
+
+  constexpr auto operator<=>(const CellFault&) const = default;
+
+  /// The value the configuration memory actually holds after `cfg` is
+  /// written through this fault.
+  LogicCellConfig corrupt(LogicCellConfig cfg) const {
+    const std::uint16_t mask = static_cast<std::uint16_t>(1u << (lut_bit & 0xF));
+    cfg.lut = stuck_value ? static_cast<std::uint16_t>(cfg.lut | mask)
+                          : static_cast<std::uint16_t>(cfg.lut & ~mask);
+    return cfg;
   }
 };
 

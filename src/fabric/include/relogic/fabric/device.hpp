@@ -84,6 +84,14 @@ struct DeviceGeometry {
   static DeviceGeometry xcv200() { return preset(DevicePreset::kXCV200); }
   /// A small device convenient for unit tests.
   static DeviceGeometry tiny(int rows = 8, int cols = 8);
+  /// A Virtex-II-style dense variant: 8 logic cells per CLB (4 slices x 2).
+  /// Exists to exercise configuration-layer code that must scale with
+  /// cells_per_clb instead of assuming the Virtex value of 4 — notably the
+  /// configuration controller's cell keys, whose old (col * 4 + cell)
+  /// packing aliased distinct cells on exactly this geometry. NOTE: the
+  /// routing pool still models 4 cells of pins per tile, so dense
+  /// geometries are for fabric/config-level tests, not place-and-route.
+  static DeviceGeometry tiny_dense(int rows = 8, int cols = 8);
 };
 
 }  // namespace relogic::fabric

@@ -17,6 +17,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "relogic/common/error.hpp"
@@ -96,6 +97,18 @@ class Fabric {
   /// Clears a cell (marks unused). Returns true if it was used.
   bool clear_cell(ClbCoord c, int cell);
 
+  // ---- fault injection ---------------------------------------------------
+  /// Installs a permanent configuration-memory defect on one cell: every
+  /// subsequent write to that cell stores CellFault::corrupt(cfg) instead
+  /// of cfg, so readback (cell()) exposes the mismatch — the observable the
+  /// roving self-test (relogic::health) detects. Injecting over an existing
+  /// fault replaces it; the currently stored config is re-corrupted so the
+  /// fabric never holds a value the fault could not have produced.
+  void inject_fault(ClbCoord c, int cell, CellFault fault);
+  /// The fault installed on a cell, if any.
+  const CellFault* fault_at(ClbCoord c, int cell) const;
+  int injected_fault_count() const { return static_cast<int>(faults_.size()); }
+
   /// True if no cell of the CLB is configured.
   bool clb_free(ClbCoord c) const { return !clb(c).any_used(); }
   /// Number of used cells across the device.
@@ -162,10 +175,15 @@ class Fabric {
  private:
   void notify_net(NetId net);
   LogicCellConfig& mutable_cell(ClbCoord c, int cell);
+  int cell_index(ClbCoord c, int cell) const {
+    return (c.row * geom_.clb_cols + c.col) * geom_.cells_per_clb + cell;
+  }
 
   DeviceGeometry geom_;
   RoutingGraph graph_;
   std::vector<ClbConfig> clbs_;
+  /// Injected configuration-memory defects, keyed by linear cell index.
+  std::unordered_map<int, CellFault> faults_;
   std::vector<RouteTree> nets_;     // index 0 unused
   std::vector<bool> net_alive_;     // parallel to nets_
   std::vector<FabricListener*> listeners_;

@@ -1,0 +1,173 @@
+#include "relogic/health/fault.hpp"
+
+#include <iterator>
+
+#include "relogic/common/error.hpp"
+#include "relogic/common/rng.hpp"
+#include "relogic/fabric/fabric.hpp"
+
+namespace relogic::health {
+
+std::pair<FaultMap::Store::const_iterator, FaultMap::Store::const_iterator>
+FaultMap::clb_range(ClbCoord clb) const {
+  return {faults_.lower_bound({clb.row, clb.col, 0}),
+          faults_.lower_bound({clb.row, clb.col, cells_per_clb_})};
+}
+
+std::pair<FaultMap::Store::iterator, FaultMap::Store::iterator>
+FaultMap::clb_range(ClbCoord clb) {
+  return {faults_.lower_bound({clb.row, clb.col, 0}),
+          faults_.lower_bound({clb.row, clb.col, cells_per_clb_})};
+}
+
+FaultMap::FaultMap(int rows, int cols, int cells_per_clb)
+    : rows_(rows), cols_(cols), cells_per_clb_(cells_per_clb) {
+  RELOGIC_CHECK(rows >= 1 && cols >= 1);
+  RELOGIC_CHECK(cells_per_clb >= 1 &&
+                cells_per_clb <= fabric::kMaxCellsPerClb);
+}
+
+void FaultMap::inject(ClbCoord clb, int cell, fabric::CellFault fault) {
+  RELOGIC_CHECK(clb.row >= 0 && clb.row < rows_ && clb.col >= 0 &&
+                clb.col < cols_ && cell >= 0 && cell < cells_per_clb_);
+  auto [it, inserted] =
+      faults_.try_emplace({clb.row, clb.col, cell},
+                          FaultRecord{clb, cell, fault, false});
+  if (!inserted) {
+    if (it->second.detected) --detected_count_;
+    it->second = FaultRecord{clb, cell, fault, false};
+  }
+}
+
+void FaultMap::mark_detected(ClbCoord clb, int cell,
+                             fabric::CellFault observed) {
+  RELOGIC_CHECK(clb.row >= 0 && clb.row < rows_ && clb.col >= 0 &&
+                clb.col < cols_ && cell >= 0 && cell < cells_per_clb_);
+  auto [it, inserted] =
+      faults_.try_emplace({clb.row, clb.col, cell},
+                          FaultRecord{clb, cell, observed, true});
+  if (inserted) {
+    ++detected_count_;
+    return;
+  }
+  if (!it->second.detected) {
+    it->second.detected = true;
+    ++detected_count_;
+  }
+}
+
+int FaultMap::detect_all_in(ClbCoord clb) {
+  int fresh = 0;
+  auto [it, last] = clb_range(clb);
+  for (; it != last; ++it) {
+    if (!it->second.detected) {
+      it->second.detected = true;
+      ++detected_count_;
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+bool FaultMap::has_fault(ClbCoord clb, int cell) const {
+  return faults_.contains({clb.row, clb.col, cell});
+}
+
+bool FaultMap::is_detected(ClbCoord clb, int cell) const {
+  const auto it = faults_.find({clb.row, clb.col, cell});
+  return it != faults_.end() && it->second.detected;
+}
+
+bool FaultMap::clb_faulty(ClbCoord clb) const {
+  auto [it, last] = clb_range(clb);
+  for (; it != last; ++it) {
+    if (it->second.detected) return true;
+  }
+  return false;
+}
+
+bool FaultMap::clb_has_injected(ClbCoord clb) const {
+  const auto [first, last] = clb_range(clb);
+  return first != last;
+}
+
+int FaultMap::injected_cells_in(ClbCoord clb) const {
+  const auto [first, last] = clb_range(clb);
+  return static_cast<int>(std::distance(first, last));
+}
+
+int FaultMap::detected_clb_count() const {
+  int n = 0;
+  ClbCoord last{-1, -1};
+  // Keys are ordered {row, col, cell}: cells of one CLB are contiguous.
+  for (const auto& [key, rec] : faults_) {
+    if (!rec.detected) continue;
+    if (rec.clb != last) {
+      ++n;
+      last = rec.clb;
+    }
+  }
+  return n;
+}
+
+double FaultMap::detected_clb_density() const {
+  const int total = rows_ * cols_;
+  return total > 0 ? static_cast<double>(detected_clb_count()) / total : 0.0;
+}
+
+std::vector<ClbCoord> FaultMap::detected_clbs() const {
+  std::vector<ClbCoord> out;
+  for (const auto& [key, rec] : faults_) {
+    if (rec.detected && (out.empty() || out.back() != rec.clb))
+      out.push_back(rec.clb);
+  }
+  return out;
+}
+
+std::vector<FaultRecord> FaultMap::records() const {
+  std::vector<FaultRecord> out;
+  out.reserve(faults_.size());
+  for (const auto& [key, rec] : faults_) out.push_back(rec);
+  return out;
+}
+
+void FaultMap::install(fabric::Fabric& fabric) const {
+  const auto& geom = fabric.geometry();
+  RELOGIC_CHECK_MSG(geom.clb_rows == rows_ && geom.clb_cols == cols_ &&
+                        geom.cells_per_clb >= cells_per_clb_,
+                    "fault map geometry does not match the fabric");
+  for (const auto& [key, rec] : faults_)
+    fabric.inject_fault(rec.clb, rec.cell, rec.fault);
+}
+
+FaultInjector::FaultInjector(int rows, int cols, int cells_per_clb,
+                             double fault_rate, std::uint64_t seed)
+    : rows_(rows),
+      cols_(cols),
+      cells_per_clb_(cells_per_clb),
+      fault_rate_(fault_rate),
+      seed_(seed) {
+  RELOGIC_CHECK(fault_rate >= 0.0 && fault_rate <= 1.0);
+}
+
+FaultMap FaultInjector::generate() const {
+  FaultMap map(rows_, cols_, cells_per_clb_);
+  if (fault_rate_ <= 0.0) return map;
+  // One fixed-order pass over every cell: the draw sequence (and therefore
+  // the population) is a pure function of (geometry, rate, seed).
+  Rng rng(seed_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      for (int k = 0; k < cells_per_clb_; ++k) {
+        if (!rng.next_bool(fault_rate_)) continue;
+        fabric::CellFault f;
+        f.lut_bit = static_cast<std::uint8_t>(rng.next_int(0, 15));
+        f.stuck_value = rng.next_bool(0.5);
+        map.inject(ClbCoord{r, c}, k, f);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace relogic::health

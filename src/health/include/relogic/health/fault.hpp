@@ -1,0 +1,134 @@
+// relogic::health — fault state for the roving on-line self-test.
+//
+// The paper's transparent relocation exists so the device can be serviced
+// while running; Gericota's companion DATE-era work uses the same mechanism
+// for concurrent structural test: sweep a test window across the fabric,
+// relocating active logic out of its way, and exercise the freed cells.
+// This header holds the bookkeeping half of that story:
+//
+//  * FaultMap — per-cell fault state of one device: which cells carry an
+//    injected (ground-truth) defect, and which of those the tester has
+//    actually observed. Consumers at every layer key off *detected* state:
+//    the area manager masks detected CLBs out of occupancy, placement and
+//    defrag planning; the fleet manager prices degraded capacity and
+//    quarantines devices whose detected density crosses a threshold.
+//  * FaultInjector — deterministic per-seed fault population: the same
+//    (geometry, rate, seed) triple always yields the same defects, which is
+//    what keeps fleet runs byte-identical regardless of thread count.
+//
+// Ground truth lives in fabric::Fabric (install() plants CellFaults whose
+// corruption is observable through write/readback); the map itself never
+// leaks undetected faults to planning code — detection must be earned by
+// the tester sweeping the window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "relogic/common/geometry.hpp"
+#include "relogic/fabric/cell.hpp"
+
+namespace relogic::fabric {
+class Fabric;
+}
+
+namespace relogic::health {
+
+/// One defective logic cell.
+struct FaultRecord {
+  ClbCoord clb;
+  int cell = 0;
+  fabric::CellFault fault;
+  bool detected = false;
+};
+
+/// Per-cell fault state of one device (cell-granular, CLB-aggregating).
+class FaultMap {
+ public:
+  FaultMap() = default;
+  FaultMap(int rows, int cols, int cells_per_clb);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int cells_per_clb() const { return cells_per_clb_; }
+
+  /// Plants a ground-truth defect (undetected until a tester finds it).
+  /// Re-injecting an already-faulty cell replaces the defect.
+  void inject(ClbCoord clb, int cell, fabric::CellFault fault);
+
+  /// Records an observed defect. Cells without an injected ground truth are
+  /// accepted too (a real device does not announce its faults in advance).
+  void mark_detected(ClbCoord clb, int cell,
+                     fabric::CellFault observed = {});
+
+  /// Marks every injected-but-undetected fault inside `clb` detected
+  /// (CLB-granular detection, used by the area-level scheduler sweep).
+  /// Returns the number of newly detected cells.
+  int detect_all_in(ClbCoord clb);
+
+  bool has_fault(ClbCoord clb, int cell) const;
+  bool is_detected(ClbCoord clb, int cell) const;
+  /// Any *detected* fault in the CLB? (Undetected faults stay invisible —
+  /// planning code must not be psychic.)
+  bool clb_faulty(ClbCoord clb) const;
+  /// Any injected fault in the CLB, detected or not (tester-side query).
+  bool clb_has_injected(ClbCoord clb) const;
+  /// Injected faulty cells inside one CLB (detected or not).
+  int injected_cells_in(ClbCoord clb) const;
+
+  int injected_count() const { return static_cast<int>(faults_.size()); }
+  int detected_count() const { return detected_count_; }
+  /// Distinct CLBs with at least one detected fault.
+  int detected_clb_count() const;
+  /// detected_clb_count() / total CLBs — the quarantine criterion.
+  double detected_clb_density() const;
+
+  /// Detected CLBs, row-major order (deterministic).
+  std::vector<ClbCoord> detected_clbs() const;
+  /// Every record, row-major then by cell (deterministic iteration).
+  std::vector<FaultRecord> records() const;
+
+  /// Plants every injected fault into the fabric's configuration memory so
+  /// write/readback exposes them. Geometry must match.
+  void install(fabric::Fabric& fabric) const;
+
+ private:
+  using Key = std::tuple<int, int, int>;  // {row, col, cell}
+  using Store = std::map<Key, FaultRecord>;
+
+  /// [first, last) over the records of one CLB — the single place encoding
+  /// that a CLB's cells are contiguous under the ordered {row, col, cell}
+  /// key.
+  std::pair<Store::const_iterator, Store::const_iterator> clb_range(
+      ClbCoord clb) const;
+  std::pair<Store::iterator, Store::iterator> clb_range(ClbCoord clb);
+
+  int rows_ = 0;
+  int cols_ = 0;
+  int cells_per_clb_ = 4;
+  Store faults_;  // ordered: deterministic iteration
+  int detected_count_ = 0;
+};
+
+/// Deterministic per-seed fault population: every cell is independently
+/// defective with probability `fault_rate`; the stuck bit and polarity are
+/// drawn from the same stream. Same (geometry, rate, seed) => same map.
+class FaultInjector {
+ public:
+  FaultInjector(int rows, int cols, int cells_per_clb, double fault_rate,
+                std::uint64_t seed);
+
+  FaultMap generate() const;
+
+ private:
+  int rows_;
+  int cols_;
+  int cells_per_clb_;
+  double fault_rate_;
+  std::uint64_t seed_;
+};
+
+}  // namespace relogic::health

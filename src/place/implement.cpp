@@ -81,7 +81,9 @@ Implementation Implementer::implement(netlist::MappedNetlist mapped,
     for (int c = opts.region.col; c < opts.region.col_end(); ++c) {
       const ClbCoord clb{r, c};
       for (int k = 0; k < geom.cells_per_clb; ++k) {
-        if (!fabric_->cell(clb, k).used) slots.push_back(CellSite{clb, k});
+        if (fabric_->cell(clb, k).used) continue;
+        if (opts.cell_ok && !opts.cell_ok(clb, k)) continue;
+        slots.push_back(CellSite{clb, k});
       }
     }
   }

@@ -84,7 +84,7 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   pending_columns_.insert(op_columns.begin(), op_columns.end());
   for (const config::ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<config::CellWrite>(&a))
-      pending_rewrites_.insert({cw->clb.row, cw->clb.col * 4 + cw->cell});
+      pending_rewrites_.insert({cw->clb.row, cw->clb.col, cw->cell});
   }
   if (pending_ops_ >= options_.max_ops) flush();
 }

@@ -53,7 +53,113 @@ FleetManager::FleetManager(FleetConfig config) : cfg_(std::move(config)) {
   RELOGIC_CHECK(cfg_.devices >= 1);
   RELOGIC_CHECK(cfg_.rows >= 1 && cfg_.cols >= 1);
   RELOGIC_CHECK(cfg_.overlap >= 1);
+  RELOGIC_CHECK(cfg_.health.fault_rate >= 0.0 &&
+                cfg_.health.fault_rate <= 1.0);
+  RELOGIC_CHECK(cfg_.health.window_cols >= 1);
+  RELOGIC_CHECK(cfg_.health.step_period_ms > 0.0);
   ledger_.resize(static_cast<std::size_t>(cfg_.devices));
+  quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
+}
+
+void FleetManager::ensure_health_state() {
+  if (!cfg_.health.enabled() || !fault_maps_.empty()) return;
+  const auto geom = fabric::DeviceGeometry::tiny(cfg_.rows, cfg_.cols);
+  fault_maps_.reserve(static_cast<std::size_t>(cfg_.devices));
+  fault_detect_ms_.resize(static_cast<std::size_t>(cfg_.devices));
+  for (int d = 0; d < cfg_.devices; ++d) {
+    // Golden-ratio mix keeps per-device fault populations independent while
+    // staying a pure function of (fault_seed, device).
+    const std::uint64_t seed =
+        cfg_.health.fault_seed + 0x9e3779b97f4a7c15ull *
+                                     (static_cast<std::uint64_t>(d) + 1);
+    health::FaultInjector injector(cfg_.rows, cfg_.cols, geom.cells_per_clb,
+                                   cfg_.health.fault_rate, seed);
+    fault_maps_.push_back(injector.generate());
+
+    // Admission-side detection-time estimate: a faulty CLB in column c is
+    // found when the first-rotation window reaches c. The device-side sweep
+    // may drift later (occupied windows retry), so these are estimates —
+    // exactly like every other quantity on the admission ledger.
+    auto& detect = fault_detect_ms_[static_cast<std::size_t>(d)];
+    ClbCoord last{-1, -1};
+    for (const auto& rec : fault_maps_.back().records()) {
+      if (rec.clb == last) continue;  // one entry per faulty CLB
+      last = rec.clb;
+      detect.push_back(
+          (rec.clb.col / cfg_.health.window_cols + 1) *
+          cfg_.health.step_period_ms);
+    }
+    std::sort(detect.begin(), detect.end());
+  }
+}
+
+int FleetManager::detected_faulty_clbs(int d, SimTime t) const {
+  if (fault_detect_ms_.empty()) return 0;
+  const auto& detect = fault_detect_ms_[static_cast<std::size_t>(d)];
+  return static_cast<int>(std::upper_bound(detect.begin(), detect.end(),
+                                           t.milliseconds()) -
+                          detect.begin());
+}
+
+int FleetManager::capacity_at(int d, SimTime t) const {
+  return cfg_.rows * cfg_.cols - detected_faulty_clbs(d, t);
+}
+
+std::pair<int, double> FleetManager::least_backlogged_peer(
+    SimTime now, int exclude, int min_capacity) const {
+  int best = -1;
+  double best_b = std::numeric_limits<double>::max();
+  for (int d = 0; d < cfg_.devices; ++d) {
+    if (d == exclude) continue;
+    if (quarantined_[static_cast<std::size_t>(d)] &&
+        quarantined_count_ < cfg_.devices)
+      continue;
+    if (capacity_at(d, now) < min_capacity) continue;
+    const double b = backlog_ms(d, now);
+    if (b < best_b) {
+      best_b = b;
+      best = d;
+    }
+  }
+  return {best, best_b};
+}
+
+void FleetManager::maybe_quarantine(SimTime now) {
+  if (cfg_.health.quarantine_threshold <= 0.0 || fault_maps_.empty() ||
+      cfg_.devices < 2)
+    return;
+  const int total = cfg_.rows * cfg_.cols;
+  for (int d = 0; d < cfg_.devices; ++d) {
+    if (quarantined_[static_cast<std::size_t>(d)]) continue;
+    const double density =
+        static_cast<double>(detected_faulty_clbs(d, now)) / total;
+    if (density <= cfg_.health.quarantine_threshold) continue;
+    quarantined_[static_cast<std::size_t>(d)] = true;
+    ++quarantined_count_;
+    RELOGIC_LOG(kInfo) << "device " << d << " quarantined (fault density "
+                       << density << ")";
+    // With the whole fleet quarantined there is no healthier peer —
+    // shuffling queued work between equally degraded devices is pure churn
+    // (same reasoning as the rebalancer under fleet-wide overload).
+    if (quarantined_count_ >= cfg_.devices) continue;
+
+    // Evacuate queued-but-not-started requests onto healthy peers (the
+    // least-backlogged one re-ranked per migration, same as the
+    // rebalancer; a request no healthy peer can hold stays and drains on
+    // the quarantined device). Requests already (estimatedly) started
+    // stay: their configuration is on the device and they will drain.
+    auto& entries = ledger_[static_cast<std::size_t>(d)];
+    for (std::size_t i = entries.size(); i-- > 0;) {
+      if (entries[i].est_start <= now) continue;
+      const int dst = least_backlogged_peer(now, d, entries[i].clbs).first;
+      if (dst < 0) continue;
+      const std::size_t qi = entries[i].req;
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      place(qi, dst, now, /*queue_aware=*/true);
+      ++rebalanced_;
+    }
+    refresh_queued_estimates(d, now);
+  }
 }
 
 void FleetManager::submit(const sched::TaskArrival& task) {
@@ -84,10 +190,11 @@ int FleetManager::free_at(int d, SimTime t) const {
   // Committed load: every placed request occupies its footprint until its
   // estimated end, whether it has (estimatedly) started or is still queued
   // on the device — queued work is capacity the device has promised away.
+  // Detected-faulty CLBs are capacity the device no longer has at all.
   int used = 0;
   for (const LedgerEntry& e : ledger_[static_cast<std::size_t>(d)])
     if (e.est_end > t) used += e.clbs;
-  return cfg_.rows * cfg_.cols - used;
+  return cfg_.rows * cfg_.cols - detected_faulty_clbs(d, t) - used;
 }
 
 double FleetManager::backlog_ms(int d, SimTime t) const {
@@ -98,14 +205,18 @@ double FleetManager::backlog_ms(int d, SimTime t) const {
 }
 
 SimTime FleetManager::est_start_in(const std::vector<LedgerEntry>& entries,
-                                   SimTime t, int clbs) const {
-  int free = cfg_.rows * cfg_.cols;
+                                   SimTime t, int clbs, int capacity) const {
+  int free = capacity;
   for (const LedgerEntry& e : entries)
     if (e.est_end > t) free -= e.clbs;
   if (free >= clbs) return t;
   // Walk future departures in end order, crediting capacity back until the
-  // request fits. Everything on the ledger ends eventually, and capacity
-  // >= clbs for any geometrically-admitted request, so this terminates.
+  // request fits. Everything on the ledger ends eventually; requests are
+  // only placed on devices whose (fault-degraded) capacity covered them at
+  // placement time, so the walk normally succeeds. If detection has since
+  // shrunk capacity below clbs, the final fallback books the last
+  // departure — a conservative estimate for a request the device-side
+  // scheduler will end up rejecting.
   std::vector<std::pair<SimTime, int>> ends;
   for (const LedgerEntry& e : entries)
     if (e.est_end > t) ends.emplace_back(e.est_end, e.clbs);
@@ -118,7 +229,8 @@ SimTime FleetManager::est_start_in(const std::vector<LedgerEntry>& entries,
 }
 
 SimTime FleetManager::est_start_on(int d, SimTime t, int clbs) const {
-  return est_start_in(ledger_[static_cast<std::size_t>(d)], t, clbs);
+  return est_start_in(ledger_[static_cast<std::size_t>(d)], t, clbs,
+                      cfg_.rows * cfg_.cols - detected_faulty_clbs(d, t));
 }
 
 void FleetManager::place(std::size_t qi, int d, SimTime now,
@@ -151,7 +263,9 @@ void FleetManager::refresh_queued_estimates(int d, SimTime now) {
       continue;
     }
     LedgerEntry q = e;
-    q.est_start = est_start_in(rebuilt, now, q.clbs);
+    q.est_start =
+        est_start_in(rebuilt, now, q.clbs,
+                     cfg_.rows * cfg_.cols - detected_faulty_clbs(d, now));
     q.est_end = q.est_start + queue_[q.req].duration;
     rebuilt.push_back(q);
   }
@@ -184,14 +298,8 @@ void FleetManager::rebalance(SimTime now) {
 
     for (const auto& [neg_b, src] : over) {
       const double src_b = -neg_b;
-      int dst = -1;
-      double dst_b = std::numeric_limits<double>::max();
-      for (int d = 0; d < cfg_.devices; ++d) {
-        if (d != src && backlog[static_cast<std::size_t>(d)] < dst_b) {
-          dst_b = backlog[static_cast<std::size_t>(d)];
-          dst = d;
-        }
-      }
+      const auto [dst, dst_b] = least_backlogged_peer(now, src,
+                                                      /*min_capacity=*/0);
       // Only a peer with headroom receives migrations.
       if (dst >= 0 && dst_b > cfg_.rebalance_backlog_ms) continue;
 
@@ -207,6 +315,9 @@ void FleetManager::rebalance(SimTime now) {
         const double work =
             (entries[i].est_end - entries[i].est_start).milliseconds();
         if (dst < 0 || dst_b + work >= src_b) continue;
+        // A fault-degraded destination too small for this request cannot
+        // receive it (no-op on a healthy fleet).
+        if (entries[i].clbs > capacity_at(dst, now)) continue;
         const std::size_t qi = entries[i].req;
         entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
         place(qi, dst, now, /*queue_aware=*/true);
@@ -223,27 +334,39 @@ void FleetManager::rebalance(SimTime now) {
 }
 
 int FleetManager::pick_device(SimTime now, int footprint) {
+  // Quarantined devices receive nothing new; if the whole fleet is
+  // quarantined the policies fall back to considering everyone (degraded
+  // service beats none).
+  auto eligible = [&](int d) {
+    return quarantined_count_ >= cfg_.devices ||
+           !quarantined_[static_cast<std::size_t>(d)];
+  };
   // free_at can go below zero on an oversubscribed fleet (the ledger has
   // no capacity feedback), so the argmax seeds with a sentinel no device
   // can fail to beat. Lowest id wins ties.
   auto least_loaded = [&] {
-    int best = 0;
+    int best = -1;
     int best_free = std::numeric_limits<int>::min();
     for (int d = 0; d < cfg_.devices; ++d) {
+      if (!eligible(d)) continue;
       const int f = free_at(d, now);
       if (f > best_free) {
         best_free = f;
         best = d;
       }
     }
-    return best;
+    return best >= 0 ? best : 0;
   };
 
   switch (cfg_.dispatch) {
     case DispatchPolicy::kRoundRobin: {
-      const int pick = rr_next_;
-      rr_next_ = (rr_next_ + 1) % cfg_.devices;
-      return pick;
+      // Skip quarantined slots while preserving the cycle order.
+      for (int tries = 0; tries < cfg_.devices; ++tries) {
+        const int pick = rr_next_;
+        rr_next_ = (rr_next_ + 1) % cfg_.devices;
+        if (eligible(pick)) return pick;
+      }
+      return rr_next_;
     }
     case DispatchPolicy::kLeastLoaded:
       return least_loaded();
@@ -253,6 +376,7 @@ int FleetManager::pick_device(SimTime now, int footprint) {
       int pick = -1;
       int best_slack = -1;
       for (int d = 0; d < cfg_.devices; ++d) {
+        if (!eligible(d)) continue;
         const int slack = free_at(d, now) - footprint;
         if (slack >= 0 && (best_slack < 0 || slack < best_slack)) {
           best_slack = slack;
@@ -267,6 +391,7 @@ int FleetManager::pick_device(SimTime now, int footprint) {
 
 const std::vector<int>& FleetManager::dispatch() {
   if (dispatched_) return assignment_;
+  ensure_health_state();
   const bool online = cfg_.admission == AdmissionMode::kOnline;
   if (online) {
     assignment_.resize(queue_.size(), -1);
@@ -279,6 +404,10 @@ const std::vector<int>& FleetManager::dispatch() {
     placed_ = 0;
     clock_ = SimTime::zero();
     rr_next_ = 0;
+    // Quarantine is an online-admission behaviour (it migrates queued
+    // work); the offline planner replans from a clean slate.
+    quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
+    quarantined_count_ = 0;
   }
 
   // Event order over the not-yet-placed requests: arrival time, submission
@@ -311,8 +440,19 @@ const std::vector<int>& FleetManager::dispatch() {
       fits = fits && fn.height <= cfg_.rows && fn.width <= cfg_.cols;
     if (!fits) continue;  // assignment stays -1; round-robin keeps its slot
 
-    place(qi, pick_device(now, req.footprint_clbs), now,
-          /*queue_aware=*/online);
+    if (online) maybe_quarantine(now);
+    int d = pick_device(now, req.footprint_clbs);
+    // Fault-degraded capacity guard: a device whose non-faulty CLB count
+    // has shrunk below the footprint can never run the request (masking is
+    // permanent). Divert to the least-backlogged device that still can;
+    // when none exists the request is admission-rejected.
+    if (!fault_maps_.empty() &&
+        req.footprint_clbs > capacity_at(d, now)) {
+      d = least_backlogged_peer(now, /*exclude=*/-1, req.footprint_clbs)
+              .first;
+      if (d < 0) continue;  // assignment stays -1
+    }
+    place(qi, d, now, /*queue_aware=*/online);
     if (online) rebalance(now);
   }
   placed_ = queue_.size();
@@ -334,12 +474,29 @@ DeviceReport FleetManager::run_device(
   const reloc::RelocationCostModel cost(geom, port);
 
   sched::Scheduler scheduler(cfg_.rows, cfg_.cols, cost, cfg_.sched);
+  // Per-device roving self-test: the worker owns a private copy of the
+  // device's injected fault map (run_device is const and runs on a pool
+  // thread), so detections stay thread-local and deterministic.
+  health::FaultMap faults;
+  if (cfg_.health.enabled()) {
+    if (!fault_maps_.empty())
+      faults = fault_maps_[static_cast<std::size_t>(device)];
+    else
+      faults = health::FaultMap(cfg_.rows, cfg_.cols, geom.cells_per_clb);
+    sched::SelfTestConfig st;
+    st.enabled = true;
+    st.window_cols = cfg_.health.window_cols;
+    st.step_period_ms = cfg_.health.step_period_ms;
+    st.cells_per_clb = geom.cells_per_clb;
+    scheduler.enable_selftest(st, &faults);
+  }
   report.stats = scheduler.run_apps(apps, cfg_.overlap);
 
   // Replay the initial partial configuration of every placed task against a
   // real fabric through the transaction batcher, so the report carries
   // measured (not estimated) transaction counts for batched vs unbatched.
   fabric::Fabric fab(geom);
+  if (cfg_.health.enabled()) faults.install(fab);
   config::ConfigController controller(fab, port, /*column_granular=*/true);
   BatchOptions bopt = cfg_.batch;
   if (!cfg_.batch_config) bopt.max_ops = 1;
@@ -406,6 +563,15 @@ DeviceReport FleetManager::run_device(
       .add(report.batch.unbatched_column_writes);
   t.counter("frames_written").add(report.batch.frames_written);
   t.counter("frames_unbatched").add(report.batch.unbatched_frames);
+  if (cfg_.health.enabled()) {
+    t.counter("swept_clbs").add(s.swept_clbs);
+    t.counter("tested_clbs").add(s.tested_clbs);
+    t.counter("sweep_rotations").add(s.sweep_rotations);
+    t.counter("selftest_moves").add(s.selftest_moves);
+    t.counter("faulty_cells").add(s.faults_detected);
+    t.counter("faulty_clbs").add(s.faulty_clbs);
+    t.gauge("fault_density").set(faults.detected_clb_density());
+  }
 
   for (const auto& task : s.tasks) {
     if (task.rejected) continue;
@@ -477,15 +643,20 @@ FleetReport FleetManager::run() {
   report.admitted = admitted_tasks;
   report.rejected = admission_rejects;
   report.rebalanced = rebalanced_;
+  report.quarantined = quarantined_count_;
   for (const DeviceReport& d : report.devices) {
     report.completed +=
         static_cast<int>(d.stats.tasks.size()) - d.stats.rejected;
     report.rejected += d.stats.rejected;
+    report.faulty_cells += d.stats.faults_detected;
+    report.tested_clbs += d.stats.tested_clbs;
     report.makespan = std::max(report.makespan, d.stats.makespan);
     report.aggregate.merge(d.telemetry);
   }
   report.aggregate.counter("admission_rejected").add(admission_rejects);
   report.aggregate.counter("rebalanced_requests").add(rebalanced_);
+  if (cfg_.health.enabled())
+    report.aggregate.counter("quarantined_devices").add(quarantined_count_);
 
   queue_.clear();
   assignment_.clear();
@@ -495,6 +666,8 @@ FleetReport FleetManager::run() {
   rebalanced_ = 0;
   dispatched_ = false;
   rr_next_ = 0;
+  quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
+  quarantined_count_ = 0;
   return report;
 }
 
@@ -526,10 +699,17 @@ std::string FleetReport::to_json() const {
      << "\", \"overlap\": " << config.overlap << ", \"port\": \""
      << (config.use_selectmap ? "SelectMAP" : "BoundaryScan")
      << "\", \"batching\": " << (config.batch_config ? "true" : "false")
-     << ", \"batch_max_ops\": " << config.batch.max_ops << "},\n";
+     << ", \"batch_max_ops\": " << config.batch.max_ops
+     << ", \"selftest\": " << (config.health.selftest ? "true" : "false")
+     << ", \"fault_rate\": " << json_number(config.health.fault_rate)
+     << ", \"quarantine_threshold\": "
+     << json_number(config.health.quarantine_threshold) << "},\n";
   os << "  \"totals\": {\"admitted\": " << admitted
      << ", \"completed\": " << completed << ", \"rejected\": " << rejected
      << ", \"rebalanced\": " << rebalanced
+     << ", \"quarantined_devices\": " << quarantined
+     << ", \"faulty_cells\": " << faulty_cells
+     << ", \"tested_clbs\": " << tested_clbs
      << ", \"makespan_ms\": " << json_number(makespan.milliseconds())
      << ", \"throughput_tasks_per_s\": " << json_number(throughput_tasks_per_s())
      << ", \"config_transactions\": " << txn

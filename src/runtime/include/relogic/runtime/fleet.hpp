@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "relogic/config/controller.hpp"
+#include "relogic/health/fault.hpp"
 #include "relogic/runtime/batcher.hpp"
 #include "relogic/runtime/telemetry.hpp"
 #include "relogic/sched/scheduler.hpp"
@@ -70,6 +71,27 @@ enum class AdmissionMode {
 std::string to_string(AdmissionMode m);
 std::optional<AdmissionMode> parse_admission_mode(const std::string& name);
 
+/// Fleet-level health policy: per-device roving self-test, deterministic
+/// fault injection, and quarantine of degraded devices.
+struct FleetHealthConfig {
+  /// Run the roving self-test sweep on every device (sched::SelfTestConfig
+  /// inside each device run; detection-time estimates at admission).
+  bool selftest = false;
+  /// Probability that any one logic cell carries an injected defect.
+  /// Deterministic per (fault_seed, device): same fleet, same faults.
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 1;
+  /// Sweep shape (mirrored into every device's SelfTestConfig).
+  int window_cols = 1;
+  double step_period_ms = 5.0;
+  /// Detected-faulty-CLB density above which a device is quarantined: it
+  /// receives no further requests and its queued-but-not-started requests
+  /// migrate to healthy peers. <= 0 disables quarantine.
+  double quarantine_threshold = 0.0;
+
+  bool enabled() const { return selftest; }
+};
+
 struct FleetConfig {
   int devices = 4;
   /// Per-device CLB grid (every device of the fleet is identical).
@@ -99,6 +121,8 @@ struct FleetConfig {
   /// Worker threads for the per-device runs; 0 = one per device, capped at
   /// hardware concurrency.
   int threads = 0;
+  /// Roving self-test, fault injection and quarantine policy.
+  FleetHealthConfig health;
 };
 
 /// Everything measured about one device's run.
@@ -118,6 +142,10 @@ struct FleetReport {
   int completed = 0;
   int rejected = 0;   ///< per-device rejects plus admission rejects
   int rebalanced = 0; ///< requests migrated between devices before starting
+                      ///< (load rebalancing plus quarantine evacuations)
+  int quarantined = 0;      ///< devices quarantined during admission
+  int faulty_cells = 0;     ///< detected faulty cells across the fleet
+  int tested_clbs = 0;      ///< CLBs pattern-tested across the fleet
   SimTime makespan = SimTime::zero();  ///< max over devices
   /// Counting identity (asserted in tests):
   ///   admitted == completed + rejected - admission_rejected
@@ -180,14 +208,34 @@ class FleetManager {
     int clbs = 0;
   };
 
+  /// Builds the per-device fault maps and detection-time estimates (no-op
+  /// unless health is enabled or the maps already exist).
+  void ensure_health_state();
+  /// Detected-faulty CLBs on device d by time t, per the admission-side
+  /// detection-time estimate: a fault in column c is found when the
+  /// first-rotation sweep window reaches c (step_period_ms per step).
+  int detected_faulty_clbs(int d, SimTime t) const;
+  /// Quarantines any device whose detected fault density crossed the
+  /// threshold by `now`, evacuating its queued-but-not-started requests.
+  void maybe_quarantine(SimTime now);
+  /// Non-faulty CLBs of device d at time t.
+  int capacity_at(int d, SimTime t) const;
+  /// Least-backlogged eligible peer (quarantined devices excluded unless
+  /// the whole fleet is, matching pick_device) other than `exclude`, with
+  /// capacity_at >= min_capacity. Returns {-1, +inf} when none qualifies.
+  /// Shared by the load rebalancer and quarantine evacuation.
+  std::pair<int, double> least_backlogged_peer(SimTime now, int exclude,
+                                               int min_capacity) const;
+
   /// Estimated free CLBs on device d at time t (can go negative when the
-  /// fleet is oversubscribed).
+  /// fleet is oversubscribed). Subtracts capacity lost to detected faults.
   int free_at(int d, SimTime t) const;
   /// Estimated remaining work on device d at time t, in milliseconds.
   double backlog_ms(int d, SimTime t) const;
-  /// Earliest time >= t a given entry list estimates `clbs` CLBs free.
+  /// Earliest time >= t a given entry list estimates `clbs` CLBs free,
+  /// against `capacity` total CLBs.
   SimTime est_start_in(const std::vector<LedgerEntry>& entries, SimTime t,
-                       int clbs) const;
+                       int clbs, int capacity) const;
   /// Earliest time >= t the ledger estimates `clbs` CLBs free on d.
   SimTime est_start_on(int d, SimTime t, int clbs) const;
   /// Applies the configured dispatch policy against the ledger at `now`
@@ -213,6 +261,12 @@ class FleetManager {
   int rebalanced_ = 0;
   bool dispatched_ = false;
   int rr_next_ = 0;
+  // ---- health state (built by ensure_health_state) ------------------------
+  std::vector<health::FaultMap> fault_maps_;  ///< injected ground truth
+  /// Per device: sorted estimated detection times (ms) of its faulty CLBs.
+  std::vector<std::vector<double>> fault_detect_ms_;
+  std::vector<bool> quarantined_;
+  int quarantined_count_ = 0;
 };
 
 }  // namespace relogic::runtime

@@ -27,6 +27,7 @@
 
 #include "relogic/area/defrag.hpp"
 #include "relogic/area/manager.hpp"
+#include "relogic/health/fault.hpp"
 #include "relogic/reloc/cost.hpp"
 #include "relogic/sched/workload.hpp"
 
@@ -56,6 +57,31 @@ struct SchedulerConfig {
   /// rectangle using idle port time (bounded by defrag.max_moves).
   /// <= 0 disables proactive mode (rearrangement happens on demand only).
   double proactive_frag_threshold = 0.0;
+};
+
+/// Roving on-line self-test, at the scheduler's area granularity. The
+/// fabric-level procedure (relocate the window's occupants with the
+/// two-phase engine, write complementary patterns, read back) lives in
+/// health::RovingTester; inside the discrete-event run the scheduler models
+/// its cost and consequences: the window's regions are relocated out of the
+/// way (port time, transparent or halting per the management policy), the
+/// freed CLBs are held out of circulation while the patterns are driven,
+/// and injected faults inside the tested window become *detected* — masked
+/// out of occupancy, placement and defrag planning from that moment on.
+struct SelfTestConfig {
+  bool enabled = false;
+  /// Test window width in CLB columns.
+  int window_cols = 1;
+  /// Interval between window advances; also the retry interval when the
+  /// window cannot be vacated yet (occupied under no-rearrangement, or no
+  /// free destination for a vacating move).
+  double step_period_ms = 5.0;
+  /// Full-device rotations guaranteed to complete even after the workload
+  /// drains (the sweep also keeps roving as long as tasks are resident).
+  int min_rotations = 1;
+  /// Logic cells per CLB of the modelled device — prices the pattern
+  /// writes (the scheduler itself is CLB-granular).
+  int cells_per_clb = 4;
 };
 
 struct TaskRecord {
@@ -90,6 +116,13 @@ struct RunStats {
   int rearrangement_moves = 0;
   int moved_clbs = 0;
   int rejected = 0;
+  // Roving self-test (all zero unless enabled):
+  int swept_clbs = 0;       ///< window CLBs visited (rotations x rows x cols)
+  int tested_clbs = 0;      ///< CLBs actually pattern-tested (free at visit)
+  int sweep_rotations = 0;  ///< completed full-device rotations
+  int selftest_moves = 0;   ///< vacating relocations performed by the sweep
+  int faults_detected = 0;  ///< faulty cells newly detected
+  int faulty_clbs = 0;      ///< CLBs masked out after detection
   double utilization_avg = 0.0;   ///< time-weighted mean CLB occupancy
   double fragmentation_avg = 0.0; ///< time-weighted mean fragmentation
   double fragmentation_max = 0.0;
@@ -103,6 +136,12 @@ class Scheduler {
  public:
   Scheduler(int rows, int cols, reloc::RelocationCostModel cost,
             SchedulerConfig config);
+
+  /// Enables the roving self-test for subsequent runs. `faults` carries the
+  /// injected ground truth and receives detections; it must outlive the
+  /// runs. Pass nullptr to sweep a fault-free device (coverage only).
+  void enable_selftest(const SelfTestConfig& selftest,
+                       health::FaultMap* faults);
 
   /// Independent one-shot tasks (defragmentation experiments).
   RunStats run_tasks(const std::vector<TaskArrival>& tasks);
@@ -118,6 +157,8 @@ class Scheduler {
   int cols_;
   reloc::RelocationCostModel cost_;
   SchedulerConfig cfg_;
+  SelfTestConfig selftest_;
+  health::FaultMap* faults_ = nullptr;
 };
 
 }  // namespace relogic::sched

@@ -77,13 +77,14 @@ struct Job {
   int end_version = 0;
 };
 
-enum class EvKind { kReady, kConfigDone, kRunBegin, kEnd };
+enum class EvKind { kReady, kConfigDone, kRunBegin, kEnd, kSweepStep,
+                    kSweepDone };
 
 struct Ev {
   SimTime time;
   std::uint64_t seq;
   EvKind kind;
-  int job;
+  int job;  ///< -1 for the self-test sweep events
   int version = 0;
   bool operator>(const Ev& o) const {
     if (time != o.time) return time > o.time;
@@ -95,8 +96,13 @@ struct Ev {
 class Engine {
  public:
   Engine(int rows, int cols, const reloc::RelocationCostModel& cost,
-         const SchedulerConfig& cfg)
-      : mgr_(rows, cols), cost_(&cost), cfg_(&cfg) {}
+         const SchedulerConfig& cfg, const SelfTestConfig& selftest,
+         health::FaultMap* faults)
+      : mgr_(rows, cols),
+        cost_(&cost),
+        cfg_(&cfg),
+        st_(&selftest),
+        faults_(faults) {}
 
   std::vector<Job> jobs;
   /// Jobs whose readiness is triggered by another job's end (prefetch
@@ -107,6 +113,9 @@ class Engine {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (jobs[i].ready == SimTime::never()) continue;  // chained readiness
       push(Ev{jobs[i].ready, seq_++, EvKind::kReady, static_cast<int>(i)});
+    }
+    if (st_->enabled) {
+      push(Ev{sweep_period(), seq_++, EvKind::kSweepStep, -1});
     }
     while (!queue_.empty()) {
       const Ev ev = queue_.top();
@@ -134,6 +143,14 @@ class Engine {
   }
 
   void dispatch(const Ev& ev) {
+    if (ev.kind == EvKind::kSweepStep) {
+      on_sweep_step();
+      return;
+    }
+    if (ev.kind == EvKind::kSweepDone) {
+      on_sweep_done();
+      return;
+    }
     Job& job = jobs[static_cast<std::size_t>(ev.job)];
     switch (ev.kind) {
       case EvKind::kReady:
@@ -148,6 +165,9 @@ class Engine {
       case EvKind::kEnd:
         if (ev.version == job.end_version) on_end(job);
         break;
+      case EvKind::kSweepStep:
+      case EvKind::kSweepDone:
+        break;  // handled above
     }
   }
 
@@ -166,7 +186,11 @@ class Engine {
 
     auto slot = mgr_.find_free_rect(job.fn.height, job.fn.width,
                                     cfg_->placement);
-    if (!slot && cfg_->policy != ManagementPolicy::kNoRearrange) {
+    // While a self-test transaction holds the configuration port, the
+    // window's claim regions are immovable (they are not tasks): planning
+    // waits for the test to finish; retry_waiting() runs at sweep-done.
+    if (!slot && cfg_->policy != ManagementPolicy::kNoRearrange &&
+        !sweep_testing_) {
       const auto plan = plan_request(job.fn.height, job.fn.width);
       if (plan && plan_affordable(*plan, job)) {
         execute_moves(*plan);
@@ -182,6 +206,7 @@ class Engine {
     ++area_gen_;
     job.slot = *slot;
     job.placed = true;
+    ++placed_live_;
     region_job_[job.region] = job.id;
 
     job.config_start = std::max(now_, port_free_at_);
@@ -218,6 +243,7 @@ class Engine {
     job.end = now_;
     mgr_.release(job.region);
     ++area_gen_;
+    --placed_live_;
     region_job_.erase(job.region);
 
     // Successor may begin (it might still be configuring; kConfigDone
@@ -243,7 +269,7 @@ class Engine {
 
   void maybe_proactive_defrag() {
     if (cfg_->proactive_frag_threshold <= 0 ||
-        cfg_->policy == ManagementPolicy::kNoRearrange)
+        cfg_->policy == ManagementPolicy::kNoRearrange || sweep_testing_)
       return;
     if (mgr_.fragmentation() <= cfg_->proactive_frag_threshold) return;
     // Only spend idle port time: skip if the port is already backed up.
@@ -323,37 +349,174 @@ class Engine {
     return total.milliseconds() <= budget_ms;
   }
 
-  void execute_moves(const area::DefragPlan& plan) {
-    for (const auto& mv : plan.moves) {
-      auto it = region_job_.find(mv.region);
-      RELOGIC_CHECK_MSG(it != region_job_.end(),
-                        "plan moves an unknown region");
-      Job& victim = jobs[static_cast<std::size_t>(it->second)];
+  /// One relocation, shared by on-demand rearrangement and the self-test
+  /// sweep (`selftest` only changes which counter records it).
+  void apply_move(const area::Move& mv, bool selftest) {
+    auto it = region_job_.find(mv.region);
+    RELOGIC_CHECK_MSG(it != region_job_.end(), "plan moves an unknown region");
+    Job& victim = jobs[static_cast<std::size_t>(it->second)];
 
-      const SimTime start = std::max(now_, port_free_at_);
-      const SimTime cost = move_cost(mv);
-      const SimTime done = start + cost;
-      port_free_at_ = done;
-      stats_.config_port_busy += cost;
-      stats_.move_times.push_back(cost);
+    const SimTime start = std::max(now_, port_free_at_);
+    const SimTime cost = move_cost(mv);
+    const SimTime done = start + cost;
+    port_free_at_ = done;
+    stats_.config_port_busy += cost;
+    stats_.move_times.push_back(cost);
+    if (selftest) {
+      ++stats_.selftest_moves;
+    } else {
       ++stats_.rearrangement_moves;
-      stats_.moved_clbs += mv.from.area();
+    }
+    stats_.moved_clbs += mv.from.area();
 
-      mgr_.move(mv.region, mv.to);
-      ++area_gen_;
+    mgr_.move(mv.region, mv.to);
+    ++area_gen_;
 
-      if (cfg_->policy == ManagementPolicy::kHaltAndMove && victim.running) {
-        // The victim is stopped while it is being moved: its remaining
-        // execution shifts by the move duration.
-        victim.halted += cost;
-        stats_.total_halted += cost;
-        victim.end += cost;
-        ++victim.end_version;
-        push(Ev{victim.end, seq_++, EvKind::kEnd, victim.id,
-                victim.end_version});
+    if (cfg_->policy == ManagementPolicy::kHaltAndMove && victim.running) {
+      // The victim is stopped while it is being moved: its remaining
+      // execution shifts by the move duration.
+      victim.halted += cost;
+      stats_.total_halted += cost;
+      victim.end += cost;
+      ++victim.end_version;
+      push(Ev{victim.end, seq_++, EvKind::kEnd, victim.id,
+              victim.end_version});
+    }
+    // Transparent relocation: zero time overhead for the running
+    // function — only the configuration port was busy.
+  }
+
+  void execute_moves(const area::DefragPlan& plan) {
+    for (const auto& mv : plan.moves) apply_move(mv, /*selftest=*/false);
+  }
+
+  // ---- roving self-test ----------------------------------------------------
+
+  SimTime sweep_period() const {
+    return SimTime::ps(static_cast<std::int64_t>(
+        st_->step_period_ms * 1e9));
+  }
+
+  ClbRect sweep_window() const {
+    const int width = std::min(st_->window_cols, mgr_.cols() - sweep_col_);
+    return ClbRect{0, sweep_col_, mgr_.rows(), width};
+  }
+
+  /// Relocates every region overlapping the window to free space outside
+  /// it. Returns true once the window holds no region (faulty-masked CLBs
+  /// are fine — they are skipped by the test itself). Under
+  /// no-rearrangement the sweep cannot move anyone and simply waits for
+  /// departures to clear the window.
+  bool vacate_window(const ClbRect& window) {
+    bool clear = true;
+    for (const area::Region& r : mgr_.regions()) {
+      if (!r.rect.overlaps(window)) continue;
+      if (cfg_->policy == ManagementPolicy::kNoRearrange) {
+        clear = false;
+        continue;
       }
-      // Transparent relocation: zero time overhead for the running
-      // function — only the configuration port was busy.
+      const auto dest = mgr_.find_free_rect(r.rect.height, r.rect.width,
+                                            cfg_->placement, &window);
+      if (!dest) {
+        clear = false;
+        continue;
+      }
+      apply_move(area::Move{r.id, r.rect, *dest}, /*selftest=*/true);
+    }
+    return clear;
+  }
+
+  void on_sweep_step() {
+    const ClbRect window = sweep_window();
+    if (!vacate_window(window)) {
+      // Retry after one period; the window does not advance until every
+      // CLB of it has been visited — zero missed CLBs per rotation.
+      push(Ev{now_ + sweep_period(), seq_++, EvKind::kSweepStep, -1});
+      return;
+    }
+
+    // Claim the window's free CLBs (per-column strips around any masked
+    // cells) so nothing is placed into them while patterns are driven.
+    sweep_claimed_ = 0;
+    for (int c = window.col; c < window.col_end(); ++c) {
+      int run_start = -1;
+      for (int r = 0; r <= mgr_.rows(); ++r) {
+        const bool free =
+            r < mgr_.rows() && mgr_.at(ClbCoord{r, c}) == area::kNoRegion;
+        if (free && run_start < 0) run_start = r;
+        if (!free && run_start >= 0) {
+          sweep_regions_.push_back(mgr_.allocate_at(
+              "selftest", ClbRect{run_start, c, r - run_start, 1}));
+          sweep_claimed_ += r - run_start;
+          run_start = -1;
+        }
+      }
+    }
+    ++area_gen_;
+
+    // Port cost: two complementary patterns written and read back over the
+    // claimed cells (readback priced like the write — both stream the same
+    // frames through the same port).
+    const SimTime test_time =
+        4 * cost_->configure_time(sweep_claimed_ * st_->cells_per_clb);
+    const SimTime start = std::max(now_, port_free_at_);
+    const SimTime done = start + test_time;
+    port_free_at_ = done;
+    stats_.config_port_busy += test_time;
+    sweep_testing_ = true;
+    push(Ev{done, seq_++, EvKind::kSweepDone, -1});
+  }
+
+  void on_sweep_done() {
+    const ClbRect window = sweep_window();
+    sweep_testing_ = false;
+    // Release the claimed strips, remembering exactly which CLBs were
+    // pattern-tested (a region departing mid-test does not make its CLBs
+    // tested — they are caught on a later rotation).
+    std::vector<ClbRect> tested;
+    tested.reserve(sweep_regions_.size());
+    for (const area::RegionId id : sweep_regions_) {
+      tested.push_back(mgr_.region(id).rect);
+      mgr_.release(id);
+    }
+    sweep_regions_.clear();
+    ++area_gen_;
+
+    // Injected faults inside the tested CLBs become detected: masked out
+    // of occupancy, placement and defrag planning from this moment.
+    if (faults_ != nullptr) {
+      for (const ClbRect& strip : tested) {
+        for (int r = strip.row; r < strip.row_end(); ++r) {
+          for (int c = strip.col; c < strip.col_end(); ++c) {
+            const ClbCoord clb{r, c};
+            const int fresh = faults_->detect_all_in(clb);
+            if (fresh > 0) {
+              stats_.faults_detected += fresh;
+              mgr_.mask_faulty(clb);
+              ++stats_.faulty_clbs;
+              ++area_gen_;
+            }
+          }
+        }
+      }
+    }
+
+    stats_.swept_clbs += window.area();
+    stats_.tested_clbs += sweep_claimed_;
+    sweep_col_ += window.width;
+    if (sweep_col_ >= mgr_.cols()) {
+      sweep_col_ = 0;
+      ++stats_.sweep_rotations;
+    }
+
+    // Releasing the window may unblock waiters (and masking may have eaten
+    // the hole they were promised — they will queue again).
+    retry_waiting();
+
+    // Keep roving while work is resident; always finish the rotation quota.
+    if (placed_live_ > 0 || sweep_col_ != 0 ||
+        stats_.sweep_rotations < st_->min_rotations) {
+      push(Ev{now_ + sweep_period(), seq_++, EvKind::kSweepStep, -1});
     }
   }
 
@@ -387,6 +550,13 @@ class Engine {
   area::AreaManager mgr_;
   const reloc::RelocationCostModel* cost_;
   const SchedulerConfig* cfg_;
+  const SelfTestConfig* st_;
+  health::FaultMap* faults_;
+  int sweep_col_ = 0;
+  int sweep_claimed_ = 0;       ///< CLBs held by the current test window
+  bool sweep_testing_ = false;  ///< a test transaction holds the port
+  std::vector<area::RegionId> sweep_regions_;  ///< claimed window strips
+  int placed_live_ = 0;         ///< regions currently on the device
   std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
   std::uint64_t seq_ = 0;
   SimTime now_ = SimTime::zero();
@@ -412,8 +582,16 @@ Scheduler::Scheduler(int rows, int cols, reloc::RelocationCostModel cost,
   RELOGIC_CHECK(rows_ >= 1 && cols_ >= 1);
 }
 
+void Scheduler::enable_selftest(const SelfTestConfig& selftest,
+                                health::FaultMap* faults) {
+  RELOGIC_CHECK(selftest.window_cols >= 1);
+  RELOGIC_CHECK(selftest.step_period_ms > 0.0);
+  selftest_ = selftest;
+  faults_ = faults;
+}
+
 RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
-  Engine engine(rows_, cols_, cost_, cfg_);
+  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_);
   engine.jobs.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     Job j;
@@ -427,7 +605,7 @@ RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
 
 RunStats Scheduler::run_apps(const std::vector<AppSpec>& apps, int overlap) {
   RELOGIC_CHECK(overlap >= 1);
-  Engine engine(rows_, cols_, cost_, cfg_);
+  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_);
   int id = 0;
   for (std::size_t a = 0; a < apps.size(); ++a) {
     const AppSpec& app = apps[a];

@@ -32,6 +32,8 @@
 #include "relogic/config/controller.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/config/snapshot.hpp"
+#include "relogic/health/fault.hpp"
+#include "relogic/health/rover.hpp"
 #include "relogic/netlist/benchmarks.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
@@ -66,6 +68,15 @@ struct Options {
   double mean_interarrival_ms = 2.0;
   double mean_duration_ms = 20.0;
   std::string telemetry_file;
+
+  // Health mode (both single-device and fleet): roving self-test sweep,
+  // deterministic fault injection, quarantine.
+  bool selftest = false;
+  double fault_rate = 0.0;
+  std::optional<std::uint64_t> fault_seed;  // defaults to --seed
+  double quarantine_threshold = 0.0;
+  int sweep_window = 1;
+  double sweep_period_ms = 5.0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -103,7 +114,23 @@ struct Options {
       "  --batch-ops K          max ops coalesced per transaction\n"
       "  --selectmap            SelectMAP port model instead of JTAG\n"
       "  --threads N            worker threads (default: one per device)\n"
-      "  --telemetry FILE       write the fleet telemetry JSON to FILE\n");
+      "  --telemetry FILE       write the fleet telemetry JSON to FILE\n"
+      "\n"
+      "health (roving on-line self-test):\n"
+      "  --selftest             sweep a test window across each device while\n"
+      "                         it serves traffic (single-device mode: run a\n"
+      "                         fabric-level rotation over the loaded\n"
+      "                         circuits with the relocation engine)\n"
+      "  --fault-rate R         inject stuck config-bit faults on each cell\n"
+      "                         with probability R (deterministic per seed)\n"
+      "  --fault-seed S         fault population seed (default: --seed)\n"
+      "  --quarantine-threshold F\n"
+      "                         fleet: quarantine a device once its detected\n"
+      "                         faulty-CLB density exceeds F (0 = off)\n"
+      "  --sweep-window N       test window width in CLB columns (default 1)\n"
+      "  --sweep-period MS      fleet: interval between window advances\n"
+      "                         (default 5; the single-device rover runs one\n"
+      "                         continuous rotation instead)\n");
   std::exit(code);
 }
 
@@ -245,6 +272,18 @@ Options parse_args(int argc, char** argv) {
       opt.fleet_cfg.threads = std::stoi(need(i));
     } else if (arg == "--telemetry") {
       opt.telemetry_file = need(i);
+    } else if (arg == "--selftest") {
+      opt.selftest = true;
+    } else if (arg == "--fault-rate") {
+      opt.fault_rate = std::stod(need(i));
+    } else if (arg == "--fault-seed") {
+      opt.fault_seed = std::stoull(need(i));
+    } else if (arg == "--quarantine-threshold") {
+      opt.quarantine_threshold = std::stod(need(i));
+    } else if (arg == "--sweep-window") {
+      opt.sweep_window = std::stoi(need(i));
+    } else if (arg == "--sweep-period") {
+      opt.sweep_period_ms = std::stod(need(i));
     } else if (arg == "--out") {
       opt.out_file = need(i);
     } else if (arg == "--script") {
@@ -259,6 +298,15 @@ Options parse_args(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(2);
     }
+  }
+  // Fault injection / quarantine only mean anything with the sweep running;
+  // silently ignoring them would fake a healthy fleet.
+  if (!opt.selftest &&
+      (opt.fault_rate > 0.0 || opt.quarantine_threshold > 0.0)) {
+    std::fprintf(stderr,
+                 "note: --fault-rate / --quarantine-threshold imply "
+                 "--selftest; enabling the roving self-test\n");
+    opt.selftest = true;
   }
   return opt;
 }
@@ -276,6 +324,12 @@ class OpRecorder {
 int run_fleet(const Options& opt) {
   runtime::FleetConfig cfg = opt.fleet_cfg;
   cfg.devices = opt.fleet;
+  cfg.health.selftest = opt.selftest;
+  cfg.health.fault_rate = opt.fault_rate;
+  cfg.health.fault_seed = opt.fault_seed.value_or(opt.seed);
+  cfg.health.window_cols = opt.sweep_window;
+  cfg.health.step_period_ms = opt.sweep_period_ms;
+  cfg.health.quarantine_threshold = opt.quarantine_threshold;
 
   sched::WorkloadParams params;
   params.pattern = opt.workload;
@@ -324,6 +378,19 @@ int run_fleet(const Options& opt) {
       "makespan %s\n",
       report.admitted, report.completed, report.rejected, report.rebalanced,
       report.makespan.to_string().c_str());
+  if (cfg.health.enabled()) {
+    std::printf(
+        "health: %lld CLBs swept (%lld rotations), %d tested, %d faulty "
+        "cells detected (%lld CLBs masked), %d devices quarantined\n",
+        static_cast<long long>(
+            report.aggregate.counter_value("swept_clbs")),
+        static_cast<long long>(
+            report.aggregate.counter_value("sweep_rotations")),
+        report.tested_clbs, report.faulty_cells,
+        static_cast<long long>(
+            report.aggregate.counter_value("faulty_clbs")),
+        report.quarantined);
+  }
   std::printf(
       "throughput: %.1f tasks/s (model), wall %.1f ms; config txns %lld vs "
       "%lld unbatched\n",
@@ -486,6 +553,40 @@ int main(int argc, char** argv) {
         }
       }
       std::printf("request slot: %s\n", plan->request_slot.to_string().c_str());
+    }
+
+    // ---- roving self-test (single-device): a full fabric-level rotation ---
+    if (opt.selftest) {
+      const auto& geom = fab.geometry();
+      health::FaultMap fault_map(geom.clb_rows, geom.clb_cols,
+                                 geom.cells_per_clb);
+      if (opt.fault_rate > 0.0) {
+        health::FaultInjector injector(geom.clb_rows, geom.clb_cols,
+                                       geom.cells_per_clb, opt.fault_rate,
+                                       opt.fault_seed.value_or(opt.seed));
+        // Faults land on currently-free cells only: a defect under already
+        // running logic is a functional failure the structural self-test
+        // cannot (and should not pretend to) catch — injecting there would
+        // just corrupt the live circuits before the sweep ever starts.
+        for (const auto& rec : injector.generate().records()) {
+          if (!fab.cell(rec.clb, rec.cell).used)
+            fault_map.inject(rec.clb, rec.cell, rec.fault);
+        }
+        fault_map.install(fab);
+        std::printf("injected %d faulty cells (rate %.4f, seed %llu)\n",
+                    fault_map.injected_count(), opt.fault_rate,
+                    static_cast<unsigned long long>(
+                        opt.fault_seed.value_or(opt.seed)));
+      }
+      health::RovingTester rover(controller, &engine, fault_map);
+      health::RoverOptions ropt;
+      ropt.window_cols = opt.sweep_window;
+      std::vector<place::Implementation*> live;
+      for (auto& impl : impls) live.push_back(&impl);
+      const auto sweep = rover.sweep(live, ropt);
+      std::printf("%s\n", sweep.to_string().c_str());
+      std::printf("selftest: %d/%d injected faults detected\n",
+                  fault_map.detected_count(), fault_map.injected_count());
     }
 
     print_map("occupancy after rearrangement");
