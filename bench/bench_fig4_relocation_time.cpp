@@ -34,16 +34,19 @@ struct Result {
   std::string name;
   int ffs = 0;
   int cells_moved = 0;
+  int frames = 0;
   double total_ms = 0;
   bool clean = true;
   double per_cell_ms() const { return total_ms / cells_moved; }
 };
 
-Result run_circuit(const netlist::bench::SuiteEntry& entry,
-                   const config::ConfigPort& port, int max_cells) {
+Result run_circuit(
+    const netlist::bench::SuiteEntry& entry, const config::ConfigPort& port,
+    int max_cells,
+    config::WriteGranularity gran = config::WriteGranularity::kColumn) {
   fabric::Fabric fab(fabric::DeviceGeometry::xcv200());
   const fabric::DelayModel dm;
-  config::ConfigController controller(fab, port, /*column_granular=*/true);
+  config::ConfigController controller(fab, port, gran);
   sim::FabricSim sim(fab, dm);
   sim.add_clock(sim::ClockSpec{});
   place::Implementer implementer(fab, dm);
@@ -71,6 +74,7 @@ Result run_circuit(const netlist::bench::SuiteEntry& entry,
         i % 4};
     const auto rep = engine.relocate_cell(impl, i, dest);
     r.total_ms += rep.config_time.milliseconds();
+    r.frames += rep.frames_written;
     ++r.cells_moved;
   }
   for (int i = 0; i < 10 && ok; ++i) ok = harness.step_random(rng).ok();
@@ -133,6 +137,61 @@ int main(int argc, char** argv) {
                 "the procedure, dominates\n",
                 r.name.c_str(), r.per_cell_ms());
     json.add("per_cell_selectmap", r.per_cell_ms(), "ms");
+  }
+
+  // Write-granularity sweep (DESIGN.md §6.1): the same Fig. 4 relocation
+  // workload under column / frame / dirty-frame writes, on each backend.
+  // The column regime rewrites every already-identical byte of each
+  // touched column, so frame-accurate writes cut the frames written
+  // drastically — the biggest speed lever left in the hot path. The
+  // relocation op stream itself has no redundant writes, so dirty equals
+  // frame here; dirty's skips appear on redundant streams (self-test
+  // clears, repeated re-configuration, batcher-merged cancellations).
+  {
+    std::printf("\n# write-granularity sweep (%s, %d cells)\n",
+                suite[0].name.c_str(), std::min(max_cells, 5));
+    int column_frames = 0, dirty_frames = 0;
+    for (const auto gran : {config::WriteGranularity::kColumn,
+                            config::WriteGranularity::kFrame,
+                            config::WriteGranularity::kDirtyFrame}) {
+      for (const auto backend :
+           {config::PortBackend::kJtag, config::PortBackend::kSelectMap8,
+            config::PortBackend::kIcap32}) {
+        const auto port = config::make_port(backend);
+        const Result r =
+            run_circuit(suite[0], *port, std::min(max_cells, 5), gran);
+        std::printf("  %-6s x %-10s: %6d frames, %8.3f ms/cell, %s\n",
+                    config::to_string(gran).c_str(),
+                    config::to_string(backend).c_str(), r.frames,
+                    r.per_cell_ms(), r.clean ? "clean" : "FAILED");
+        all_clean = all_clean && r.clean;
+        // Keyed by backend token, matching bench_frame_cost's scheme.
+        json.add("per_cell_" + config::to_string(backend) + "_" +
+                     config::to_string(gran),
+                 r.per_cell_ms(), "ms");
+        if (backend == config::PortBackend::kJtag) {
+          if (gran == config::WriteGranularity::kColumn)
+            column_frames = r.frames;
+          if (gran == config::WriteGranularity::kDirtyFrame)
+            dirty_frames = r.frames;
+        }
+      }
+    }
+    const double reduction =
+        100.0 * (column_frames - dirty_frames) / std::max(1, column_frames);
+    std::printf("  frame-accurate (dirty) writes: %d frames vs %d "
+                "column-regime (%.1f%% fewer)\n",
+                dirty_frames, column_frames, reduction);
+    json.add("frames_dirty_vs_column_reduction_pct", reduction, "%");
+    // Acceptance gate (ISSUE 4): dirty must cut frames vs column by >= 30%
+    // on this workload — fail the bench (and CI's bench smoke) otherwise.
+    if (reduction < 30.0) {
+      std::fprintf(stderr,
+                   "FAIL: dirty-frame reduction %.1f%% below the 30%% "
+                   "acceptance threshold\n",
+                   reduction);
+      all_clean = false;
+    }
   }
 
   // Cost-model validation (the scheduler prices moves with this model).

@@ -1,6 +1,7 @@
 #include "relogic/config/controller.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "relogic/common/logging.hpp"
 
@@ -24,11 +25,22 @@ ConfigOp& ConfigOp::remove_path(fabric::NetId net,
 
 ConfigController::ConfigController(fabric::Fabric& fabric,
                                    const ConfigPort& port,
-                                   bool column_granular)
+                                   WriteGranularity granularity)
     : fabric_(&fabric),
       port_(&port),
       mapper_(fabric.geometry()),
-      column_granular_(column_granular) {}
+      granularity_(granularity) {}
+
+FrameAddress ConfigController::source_frame(const SourceChange& sc) const {
+  // The output mux of a cell / pad enable lives in the node's own tile.
+  const auto& graph = fabric_->graph();
+  const auto info = graph.info(sc.node);
+  if (info.kind == fabric::NodeKind::kPad) {
+    const int col = info.tile.col < fabric_->geometry().clb_cols / 2 ? 0 : 1;
+    return FrameAddress{ColumnType::kIob, static_cast<std::int16_t>(col), 0};
+  }
+  return mapper_.pip_frame(graph, fabric::RouteEdge{sc.node, sc.node});
+}
 
 std::set<FrameAddress> ConfigController::frames_of(const ConfigOp& op) const {
   std::set<FrameAddress> frames;
@@ -40,20 +52,10 @@ std::set<FrameAddress> ConfigController::frames_of(const ConfigOp& op) const {
     } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
       frames.insert(mapper_.pip_frame(graph, ec->edge));
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
-      // The output mux of a cell / pad enable lives in the node's own tile.
-      const auto info = graph.info(sc->node);
-      if (info.kind == fabric::NodeKind::kPad) {
-        const int col =
-            info.tile.col < fabric_->geometry().clb_cols / 2 ? 0 : 1;
-        frames.insert(FrameAddress{ColumnType::kIob,
-                                   static_cast<std::int16_t>(col), 0});
-      } else {
-        frames.insert(mapper_.pip_frame(
-            graph, fabric::RouteEdge{sc->node, sc->node}));
-      }
+      frames.insert(source_frame(*sc));
     }
   }
-  if (!column_granular_) return frames;
+  if (granularity_ != WriteGranularity::kColumn) return frames;
   // Widen to whole columns.
   std::set<FrameAddress> widened;
   std::set<std::int16_t> clb_cols;
@@ -85,8 +87,74 @@ std::set<FrameAddress> ConfigController::frames_of(const ConfigOp& op) const {
   return widened;
 }
 
+std::map<FrameAddress, std::uint64_t> ConfigController::simulate_deltas(
+    const ConfigOp& op) const {
+  std::map<FrameAddress, std::uint64_t> deltas;
+  // Overlay of the op's own earlier actions: within one op, a later action
+  // is effective against the state the earlier ones will have produced.
+  std::map<CellKey, fabric::LogicCellConfig> cells;
+  std::map<std::pair<fabric::NetId, fabric::RouteEdge>, bool> edges;
+  std::map<std::pair<fabric::NetId, fabric::NodeId>, bool> sources;
+
+  for (const ConfigAction& a : op.actions) {
+    if (const auto* cw = std::get_if<CellWrite>(&a)) {
+      const CellKey key{cw->clb.row, cw->clb.col, cw->cell};
+      const auto it = cells.find(key);
+      const fabric::LogicCellConfig before =
+          it != cells.end() ? it->second : fabric_->cell(cw->clb, cw->cell);
+      if (before == cw->cfg) continue;
+      const std::uint64_t d = FrameImage::cell_token(cw->clb.row, before) ^
+                              FrameImage::cell_token(cw->clb.row, cw->cfg);
+      for (const FrameAddress& f : mapper_.cell_frames(cw->clb, cw->cell))
+        deltas[f] ^= d;
+      cells[key] = cw->cfg;
+    } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
+      const auto key = std::make_pair(ec->net, ec->edge);
+      const auto it = edges.find(key);
+      const bool on = it != edges.end()
+                          ? it->second
+                          : (fabric_->net_exists(ec->net) &&
+                             fabric_->net(ec->net).has_edge(ec->edge));
+      if (on == ec->add) continue;
+      deltas[mapper_.pip_frame(fabric_->graph(), ec->edge)] ^=
+          FrameImage::edge_token(ec->edge);
+      edges[key] = ec->add;
+    } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
+      const auto key = std::make_pair(sc->net, sc->node);
+      const auto it = sources.find(key);
+      const bool on = it != sources.end()
+                          ? it->second
+                          : (fabric_->net_exists(sc->net) &&
+                             fabric_->net(sc->net).has_source(sc->node));
+      if (on == sc->attach) continue;
+      deltas[source_frame(*sc)] ^= FrameImage::source_token(sc->node);
+      sources[key] = sc->attach;
+    }
+  }
+  return deltas;
+}
+
+ApplyResult ConfigController::price(
+    const std::set<FrameAddress>& frames,
+    const std::map<FrameAddress, std::uint64_t>& deltas) const {
+  if (granularity_ != WriteGranularity::kDirtyFrame) return preview(frames);
+  std::set<FrameAddress> dirty;
+  for (const auto& [f, d] : deltas)
+    if (d != 0) dirty.insert(f);
+  ApplyResult result = preview(dirty);
+  result.frames_skipped =
+      static_cast<int>(frames.size()) - result.frames_written;
+  return result;
+}
+
 ApplyResult ConfigController::preview(const ConfigOp& op) const {
-  return preview(frames_of(op));
+  return preview(op, frames_of(op));
+}
+
+ApplyResult ConfigController::preview(
+    const ConfigOp& op, const std::set<FrameAddress>& frames) const {
+  if (granularity_ != WriteGranularity::kDirtyFrame) return preview(frames);
+  return price(frames, simulate_deltas(op));
 }
 
 ApplyResult ConfigController::preview(
@@ -115,49 +183,60 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
   const std::set<FrameAddress> frames = frames_of(op);
   if (!allow_lut_ram_columns) check_lut_ram_columns(op, frames, nullptr);
 
-  ApplyResult result = preview(frames);
-
-  // Apply the structural actions in order.
+  // Apply the structural actions in order, collecting the exact per-frame
+  // content deltas (before/after values observed on the fabric, so injected
+  // configuration-memory faults are reflected in the shadow image too).
+  std::map<FrameAddress, std::uint64_t> deltas;
+  int effective = 0;
   for (const ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<CellWrite>(&a)) {
-      if (fabric_->set_cell_config(cw->clb, cw->cell, cw->cfg))
-        ++result.effective_actions;
+      const fabric::LogicCellConfig before = fabric_->cell(cw->clb, cw->cell);
+      if (fabric_->set_cell_config(cw->clb, cw->cell, cw->cfg)) {
+        ++effective;
+        const fabric::LogicCellConfig after = fabric_->cell(cw->clb, cw->cell);
+        const std::uint64_t d = FrameImage::cell_token(cw->clb.row, before) ^
+                                FrameImage::cell_token(cw->clb.row, after);
+        for (const FrameAddress& f : mapper_.cell_frames(cw->clb, cw->cell))
+          deltas[f] ^= d;
+      }
     } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
       const auto& tree = fabric_->net(ec->net);
-      if (ec->add) {
-        if (!tree.has_edge(ec->edge)) {
+      if (ec->add ? !tree.has_edge(ec->edge) : tree.has_edge(ec->edge)) {
+        if (ec->add)
           fabric_->add_edge(ec->net, ec->edge);
-          ++result.effective_actions;
-        }
-      } else {
-        if (tree.has_edge(ec->edge)) {
+        else
           fabric_->remove_edge(ec->net, ec->edge);
-          ++result.effective_actions;
-        }
+        ++effective;
+        deltas[mapper_.pip_frame(fabric_->graph(), ec->edge)] ^=
+            FrameImage::edge_token(ec->edge);
       }
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
       const auto& tree = fabric_->net(sc->net);
-      if (sc->attach) {
-        if (!tree.has_source(sc->node)) {
+      if (sc->attach ? !tree.has_source(sc->node) : tree.has_source(sc->node)) {
+        if (sc->attach)
           fabric_->attach_source(sc->net, sc->node);
-          ++result.effective_actions;
-        }
-      } else {
-        if (tree.has_source(sc->node)) {
+        else
           fabric_->detach_source(sc->net, sc->node);
-          ++result.effective_actions;
-        }
+        ++effective;
+        deltas[source_frame(*sc)] ^= FrameImage::source_token(sc->node);
       }
     }
   }
 
+  // Commit the deltas to the shadow image, then price per granularity.
+  for (const auto& [f, d] : deltas) image_.apply_delta(f, d);
+  ApplyResult result = price(frames, deltas);
+  result.effective_actions = effective;
+
   ++totals_.ops;
   totals_.frames_written += result.frames_written;
+  totals_.frames_skipped += result.frames_skipped;
   totals_.columns_touched += result.columns_touched;
   totals_.time += result.time;
 
   RELOGIC_LOG(kDebug) << "config op '" << op.label << "': "
-                      << result.frames_written << " frames, "
+                      << result.frames_written << " frames ("
+                      << result.frames_skipped << " clean-skipped), "
                       << result.columns_touched << " columns, "
                       << result.time.to_string();
   return result;

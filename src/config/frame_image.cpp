@@ -1,0 +1,49 @@
+#include "relogic/config/frame_image.hpp"
+
+namespace relogic::config {
+
+namespace {
+
+// splitmix64 finaliser — the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FrameImage::apply_delta(const FrameAddress& f, std::uint64_t delta) {
+  if (delta == 0) return;
+  auto [it, inserted] = hashes_.try_emplace(f, delta);
+  if (!inserted) it->second ^= delta;
+}
+
+std::uint64_t FrameImage::cell_token(int row,
+                                     const fabric::LogicCellConfig& cfg) {
+  // Pack every configuration field; two configs differing in any field get
+  // different pre-mix words, so equal tokens <=> equal (row, cfg) up to a
+  // 64-bit hash collision.
+  std::uint64_t w = static_cast<std::uint64_t>(static_cast<std::uint32_t>(row));
+  w = (w << 16) | cfg.lut;
+  w = (w << 2) | static_cast<std::uint64_t>(cfg.reg);
+  w = (w << 1) | static_cast<std::uint64_t>(cfg.lut_mode);
+  w = (w << 1) | static_cast<std::uint64_t>(cfg.d_src);
+  w = (w << 1) | static_cast<std::uint64_t>(cfg.uses_ce);
+  w = (w << 1) | static_cast<std::uint64_t>(cfg.init);
+  w = (w << 8) | cfg.clock_domain;
+  w = (w << 1) | static_cast<std::uint64_t>(cfg.used);
+  return mix64(w);
+}
+
+std::uint64_t FrameImage::edge_token(fabric::RouteEdge e) {
+  return mix64((static_cast<std::uint64_t>(e.from) << 32) ^
+               static_cast<std::uint64_t>(e.to) ^ 0xedfe0b5ull);
+}
+
+std::uint64_t FrameImage::source_token(fabric::NodeId n) {
+  return mix64(static_cast<std::uint64_t>(n) ^ 0x50a7ce00ull);
+}
+
+}  // namespace relogic::config

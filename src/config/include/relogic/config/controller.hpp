@@ -8,16 +8,24 @@
 //  * applies the actions to the Fabric (which suppresses identical
 //    rewrites, the glitch-free-rewrite property),
 //  * maps each action to its controlling frame(s) via FrameMapper,
-//  * optionally widens the frame set to whole columns (JBits-era tools
-//    rewrote entire CLB columns; the paper's 22.6 ms figure was measured in
-//    that regime — see DESIGN.md §6.1),
+//  * selects the frames actually written per its WriteGranularity policy:
+//    whole columns (the JBits-era regime; the paper's 22.6 ms figure was
+//    measured there — see DESIGN.md §6.1), the op's exact frame set, or
+//    only the frames whose contents change (exact per-op XOR content
+//    deltas built from FrameImage tokens; the FrameImage member mirrors
+//    the device's frame contents),
 //  * charges the configuration-port timing model and accumulates totals.
+//
+// Granularity affects only what is written (frames, columns, port time,
+// and the frames_skipped accounting); the structural effect on the fabric
+// is byte-identical across all three policies.
 //
 // The controller performs *configuration*; it never touches user state. The
 // interaction between configuration writes and live user logic is what the
 // relocation engine (relogic::reloc) choreographs on top of this class.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <tuple>
@@ -26,6 +34,8 @@
 
 #include "relogic/common/time.hpp"
 #include "relogic/config/frame.hpp"
+#include "relogic/config/frame_image.hpp"
+#include "relogic/config/granularity.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/fabric/fabric.hpp"
 
@@ -96,6 +106,9 @@ struct ConfigOp {
 /// Outcome of applying one ConfigOp.
 struct ApplyResult {
   int frames_written = 0;
+  /// Frames of the op's exact frame set that kDirtyFrame skipped because
+  /// their contents were unchanged (always 0 under kColumn / kFrame).
+  int frames_skipped = 0;
   /// Port transactions issued: the frame-address register must be rewritten
   /// whenever the column changes, so each touched column is one transaction
   /// paying the full TAP/header/pad overhead of the port model.
@@ -110,6 +123,7 @@ struct ApplyResult {
 struct ConfigTotals {
   int ops = 0;
   int frames_written = 0;
+  int frames_skipped = 0;
   /// Total per-column port transactions (see ApplyResult::columns_touched).
   int columns_touched = 0;
   SimTime time = SimTime::zero();
@@ -117,30 +131,52 @@ struct ConfigTotals {
 
 class ConfigController {
  public:
-  /// `column_granular` selects whole-column rewrites (the JBits regime the
-  /// paper measured) versus minimal frame-level writes.
   ConfigController(fabric::Fabric& fabric, const ConfigPort& port,
-                   bool column_granular = true);
+                   WriteGranularity granularity);
+
+  /// Legacy two-regime constructor: `column_granular` selects whole-column
+  /// rewrites (kColumn, the JBits regime the paper measured) versus minimal
+  /// frame-level writes (kFrame).
+  ConfigController(fabric::Fabric& fabric, const ConfigPort& port,
+                   bool column_granular = true)
+      : ConfigController(fabric, port,
+                         column_granular ? WriteGranularity::kColumn
+                                         : WriteGranularity::kFrame) {}
 
   fabric::Fabric& fabric() { return *fabric_; }
   const fabric::Fabric& fabric() const { return *fabric_; }
   const FrameMapper& mapper() const { return mapper_; }
   const ConfigPort& port() const { return *port_; }
-  bool column_granular() const { return column_granular_; }
+  WriteGranularity granularity() const { return granularity_; }
+  bool column_granular() const {
+    return granularity_ == WriteGranularity::kColumn;
+  }
+  /// Shadow copy of the device's frame contents (dirty-frame diffing).
+  const FrameImage& image() const { return image_; }
 
-  /// Frames a ConfigOp would write, without applying it.
+  /// Frames a ConfigOp would write, without applying it. Widened to whole
+  /// columns under kColumn; the exact mapped frame set otherwise (for
+  /// kDirtyFrame this is the upper bound before dirty filtering).
   std::set<FrameAddress> frames_of(const ConfigOp& op) const;
 
   /// Frame/column/port-time accounting of an op without applying it (the
   /// effective_actions field is left 0 — effectiveness is only known at
-  /// apply time). Used by the transaction batcher to price the unbatched
+  /// apply time). Under kDirtyFrame the dirty set is estimated against the
+  /// *current* fabric and shadow image, exactly what apply would write if
+  /// it ran now. Used by the transaction batcher to price the unbatched
   /// baseline of a coalesced transaction.
   ApplyResult preview(const ConfigOp& op) const;
 
   /// Same accounting from an already-computed frame set (frames_of(op)),
   /// for callers that need the frames anyway and shouldn't pay for the
-  /// mapping twice.
+  /// mapping twice. Prices every frame in the set (no dirty filtering).
   ApplyResult preview(const std::set<FrameAddress>& frames) const;
+
+  /// preview(op) with the frame mapping reused from frames_of(op) — the
+  /// granularity-aware variant of the overload above (dirty filtering
+  /// still applies under kDirtyFrame).
+  ApplyResult preview(const ConfigOp& op,
+                      const std::set<FrameAddress>& frames) const;
 
   /// Applies the op to the fabric and charges the port timing model.
   /// `allow_lut_ram_columns` waives the live-LUT-RAM column rule — legal
@@ -160,7 +196,9 @@ class ConfigController {
   /// that the op itself does not rewrite. `extra_rewritten` extends the
   /// exemption set with cells known to be rewritten before this op applies
   /// (the transaction batcher passes its pending batch's writes so each
-  /// queued op is checked exactly as the per-op sequence would be).
+  /// queued op is checked exactly as the per-op sequence would be). The
+  /// column set this checks is identical across granularities — widening
+  /// only adds frames within columns the op already touches.
   void check_lut_ram_columns(const ConfigOp& op,
                              const std::set<CellKey>* extra_rewritten =
                                  nullptr) const;
@@ -174,10 +212,26 @@ class ConfigController {
   void reset_totals() { totals_ = ConfigTotals{}; }
 
  private:
+  /// The frame controlling a net-source attach/detach (output mux / pad).
+  FrameAddress source_frame(const SourceChange& sc) const;
+  /// Granularity-aware pricing: every frame of `frames` under kColumn /
+  /// kFrame; only the dirty (non-zero-delta) subset under kDirtyFrame,
+  /// with the remainder counted as frames_skipped.
+  ApplyResult price(const std::set<FrameAddress>& frames,
+                    const std::map<FrameAddress, std::uint64_t>& deltas) const;
+  /// Per-frame content deltas the op *would* produce, simulated against the
+  /// current fabric with an overlay of the op's own earlier actions (an op
+  /// that adds then removes the same PIP nets out to delta 0). Injected
+  /// configuration-memory faults are not modelled here — apply() computes
+  /// the exact deltas from observed before/after values instead.
+  std::map<FrameAddress, std::uint64_t> simulate_deltas(
+      const ConfigOp& op) const;
+
   fabric::Fabric* fabric_;
   const ConfigPort* port_;
   FrameMapper mapper_;
-  bool column_granular_;
+  WriteGranularity granularity_;
+  FrameImage image_;
   ConfigTotals totals_;
 };
 

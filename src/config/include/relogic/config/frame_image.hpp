@@ -1,0 +1,78 @@
+// FrameImage: a shadow copy of the device's configuration-frame contents.
+//
+// The controller needs to know which frames a ConfigOp actually *changes*
+// (the kDirtyFrame write granularity skips the rest). Storing literal frame
+// bytes would force a full re-serialisation of every touched column per op;
+// instead each frame's content is tracked as a 64-bit XOR-composable
+// digest: the XOR of one token per resource value the frame holds —
+//
+//   * a logic cell's configuration contributes cell_token(row, cfg) to each
+//     of its cell frames (a frame spans the column, so one frame holds that
+//     cell slice for every row);
+//   * an "on" PIP contributes edge_token(edge) to its controlling routing
+//     frame;
+//   * an attached net source contributes source_token(node) to the frame of
+//     the output mux.
+//
+// XOR composition makes updates incremental and order-independent: changing
+// a cell from `a` to `b` XORs the frame with token(a) ^ token(b); turning a
+// PIP on or off toggles the same token. A frame is dirty under an op iff
+// the accumulated XOR delta of the op's effective actions is non-zero — so
+// an op that rewrites identical bytes (delta 0), or adds and then removes
+// the same PIP, dirties nothing. Token collisions (two distinct contents
+// with equal digests) are possible in principle but need a 64-bit hash
+// collision; the consequence would be an over-skipped frame in the *timing*
+// model only — structural state never flows through this class.
+//
+// Note the dirty decision itself is per-op (delta != 0) and never reads the
+// accumulated digests; the digest map is the *mirror* of the device's frame
+// contents — bounded by the device's total frame count — maintained for
+// consumers of mirrored contents (digest-based readback comparison, the
+// planned dirty-aware BitstreamWriter rendering; see ROADMAP).
+//
+// The shadow stays consistent as long as every fabric mutation goes through
+// the owning ConfigController, which feeds apply-time before/after values
+// (so injected configuration-memory faults — Fabric::inject_fault — are
+// reflected exactly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "relogic/config/frame.hpp"
+#include "relogic/fabric/cell.hpp"
+#include "relogic/fabric/fabric.hpp"
+
+namespace relogic::config {
+
+class FrameImage {
+ public:
+  FrameImage() = default;
+
+  /// Current content digest of a frame (0 until first touched — the digest
+  /// of the erased configuration memory).
+  std::uint64_t digest(const FrameAddress& f) const {
+    const auto it = hashes_.find(f);
+    return it == hashes_.end() ? 0 : it->second;
+  }
+
+  /// XORs a content delta into a frame's digest (no-op when delta == 0).
+  void apply_delta(const FrameAddress& f, std::uint64_t delta);
+
+  /// Frames whose digest has ever moved away from the erased state.
+  std::size_t tracked_frames() const { return hashes_.size(); }
+
+  // ---- content tokens (XOR-composable) ------------------------------------
+  /// Token of one logic cell's configuration at a given row. Tokens of the
+  /// default (erased) configuration are non-zero; only *differences* matter.
+  static std::uint64_t cell_token(int row, const fabric::LogicCellConfig& cfg);
+  /// Token of one "on" PIP.
+  static std::uint64_t edge_token(fabric::RouteEdge e);
+  /// Token of one attached net source.
+  static std::uint64_t source_token(fabric::NodeId n);
+
+ private:
+  std::map<FrameAddress, std::uint64_t> hashes_;
+};
+
+}  // namespace relogic::config

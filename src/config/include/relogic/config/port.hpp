@@ -1,15 +1,23 @@
-// Configuration-port timing models.
+// Configuration-port timing models (the pluggable PortModel backends).
 //
 // The paper performs reconfiguration through the IEEE 1149.1 Boundary-Scan
 // (JTAG) port at TCK = 20 MHz and reports an average of 22.6 ms to relocate
 // one CLB of a gated-clock circuit. The Boundary-Scan model reproduces that
 // regime: one configuration bit per TCK cycle, a fixed TAP/command overhead
 // per write transaction, and one flush (pad) frame per transaction, exactly
-// the shape of Virtex JTAG partial reconfiguration. SelectMAP (8 bits per
-// CCLK cycle) is provided for contrast in the benches.
+// the shape of Virtex JTAG partial reconfiguration. Two parallel backends
+// price the same workloads on faster hardware: SelectMAP (8 bits per CCLK
+// cycle, the external parallel port) and ICAP (32 bits per cycle, the
+// internal configuration access port of Virtex-II-and-later devices, which
+// a self-hosting run-time manager would drive). Every consumer of
+// configuration timing — ConfigController, RelocationCostModel, the fleet
+// runtime — takes the abstract interface, so a workload can be re-priced
+// per backend by swapping one object (see PortBackend / make_port).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "relogic/common/error.hpp"
@@ -88,5 +96,46 @@ class SelectMapPort final : public ConfigPort {
  private:
   Params p_;
 };
+
+/// Internal Configuration Access Port (ICAP): 32 bits per clock, driven
+/// from inside the device, so transaction overhead is a handful of cycles
+/// rather than a TAP walk.
+class IcapPort final : public ConfigPort {
+ public:
+  struct Params {
+    double clk_hz = 100e6;
+    int transaction_overhead_cycles = 16;
+    int header_words = 12;
+    int pad_frames = 1;
+  };
+
+  IcapPort() : IcapPort(Params()) {}
+  explicit IcapPort(Params p) : p_(p) { RELOGIC_CHECK(p_.clk_hz > 0); }
+
+  std::string name() const override { return "ICAP"; }
+  SimTime write_time(int frames, int frame_bits) const override;
+  SimTime readback_time(int frames, int frame_bits) const override;
+  double bandwidth_bps() const override { return p_.clk_hz * 32.0; }
+
+ private:
+  Params p_;
+};
+
+/// The interface every timing consumer programs against.
+using PortModel = ConfigPort;
+
+/// Named backend selection for configuration code that is wired from
+/// configs / CLI flags rather than holding a port object directly.
+enum class PortBackend : std::uint8_t {
+  kJtag,        ///< Boundary-Scan @ 20 MHz, 1 bit/TCK (the paper's set-up)
+  kSelectMap8,  ///< SelectMAP @ 50 MHz, 8 bits/CCLK
+  kIcap32,      ///< ICAP @ 100 MHz, 32 bits/clk
+};
+
+std::string to_string(PortBackend b);
+std::optional<PortBackend> parse_port_backend(const std::string& name);
+
+/// Instantiates the default-parameter port model of a backend.
+std::unique_ptr<ConfigPort> make_port(PortBackend b);
 
 }  // namespace relogic::config

@@ -52,4 +52,56 @@ SimTime SelectMapPort::readback_time(int frames, int frame_bits) const {
                         p_.cclk_hz);
 }
 
+SimTime IcapPort::write_time(int frames, int frame_bits) const {
+  RELOGIC_CHECK(frames >= 0 && frame_bits > 0);
+  if (frames == 0) return SimTime::zero();
+  const double words =
+      (static_cast<double>(frames + p_.pad_frames) * frame_bits) / 32.0 +
+      p_.header_words;
+  return cycles_to_time(words + p_.transaction_overhead_cycles, p_.clk_hz);
+}
+
+SimTime IcapPort::readback_time(int frames, int frame_bits) const {
+  RELOGIC_CHECK(frames >= 0 && frame_bits > 0);
+  if (frames == 0) return SimTime::zero();
+  const double words =
+      (static_cast<double>(frames + p_.pad_frames) * frame_bits) / 32.0 +
+      p_.header_words + 4;
+  return cycles_to_time(words + 2.0 * p_.transaction_overhead_cycles,
+                        p_.clk_hz);
+}
+
+std::string to_string(PortBackend b) {
+  switch (b) {
+    case PortBackend::kJtag:
+      return "jtag";
+    case PortBackend::kSelectMap8:
+      return "selectmap8";
+    case PortBackend::kIcap32:
+      return "icap32";
+  }
+  return "?";
+}
+
+std::optional<PortBackend> parse_port_backend(const std::string& name) {
+  if (name == "jtag" || name == "bscan" || name == "boundary-scan")
+    return PortBackend::kJtag;
+  if (name == "selectmap8" || name == "selectmap" || name == "smap")
+    return PortBackend::kSelectMap8;
+  if (name == "icap32" || name == "icap") return PortBackend::kIcap32;
+  return std::nullopt;
+}
+
+std::unique_ptr<ConfigPort> make_port(PortBackend b) {
+  switch (b) {
+    case PortBackend::kJtag:
+      return std::make_unique<BoundaryScanPort>();
+    case PortBackend::kSelectMap8:
+      return std::make_unique<SelectMapPort>();
+    case PortBackend::kIcap32:
+      return std::make_unique<IcapPort>();
+  }
+  throw ContractError("unknown port backend");
+}
+
 }  // namespace relogic::config

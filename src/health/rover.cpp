@@ -88,9 +88,12 @@ bool RovingTester::test_cell(ClbCoord clb, int cell, const RoverOptions& opt,
     ++report.ops;
     report.frames_written += res.frames_written;
     report.config_time += res.time;
-    // Readback through the same port: one transaction per column.
-    report.config_time +=
-        controller_->port().readback_time(res.frames_written, frame_bits);
+    // Readback through the same port: one transaction per column. Priced
+    // on the op's full frame set, not the written subset — a readback must
+    // fetch every frame it wants to verify, so dirty-frame write skipping
+    // (ApplyResult::frames_skipped) never shrinks it.
+    report.config_time += controller_->port().readback_time(
+        res.frames_written + res.frames_skipped, frame_bits);
     const std::uint16_t got = fab.cell(clb, cell).lut;
     if (got != pattern) {
       faulty = true;

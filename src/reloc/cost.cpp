@@ -1,14 +1,32 @@
 #include "relogic/reloc/cost.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace relogic::reloc {
 
-SimTime RelocationCostModel::column_write_time(int columns) const {
+int RelocationCostModel::frames_per_transaction() const {
+  switch (granularity_) {
+    case config::WriteGranularity::kColumn:
+      return geom_->frames_per_clb_column;
+    case config::WriteGranularity::kFrame:
+      return std::min(params_.frame_granular_frames_per_txn,
+                      geom_->frames_per_clb_column);
+    case config::WriteGranularity::kDirtyFrame:
+      return std::max(
+          1, static_cast<int>(std::llround(
+                 std::min(params_.frame_granular_frames_per_txn,
+                          geom_->frames_per_clb_column) *
+                 params_.dirty_write_fraction)));
+  }
+  return geom_->frames_per_clb_column;
+}
+
+SimTime RelocationCostModel::transaction_time(int columns) const {
+  const int frames = frames_per_transaction();
   SimTime t = SimTime::zero();
   for (int i = 0; i < columns; ++i) {
-    t += port_->write_time(geom_->frames_per_clb_column,
-                           geom_->frame_length_bits());
+    t += port_->write_time(frames, geom_->frame_length_bits());
   }
   return t;
 }
@@ -32,7 +50,7 @@ SimTime RelocationCostModel::cell_time(fabric::RegMode reg,
       waits = params_.gated_wait_cycles;
       break;
   }
-  return column_write_time(columns) + params_.clock_period * waits;
+  return transaction_time(columns) + params_.clock_period * waits;
 }
 
 SimTime RelocationCostModel::function_time(int cells, fabric::RegMode reg,
@@ -47,7 +65,7 @@ SimTime RelocationCostModel::configure_time(int cells) const {
   const int side =
       static_cast<int>(std::ceil(std::sqrt(static_cast<double>(clbs))));
   // The function spans ~side columns; add the same again for routing.
-  return column_write_time(2 * side);
+  return transaction_time(2 * side);
 }
 
 }  // namespace relogic::reloc

@@ -13,11 +13,10 @@ TransactionBatcher::TransactionBatcher(config::ConfigController& controller,
 void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   if (op.empty()) return;
   // One frame-set computation per op; the unbatched-baseline preview, the
-  // legality check, and the max_columns gate all share it. Stats are only
-  // recorded once the op is past the checks that can throw, so a rejected
-  // op never skews the batched-vs-unbatched comparison.
+  // legality check, and the max_columns / max_frames gates all share it.
+  // Stats are only recorded once the op is past the checks that can throw,
+  // so a rejected op never skews the batched-vs-unbatched comparison.
   const std::set<config::FrameAddress> frames = controller_->frames_of(op);
-  const auto alone = controller_->preview(frames);
 
   // An op that writes a LUT-RAM cell config must apply alone: the live
   // LUT-RAM column check runs once per transaction against the fabric
@@ -34,15 +33,22 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   }
 
   if (options_.max_ops <= 1 || writes_lut_ram) {
+    // Flush *before* previewing the baseline: with the pending batch
+    // applied, the solo path's unbatched accounting is exact under
+    // kDirtyFrame (the op previews against the very state the unbatched
+    // sequence would see), not an estimate.
     flush();
+    const auto alone = controller_->preview(op, frames);
     const auto r = controller_->apply(op, options_.allow_lut_ram_columns);
     ++stats_.ops_in;
     stats_.unbatched_column_writes += alone.columns_touched;
     stats_.unbatched_frames += alone.frames_written;
+    stats_.unbatched_frames_skipped += alone.frames_skipped;
     stats_.unbatched_time += alone.time;
     ++stats_.transactions;
     stats_.column_writes += r.columns_touched;
     stats_.frames_written += r.frames_written;
+    stats_.frames_skipped += r.frames_skipped;
     stats_.time += r.time;
     return;
   }
@@ -57,9 +63,15 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   if (!options_.allow_lut_ram_columns)
     controller_->check_lut_ram_columns(op, frames, &pending_rewrites_);
 
+  // Merge-path baseline: previewed against the fabric as it stands at
+  // enqueue (before the pending batch applies) — an estimate under
+  // kDirtyFrame, exact otherwise (see the header comment).
+  const auto alone = controller_->preview(op, frames);
+
   ++stats_.ops_in;
   stats_.unbatched_column_writes += alone.columns_touched;
   stats_.unbatched_frames += alone.frames_written;
+  stats_.unbatched_frames_skipped += alone.frames_skipped;
   stats_.unbatched_time += alone.time;
 
   std::set<Column> op_columns;
@@ -70,6 +82,11 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
       merged.insert(op_columns.begin(), op_columns.end());
       if (static_cast<int>(merged.size()) > options_.max_columns) flush();
     }
+  }
+  if (options_.max_frames > 0 && pending_ops_ > 0) {
+    std::set<config::FrameAddress> merged = pending_frames_;
+    merged.insert(frames.begin(), frames.end());
+    if (static_cast<int>(merged.size()) > options_.max_frames) flush();
   }
 
   if (pending_ops_ == 0) {
@@ -82,6 +99,8 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
     ++pending_ops_;
   }
   pending_columns_.insert(op_columns.begin(), op_columns.end());
+  if (options_.max_frames > 0)
+    pending_frames_.insert(frames.begin(), frames.end());
   for (const config::ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<config::CellWrite>(&a))
       pending_rewrites_.insert({cw->clb.row, cw->clb.col, cw->cell});
@@ -95,11 +114,13 @@ void TransactionBatcher::flush() {
   config::ConfigOp op = std::move(pending_);
   pending_ = config::ConfigOp{};
   pending_columns_.clear();
+  pending_frames_.clear();
   pending_rewrites_.clear();
   const auto r = controller_->apply(op, options_.allow_lut_ram_columns);
   ++stats_.transactions;
   stats_.column_writes += r.columns_touched;
   stats_.frames_written += r.frames_written;
+  stats_.frames_skipped += r.frames_skipped;
   stats_.time += r.time;
   RELOGIC_LOG(kDebug) << "batched " << batched << " config ops into one "
                       << r.columns_touched << "-column transaction ("

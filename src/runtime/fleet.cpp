@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <thread>
@@ -49,6 +50,18 @@ std::optional<AdmissionMode> parse_admission_mode(const std::string& name) {
   return std::nullopt;
 }
 
+ConfigPlaneSpec FleetConfig::default_plane() const {
+  ConfigPlaneSpec plane = config_plane;
+  if (use_selectmap && plane.port == config::PortBackend::kJtag)
+    plane.port = config::PortBackend::kSelectMap8;
+  return plane;
+}
+
+ConfigPlaneSpec FleetConfig::plane_for(int d) const {
+  const auto it = device_config_planes.find(d);
+  return it != device_config_planes.end() ? it->second : default_plane();
+}
+
 FleetManager::FleetManager(FleetConfig config) : cfg_(std::move(config)) {
   RELOGIC_CHECK(cfg_.devices >= 1);
   RELOGIC_CHECK(cfg_.rows >= 1 && cfg_.cols >= 1);
@@ -57,6 +70,12 @@ FleetManager::FleetManager(FleetConfig config) : cfg_(std::move(config)) {
                 cfg_.health.fault_rate <= 1.0);
   RELOGIC_CHECK(cfg_.health.window_cols >= 1);
   RELOGIC_CHECK(cfg_.health.step_period_ms > 0.0);
+  // A plane override for a device that doesn't exist would silently turn a
+  // "heterogeneous" run homogeneous — reject it up front.
+  for (const auto& [d, plane] : cfg_.device_config_planes)
+    RELOGIC_CHECK_MSG(d >= 0 && d < cfg_.devices,
+                      "device_config_planes override for nonexistent device " +
+                          std::to_string(d));
   ledger_.resize(static_cast<std::size_t>(cfg_.devices));
   quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
 }
@@ -466,12 +485,15 @@ DeviceReport FleetManager::run_device(
   report.device = device;
 
   const auto geom = fabric::DeviceGeometry::tiny(cfg_.rows, cfg_.cols);
-  const config::BoundaryScanPort bscan;
-  const config::SelectMapPort smap;
-  const config::ConfigPort& port =
-      cfg_.use_selectmap ? static_cast<const config::ConfigPort&>(smap)
-                         : static_cast<const config::ConfigPort&>(bscan);
-  const reloc::RelocationCostModel cost(geom, port);
+  // Per-device configuration plane: port backend + write granularity flow
+  // into everything that prices configuration traffic — the scheduler's
+  // move costing (and through it the sweep pricing of the health rover and
+  // the max_move_cost_fraction gate), and the measured replay below.
+  const ConfigPlaneSpec plane = cfg_.plane_for(device);
+  const std::unique_ptr<config::ConfigPort> port_owner =
+      config::make_port(plane.port);
+  const config::ConfigPort& port = *port_owner;
+  const reloc::RelocationCostModel cost(geom, port, {}, plane.granularity);
 
   sched::Scheduler scheduler(cfg_.rows, cfg_.cols, cost, cfg_.sched);
   // Per-device roving self-test: the worker owns a private copy of the
@@ -497,7 +519,7 @@ DeviceReport FleetManager::run_device(
   // measured (not estimated) transaction counts for batched vs unbatched.
   fabric::Fabric fab(geom);
   if (cfg_.health.enabled()) faults.install(fab);
-  config::ConfigController controller(fab, port, /*column_granular=*/true);
+  config::ConfigController controller(fab, port, plane.granularity);
   BatchOptions bopt = cfg_.batch;
   if (!cfg_.batch_config) bopt.max_ops = 1;
   TransactionBatcher batcher(controller, bopt);
@@ -561,8 +583,9 @@ DeviceReport FleetManager::run_device(
   t.counter("column_writes").add(report.batch.column_writes);
   t.counter("column_writes_unbatched")
       .add(report.batch.unbatched_column_writes);
-  t.counter("frames_written").add(report.batch.frames_written);
-  t.counter("frames_unbatched").add(report.batch.unbatched_frames);
+  t.counter("frame_writes").add(report.batch.frames_written);
+  t.counter("frame_writes_unbatched").add(report.batch.unbatched_frames);
+  t.counter("frame_writes_dirty_skipped").add(report.batch.frames_skipped);
   if (cfg_.health.enabled()) {
     t.counter("swept_clbs").add(s.swept_clbs);
     t.counter("tested_clbs").add(s.tested_clbs);
@@ -679,15 +702,20 @@ double FleetReport::throughput_tasks_per_s() const {
 std::string FleetReport::to_json() const {
   std::ostringstream os;
   int txn = 0, txn_unbatched = 0, columns = 0, columns_unbatched = 0;
+  int frames = 0, frames_unbatched = 0, frames_skipped = 0;
   SimTime port_time = SimTime::zero(), port_time_unbatched = SimTime::zero();
   for (const DeviceReport& d : devices) {
     txn += d.batch.transactions;
     txn_unbatched += d.batch.ops_in;
     columns += d.batch.column_writes;
     columns_unbatched += d.batch.unbatched_column_writes;
+    frames += d.batch.frames_written;
+    frames_unbatched += d.batch.unbatched_frames;
+    frames_skipped += d.batch.frames_skipped;
     port_time += d.batch.time;
     port_time_unbatched += d.batch.unbatched_time;
   }
+  const ConfigPlaneSpec default_plane = config.default_plane();
   os << "{\n";
   os << "  \"fleet\": {\"devices\": " << config.devices
      << ", \"rows\": " << config.rows << ", \"cols\": " << config.cols
@@ -697,7 +725,8 @@ std::string FleetReport::to_json() const {
      << json_number(config.rebalance_backlog_ms)
      << ", \"policy\": \"" << sched::to_string(config.sched.policy)
      << "\", \"overlap\": " << config.overlap << ", \"port\": \""
-     << (config.use_selectmap ? "SelectMAP" : "BoundaryScan")
+     << config::to_string(default_plane.port) << "\", \"granularity\": \""
+     << config::to_string(default_plane.granularity)
      << "\", \"batching\": " << (config.batch_config ? "true" : "false")
      << ", \"batch_max_ops\": " << config.batch.max_ops
      << ", \"selftest\": " << (config.health.selftest ? "true" : "false")
@@ -716,14 +745,20 @@ std::string FleetReport::to_json() const {
      << ", \"config_transactions_unbatched\": " << txn_unbatched
      << ", \"column_writes\": " << columns
      << ", \"column_writes_unbatched\": " << columns_unbatched
+     << ", \"frame_writes\": " << frames
+     << ", \"frame_writes_unbatched\": " << frames_unbatched
+     << ", \"frame_writes_dirty_skipped\": " << frames_skipped
      << ", \"config_port_time_ms\": " << json_number(port_time.milliseconds())
      << ", \"config_port_time_unbatched_ms\": "
      << json_number(port_time_unbatched.milliseconds()) << "},\n";
   os << "  \"aggregate\": " << aggregate.to_json(2) << ",\n";
   os << "  \"devices\": [";
   for (std::size_t i = 0; i < devices.size(); ++i) {
+    const ConfigPlaneSpec plane = config.plane_for(devices[i].device);
     os << (i ? ",\n" : "\n") << "    {\"device\": " << devices[i].device
-       << ", \"telemetry\": " << devices[i].telemetry.to_json(4) << "}";
+       << ", \"port\": \"" << config::to_string(plane.port)
+       << "\", \"granularity\": \"" << config::to_string(plane.granularity)
+       << "\", \"telemetry\": " << devices[i].telemetry.to_json(4) << "}";
   }
   os << (devices.empty() ? "" : "\n  ") << "]\n";
   os << "}\n";

@@ -5,13 +5,15 @@
 // address register must be rewritten when the column changes), and every
 // transaction pays the fixed TAP-walking / header / pad-frame overhead of
 // the port model (config/port.hpp). Back-to-back ConfigOps bound for the
-// same device frequently touch overlapping column sets — consecutive task
+// same device frequently touch overlapping frame sets — consecutive task
 // configurations packed bottom-left share columns, and a relocation's op
-// sequence revisits its source and destination columns several times. By
+// sequence revisits its source and destination frames several times. By
 // concatenating adjacent ops and applying them as one ConfigOp, each shared
-// column is written once instead of once per op, amortising both the
-// per-transaction overhead and (in the column-granular JBits regime) the
-// full column rewrite.
+// frame is written once instead of once per op, amortising the
+// per-transaction overhead, the full column rewrite (in the column-granular
+// JBits regime), and — under kDirtyFrame — letting writes that a later op
+// undoes cancel out entirely (the merged op's content delta is zero, so the
+// frame is never written at all).
 //
 // Coalescing preserves semantics: a ConfigOp's actions apply in order,
 // concatenation keeps the order across ops, so the fabric end state is
@@ -19,7 +21,10 @@
 // cell configs are applied alone so the controller's live-LUT-RAM column
 // check sees exactly the states a per-op sequence would. The batcher
 // tracks what the unbatched sequence would have cost (via
-// ConfigController::preview) so callers can report the saving honestly.
+// ConfigController::preview) so callers can report the saving honestly;
+// under kDirtyFrame that baseline is an estimate — each op is previewed
+// against the fabric as it stands at enqueue, before the pending batch has
+// applied.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,12 @@ struct BatchOptions {
   /// many columns (0 = unlimited). Bounds the atomicity window: one huge
   /// transaction monopolises the port.
   int max_columns = 0;
+  /// Flush before a merge would make the coalesced op map more than this
+  /// many frames (0 = unlimited). The frame-granular analogue of
+  /// max_columns: under kFrame / kDirtyFrame a transaction's port time
+  /// scales with frames, not columns, so this is the meaningful atomicity
+  /// bound there. Counted on frames_of (the pre-dirty-filter upper bound).
+  int max_frames = 0;
   /// Passed through to ConfigController::apply.
   bool allow_lut_ram_columns = false;
 };
@@ -53,6 +64,11 @@ struct BatchStats {
   int unbatched_column_writes = 0;
   int frames_written = 0;
   int unbatched_frames = 0;
+  /// Frames kDirtyFrame skipped because their contents were unchanged
+  /// (0 under kColumn / kFrame). The unbatched figure is the per-op
+  /// enqueue-time estimate.
+  int frames_skipped = 0;
+  int unbatched_frames_skipped = 0;
   SimTime time = SimTime::zero();
   SimTime unbatched_time = SimTime::zero();
 
@@ -82,10 +98,11 @@ class TransactionBatcher {
   config::ConfigController* controller_;
   BatchOptions options_;
   config::ConfigOp pending_;
-  /// Columns the pending batch touches (running union, so the max_columns
-  /// gate costs one frames_of per incoming op, not a re-preview of the
-  /// whole batch).
+  /// Columns / frames the pending batch maps to (running unions, so the
+  /// max_columns / max_frames gates cost one frames_of per incoming op,
+  /// not a re-preview of the whole batch).
   std::set<Column> pending_columns_;
+  std::set<config::FrameAddress> pending_frames_;
   /// Cells written by the pending batch — the exemption set that makes the
   /// enqueue-time LUT-RAM legality check match the per-op sequence.
   std::set<config::ConfigController::CellKey> pending_rewrites_;

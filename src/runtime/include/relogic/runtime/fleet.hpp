@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -92,6 +93,14 @@ struct FleetHealthConfig {
   bool enabled() const { return selftest; }
 };
 
+/// Configuration-plane selection of one device: which physical port model
+/// prices its configuration traffic and at what write granularity the
+/// controller issues frames (config/granularity.hpp).
+struct ConfigPlaneSpec {
+  config::PortBackend port = config::PortBackend::kJtag;
+  config::WriteGranularity granularity = config::WriteGranularity::kColumn;
+};
+
 struct FleetConfig {
   int devices = 4;
   /// Per-device CLB grid (every device of the fleet is identical).
@@ -112,9 +121,22 @@ struct FleetConfig {
   sched::SchedulerConfig sched;
   /// Intra-application parallelism passed to Scheduler::run_apps.
   int overlap = 1;
-  /// Use the SelectMAP port model instead of Boundary-Scan (the paper's
-  /// set-up) for configuration timing.
+  /// Fleet-wide configuration plane (port backend + write granularity).
+  ConfigPlaneSpec config_plane;
+  /// Per-device overrides keyed by device id — heterogeneous fleets (e.g.
+  /// a few ICAP-equipped dirty-diffing devices alongside a JTAG legacy
+  /// pool) are a first-class scenario. Devices absent here use
+  /// config_plane. Resolved via plane_for().
+  std::map<int, ConfigPlaneSpec> device_config_planes;
+  /// Legacy flag: SelectMAP instead of Boundary-Scan. Kept for old callers;
+  /// equivalent to config_plane.port = kSelectMap8 (only honoured while
+  /// config_plane.port is still the default).
   bool use_selectmap = false;
+  /// The fleet-wide default plane with the legacy use_selectmap flag
+  /// folded in (what devices without an override run).
+  ConfigPlaneSpec default_plane() const;
+  /// The plane device `d` actually runs (override, else default_plane()).
+  ConfigPlaneSpec plane_for(int d) const;
   /// Coalesce adjacent configuration ops per device (TransactionBatcher).
   bool batch_config = true;
   BatchOptions batch;

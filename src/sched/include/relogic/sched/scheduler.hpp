@@ -14,9 +14,13 @@
 //    configuration-port time only; running functions never stop.
 //
 // The scheduler is a discrete-event simulation at area granularity; all
-// configuration and relocation times come from the Boundary-Scan /
-// SelectMAP port models via RelocationCostModel, so its numbers are
-// consistent with the fabric-level engine benchmarks.
+// configuration and relocation times — move costing, the
+// max_move_cost_fraction gate, defrag plan pricing, and the self-test
+// sweep's vacate/claim pricing — come from the RelocationCostModel it is
+// constructed with, which carries both the port backend (JTAG /
+// SelectMAP-8 / ICAP-32) and the write granularity (DESIGN.md §6.1), so
+// its numbers stay consistent with the fabric-level engine benchmarks on
+// every configuration plane the fleet supports.
 #pragma once
 
 #include <deque>

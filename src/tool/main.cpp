@@ -20,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -58,6 +59,14 @@ struct Options {
   bool verbose = false;
   bool map = false;
 
+  // Configuration plane (both single-device and fleet modes): which port
+  // backend prices configuration traffic, and at what write granularity
+  // the controller issues frames.
+  config::PortBackend port = config::PortBackend::kJtag;
+  config::WriteGranularity granularity = config::WriteGranularity::kColumn;
+  // Per-device overrides for heterogeneous fleets (--device-plane).
+  std::map<int, runtime::ConfigPlaneSpec> device_planes;
+
   // Fleet mode (--fleet N): multi-device runtime instead of the
   // single-device rearrangement tool.
   int fleet = 0;
@@ -95,6 +104,16 @@ struct Options {
       "  --script               print the configuration script\n"
       "  --map                  print the occupancy map before and after\n"
       "  --verbose              narrate every engine step\n"
+      "\n"
+      "configuration plane (single-device and fleet modes):\n"
+      "  --port P               config port backend: jtag (default, the\n"
+      "                         paper's 20 MHz Boundary-Scan) | selectmap8\n"
+      "                         | icap32\n"
+      "  --granularity G        write granularity: column (default, the\n"
+      "                         JBits regime) | frame | dirty (skip frames\n"
+      "                         whose bytes are unchanged)\n"
+      "  --device-plane D:P:G   fleet: override port/granularity for device\n"
+      "                         D (repeatable; heterogeneous fleets)\n"
       "\n"
       "fleet mode (multi-device runtime):\n"
       "  --fleet N              run the fleet runtime with N devices\n"
@@ -267,7 +286,30 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--batch-ops") {
       opt.fleet_cfg.batch.max_ops = std::stoi(need(i));
     } else if (arg == "--selectmap") {
-      opt.fleet_cfg.use_selectmap = true;
+      opt.port = config::PortBackend::kSelectMap8;  // legacy alias
+    } else if (arg == "--port") {
+      const std::string v = need(i);
+      const auto p = config::parse_port_backend(v);
+      RELOGIC_CHECK_MSG(p.has_value(), "unknown port backend: " + v);
+      opt.port = *p;
+    } else if (arg == "--granularity") {
+      const std::string v = need(i);
+      const auto g = config::parse_write_granularity(v);
+      RELOGIC_CHECK_MSG(g.has_value(), "unknown write granularity: " + v);
+      opt.granularity = *g;
+    } else if (arg == "--device-plane") {
+      // D:PORT:GRAN, e.g. 2:icap32:dirty
+      const std::string v = need(i);
+      const auto c1 = v.find(':');
+      const auto c2 = v.find(':', c1 == std::string::npos ? c1 : c1 + 1);
+      RELOGIC_CHECK_MSG(c1 != std::string::npos && c2 != std::string::npos,
+                        "--device-plane D:PORT:GRANULARITY");
+      const int dev = std::stoi(v.substr(0, c1));
+      const auto p = config::parse_port_backend(v.substr(c1 + 1, c2 - c1 - 1));
+      const auto g = config::parse_write_granularity(v.substr(c2 + 1));
+      RELOGIC_CHECK_MSG(p.has_value() && g.has_value(),
+                        "--device-plane D:PORT:GRANULARITY, bad value: " + v);
+      opt.device_planes[dev] = runtime::ConfigPlaneSpec{*p, *g};
     } else if (arg == "--threads") {
       opt.fleet_cfg.threads = std::stoi(need(i));
     } else if (arg == "--telemetry") {
@@ -324,6 +366,8 @@ class OpRecorder {
 int run_fleet(const Options& opt) {
   runtime::FleetConfig cfg = opt.fleet_cfg;
   cfg.devices = opt.fleet;
+  cfg.config_plane = runtime::ConfigPlaneSpec{opt.port, opt.granularity};
+  cfg.device_config_planes = opt.device_planes;
   cfg.health.selftest = opt.selftest;
   cfg.health.fault_rate = opt.fault_rate;
   cfg.health.fault_seed = opt.fault_seed.value_or(opt.seed);
@@ -351,12 +395,14 @@ int run_fleet(const Options& opt) {
 
   std::printf(
       "fleet run: %d devices (%dx%d), %s admission, dispatch %s, policy %s, "
-      "workload %s\n",
+      "workload %s, port %s, granularity %s\n",
       cfg.devices, cfg.rows, cfg.cols,
       runtime::to_string(cfg.admission).c_str(),
       runtime::to_string(cfg.dispatch).c_str(),
       sched::to_string(cfg.sched.policy).c_str(),
-      sched::to_string(opt.workload).c_str());
+      sched::to_string(opt.workload).c_str(),
+      config::to_string(cfg.default_plane().port).c_str(),
+      config::to_string(cfg.default_plane().granularity).c_str());
   for (const auto& d : report.devices) {
     std::printf(
         "  device %d: %4lld admitted, %4lld done, %3lld rejected, "
@@ -426,8 +472,10 @@ int main(int argc, char** argv) {
 
     fabric::Fabric fab(parse_device(opt.device));
     const fabric::DelayModel dm;
-    config::BoundaryScanPort port;
-    config::ConfigController controller(fab, port, /*column_granular=*/true);
+    const std::unique_ptr<config::ConfigPort> port_owner =
+        config::make_port(opt.port);
+    const config::ConfigPort& port = *port_owner;
+    config::ConfigController controller(fab, port, opt.granularity);
     sim::FabricSim sim(fab, dm);
     sim.add_clock(sim::ClockSpec{});
     place::Implementer implementer(fab, dm);
@@ -606,13 +654,15 @@ int main(int argc, char** argv) {
 
     const auto totals = controller.totals();
     std::printf(
-        "\nconfiguration summary: %d transactions, %d frames, %d columns, "
-        "port busy %s (%s)\n",
+        "\nconfiguration summary: %d transactions, %d frames (%d "
+        "clean-skipped), %d columns, port busy %s (%s, %s granularity)\n",
         totals.ops - totals_before.ops,
         totals.frames_written - totals_before.frames_written,
+        totals.frames_skipped - totals_before.frames_skipped,
         totals.columns_touched - totals_before.columns_touched,
         (totals.time - totals_before.time).to_string().c_str(),
-        port.name().c_str());
+        port.name().c_str(),
+        config::to_string(controller.granularity()).c_str());
     if (!sim.monitor().clean()) {
       std::printf("monitor violations: %zu\n",
                   sim.monitor().violations().size());

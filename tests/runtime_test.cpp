@@ -471,7 +471,7 @@ TEST(Fleet, BatchingReducesTransactionsOnSameWorkload) {
   // The unbatched run's actual transactions equal the batched run's
   // baseline accounting: same workload, one op per transaction.
   EXPECT_EQ(ru.aggregate.counter_value("config_transactions"), txn_baseline);
-  EXPECT_GT(rb.aggregate.counter_value("frames_written"), 0);
+  EXPECT_GT(rb.aggregate.counter_value("frame_writes"), 0);
 }
 
 TEST(Fleet, SeededRunIsDeterministicAcrossThreadCounts) {
