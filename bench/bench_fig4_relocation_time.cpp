@@ -35,6 +35,8 @@ struct Result {
   int ffs = 0;
   int cells_moved = 0;
   int frames = 0;
+  int columns = 0;  ///< per-column port transactions (controller totals)
+  int skipped = 0;  ///< dirty-skipped frames (controller totals)
   double total_ms = 0;
   bool clean = true;
   double per_cell_ms() const { return total_ms / cells_moved; }
@@ -77,6 +79,10 @@ Result run_circuit(
     r.frames += rep.frames_written;
     ++r.cells_moved;
   }
+  // Only the relocation ops above went through this controller, so its
+  // totals are exactly the workload's measured telemetry.
+  r.columns = controller.totals().columns_touched;
+  r.skipped = controller.totals().frames_skipped;
   for (int i = 0; i < 10 && ok; ++i) ok = harness.step_random(rng).ok();
   r.clean = ok && sim.monitor().clean();
   if (!r.clean) {
@@ -147,6 +153,7 @@ int main(int argc, char** argv) {
   // relocation op stream itself has no redundant writes, so dirty equals
   // frame here; dirty's skips appear on redundant streams (self-test
   // clears, repeated re-configuration, batcher-merged cancellations).
+  Result jtag_frame_run, jtag_dirty_run;  // kept for the calibration pass
   {
     std::printf("\n# write-granularity sweep (%s, %d cells)\n",
                 suite[0].name.c_str(), std::min(max_cells, 5));
@@ -172,8 +179,11 @@ int main(int argc, char** argv) {
         if (backend == config::PortBackend::kJtag) {
           if (gran == config::WriteGranularity::kColumn)
             column_frames = r.frames;
-          if (gran == config::WriteGranularity::kDirtyFrame)
+          if (gran == config::WriteGranularity::kFrame) jtag_frame_run = r;
+          if (gran == config::WriteGranularity::kDirtyFrame) {
             dirty_frames = r.frames;
+            jtag_dirty_run = r;
+          }
         }
       }
     }
@@ -192,6 +202,67 @@ int main(int argc, char** argv) {
                    reduction);
       all_clean = false;
     }
+  }
+
+  // Frame-regime knob calibration (ROADMAP: "re-fit both from the engine's
+  // telemetry"). RelocationCostModel's frame-regime parameters —
+  // frame_granular_frames_per_txn and dirty_write_fraction — were modelled,
+  // not measured. Fit both per workload class from telemetry the engine
+  // just produced:
+  //  * "reloc": the Fig. 4 relocation stream above (controller totals of
+  //    the kFrame / kDirtyFrame JTAG runs);
+  //  * "refresh": a periodic re-configuration stream (every op re-applied
+  //    verbatim, the redundancy self-test clears and batcher-merged
+  //    sequences exhibit), measured through a fresh controller pair.
+  {
+    const reloc::CostParams defaults;
+    const auto fit = [&](const char* cls, int frame_frames, int frame_cols,
+                         int dirty_frames) {
+      const double ftxn =
+          frame_cols > 0 ? static_cast<double>(frame_frames) / frame_cols
+                         : static_cast<double>(defaults.frame_granular_frames_per_txn);
+      const double frac =
+          frame_frames > 0 ? static_cast<double>(dirty_frames) / frame_frames
+                           : defaults.dirty_write_fraction;
+      std::printf(
+          "  %-8s frames/txn fitted %5.1f (default %d), dirty fraction "
+          "fitted %.2f (default %.1f)\n",
+          cls, ftxn, defaults.frame_granular_frames_per_txn, frac,
+          defaults.dirty_write_fraction);
+      json.add(std::string("fitted_frames_per_txn_") + cls, ftxn, "frames");
+      json.add(std::string("fitted_dirty_write_fraction_") + cls, frac, "");
+    };
+
+    std::printf("\n# frame-regime knob calibration (measured telemetry)\n");
+    fit("reloc", jtag_frame_run.frames, jtag_frame_run.columns,
+        jtag_dirty_run.frames);
+
+    // Periodic-refresh stream: two identical passes over a block of cells.
+    int refresh_frames[2] = {0, 0};
+    int refresh_cols = 0;
+    int g = 0;
+    for (const auto gran : {config::WriteGranularity::kFrame,
+                            config::WriteGranularity::kDirtyFrame}) {
+      fabric::Fabric fab(fabric::DeviceGeometry::tiny(12, 12));
+      config::ConfigController ctl(fab, jtag, gran);
+      for (int round = 0; round < 2; ++round) {
+        for (int c = 0; c < 8; ++c) {
+          config::ConfigOp op("refresh col " + std::to_string(c));
+          for (int r = 0; r < 4; ++r) {
+            fabric::LogicCellConfig cfg;
+            cfg.used = true;
+            cfg.lut = static_cast<std::uint16_t>(0x5A5A + c);
+            op.write_cell(ClbCoord{r, c}, r % 4, cfg);
+          }
+          ctl.apply(op);
+        }
+      }
+      refresh_frames[g] = ctl.totals().frames_written;
+      if (gran == config::WriteGranularity::kFrame)
+        refresh_cols = ctl.totals().columns_touched;
+      ++g;
+    }
+    fit("refresh", refresh_frames[0], refresh_cols, refresh_frames[1]);
   }
 
   // Cost-model validation (the scheduler prices moves with this model).

@@ -18,6 +18,7 @@
 #include "relogic/netlist/benchmarks.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
+#include "relogic/runtime/batcher.hpp"
 #include "relogic/sim/harness.hpp"
 
 namespace {
@@ -114,6 +115,115 @@ void BM_GatedCellRelocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GatedCellRelocation)->Unit(benchmark::kMillisecond);
+
+// ---- config-plane data path -------------------------------------------------
+// The hot path every relocation costing, defrag plan, health sweep and fleet
+// replay funnels through: ConfigController::apply / preview and the
+// transaction batcher. Swept across device scales because the old set/map
+// path degraded with frame-set size (preview re-scanned the whole frame set
+// per touched column).
+
+/// An op writing one cell in every `stride`-th CLB column — many columns,
+/// many frames, the shape that exposed the quadratic preview. `phase` varies
+/// the content so successive applies stay effective (never dirty-skipped).
+config::ConfigOp spread_op(const fabric::DeviceGeometry& geom, int stride,
+                           int phase) {
+  config::ConfigOp op("spread" + std::to_string(phase));
+  for (int c = 0; c < geom.clb_cols; c += stride) {
+    fabric::LogicCellConfig cfg;
+    cfg.used = true;
+    cfg.reg = fabric::RegMode::kFF;
+    cfg.lut = static_cast<std::uint16_t>(0x1111u * (1 + (phase & 3)) + c);
+    op.write_cell(ClbCoord{c % geom.clb_rows, c}, c % geom.cells_per_clb, cfg);
+  }
+  return op;
+}
+
+void BM_ConfigApply(benchmark::State& state) {
+  const auto geom = fabric::DeviceGeometry::preset(
+      static_cast<fabric::DevicePreset>(state.range(0)));
+  fabric::Fabric fab(geom);
+  config::BoundaryScanPort port;
+  config::ConfigController ctl(fab, port,
+                               config::WriteGranularity::kDirtyFrame);
+  const config::ConfigOp ops[2] = {spread_op(geom, 2, 0), spread_op(geom, 2, 1)};
+  int phase = 0;
+  std::int64_t applied = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.apply(ops[phase & 1]).frames_written);
+    ++phase;
+    ++applied;
+  }
+  state.SetItemsProcessed(applied);
+  state.SetLabel(geom.name);
+}
+BENCHMARK(BM_ConfigApply)
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV50))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV200))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV1000))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DirtyPreview(benchmark::State& state) {
+  const auto geom = fabric::DeviceGeometry::preset(
+      static_cast<fabric::DevicePreset>(state.range(0)));
+  fabric::Fabric fab(geom);
+  config::BoundaryScanPort port;
+  config::ConfigController ctl(fab, port,
+                               config::WriteGranularity::kDirtyFrame);
+  const config::ConfigOp op = spread_op(geom, 2, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.preview(op).frames_written);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(geom.name);
+}
+BENCHMARK(BM_DirtyPreview)
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV50))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV200))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV1000))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BatcherFlush(benchmark::State& state) {
+  const auto geom = fabric::DeviceGeometry::preset(
+      static_cast<fabric::DevicePreset>(state.range(0)));
+  fabric::Fabric fab(geom);
+  config::BoundaryScanPort port;
+  config::ConfigController ctl(fab, port,
+                               config::WriteGranularity::kDirtyFrame);
+  runtime::BatchOptions bopt;
+  bopt.max_ops = 8;
+  runtime::TransactionBatcher batcher(ctl, bopt);
+  // Eight ops per flush, each touching a different eighth of the columns.
+  std::vector<config::ConfigOp> ops[2];
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int k = 0; k < 8; ++k) {
+      config::ConfigOp op("op" + std::to_string(k));
+      for (int c = k; c < geom.clb_cols; c += 8) {
+        fabric::LogicCellConfig cfg;
+        cfg.used = true;
+        cfg.lut = static_cast<std::uint16_t>(0x2222u * (1 + (phase & 1)) + c);
+        op.write_cell(ClbCoord{(c + k) % geom.clb_rows, c},
+                      k % geom.cells_per_clb, cfg);
+      }
+      ops[phase].push_back(std::move(op));
+    }
+  }
+  int phase = 0;
+  std::int64_t flushed = 0;
+  for (auto _ : state) {
+    for (const auto& op : ops[phase & 1]) batcher.enqueue(op);
+    batcher.flush();
+    ++phase;
+    ++flushed;
+  }
+  state.SetItemsProcessed(flushed);
+  state.SetLabel(geom.name);
+}
+BENCHMARK(BM_BatcherFlush)
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV50))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV200))
+    ->Arg(static_cast<int>(fabric::DevicePreset::kXCV1000))
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_DefragPlan(benchmark::State& state) {
   // Planning cost on a fragmented 32x32 grid.

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for the config-plane microbenchmarks.
+
+Compares a freshly produced BENCH_microperf.json against the committed
+baseline (bench/baselines/microperf_baseline.json) and fails if any
+guarded benchmark — the config-plane hot-path families BM_ConfigApply,
+BM_DirtyPreview and BM_BatcherFlush — regressed by more than the allowed
+factor (default 2x, per the PR 5 acceptance gate).
+
+Only metrics present in BOTH files are compared, so adding a new benchmark
+never trips the guard; removing a guarded metric from the current report
+does fail (a silently dropped benchmark is indistinguishable from a
+regression nobody measured).
+
+The baseline records absolute microseconds measured on one reference
+machine. To keep the gate from tripping on machine-speed differences
+between that machine and CI runners, the comparison is normalized when
+possible: if both reports carry the REFERENCE_METRIC (BM_RoutingGraphBuild
+at XCV1000 — CPU-bound, structurally unrelated to the config-plane path,
+measured in the same run), each guarded time is divided by the same run's
+reference time, and the *ratio of ratios* is gated — a uniformly slower
+machine cancels out, a config-plane regression does not. Without the
+reference the guard falls back to raw times, where the 2x factor must also
+absorb hardware variance.
+
+If the guard fires without a plausible code cause, or after an intentional
+hot-path change, refresh the baseline:
+
+    ./build/bench_microperf --benchmark_filter='BM_ConfigApply|BM_DirtyPreview|BM_BatcherFlush|BM_RoutingGraphBuild'
+    cp BENCH_microperf.json bench/baselines/microperf_baseline.json
+
+Usage: check_perf_baseline.py <current.json> <baseline.json> [max_factor]
+"""
+
+import json
+import sys
+
+GUARDED_PREFIXES = ("BM_ConfigApply", "BM_DirtyPreview", "BM_BatcherFlush")
+REFERENCE_METRIC = "BM_RoutingGraphBuild_8"
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        m["name"]: float(m["value"])
+        for m in doc.get("metrics", [])
+        if m["name"].startswith(GUARDED_PREFIXES) or m["name"] == REFERENCE_METRIC
+    }
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    current = load_metrics(argv[1])
+    baseline = load_metrics(argv[2])
+    factor = float(argv[3]) if len(argv) > 3 else 2.0
+
+    cur_ref = current.pop(REFERENCE_METRIC, None)
+    base_ref = baseline.pop(REFERENCE_METRIC, None)
+    scale = 1.0
+    if cur_ref and base_ref and cur_ref > 0 and base_ref > 0:
+        scale = base_ref / cur_ref
+        print(f"normalizing by {REFERENCE_METRIC}: current {cur_ref:.3g} vs "
+              f"baseline {base_ref:.3g} (machine-speed scale {scale:.2f}x)")
+    else:
+        print(f"{REFERENCE_METRIC} missing from one report — comparing raw "
+              "times (hardware variance eats into the factor)")
+
+    if not baseline:
+        sys.stderr.write(f"no guarded metrics in baseline {argv[2]}\n")
+        return 2
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"FAIL {name}: present in baseline but missing from {argv[1]}")
+            failed = True
+            continue
+        cur = current[name] * scale
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > factor else "ok"
+        print(f"{verdict:4} {name}: {cur:.3g} (normalized) vs baseline "
+              f"{base:.3g} ({ratio:.2f}x, limit {factor:.1f}x)")
+        failed = failed or ratio > factor
+    if failed:
+        print("perf-regression guard FAILED — see bench/check_perf_baseline.py "
+              "for the baseline-refresh procedure")
+        return 1
+    print("perf-regression guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -55,9 +55,9 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
   return c ^ 0xFFFFFFFFu;
 }
 
-void BitstreamWriter::append_op(const ConfigOp& op,
+void BitstreamWriter::append_op(const ConfigOp& op, const FrameSet& frames,
                                 PartialBitstream& out) const {
-  const auto frames = controller_->frames_of(op);
+  const FrameIndex& index = controller_->index();
   const int words =
       controller_->fabric().geometry().frame_length_bits() / 32;
 
@@ -65,7 +65,8 @@ void BitstreamWriter::append_op(const ConfigOp& op,
   put_u32(out.bytes, 0x30008001u);  // write to CMD register
   put_u32(out.bytes, static_cast<std::uint32_t>(frames.size()));
 
-  for (const FrameAddress& f : frames) {
+  for (const std::int32_t id : frames) {
+    const FrameAddress f = index.address(id);
     put_u32(out.bytes, 0x30002001u);  // write FAR
     put_u32(out.bytes, frame_key(f));
     put_u32(out.bytes, 0x30004000u | static_cast<std::uint32_t>(words));
@@ -90,7 +91,16 @@ PartialBitstream BitstreamWriter::render(
   PartialBitstream out;
   put_u32(out.bytes, 0xFFFFFFFFu);  // dummy word
   put_u32(out.bytes, kSyncWord);
-  for (const ConfigOp& op : ops) append_op(op, out);
+  // Sequence-aware written sets: the frames each op would write when the
+  // ops apply in order — whole columns under kColumn, the mapped set under
+  // kFrame, only the content-changing frames under kDirtyFrame (where a
+  // later op rewriting an earlier op's content renders nothing) — so the
+  // image's frame count equals the controller's ConfigTotals for the same
+  // sequence.
+  controller_->preview_sequence(
+      ops, [&](std::size_t i, const ApplyResult&, const FrameSet& written) {
+        append_op(ops[i], written, out);
+      });
   out.crc = crc32(out.bytes.data(), out.bytes.size());
   put_u32(out.bytes, 0x30000001u);  // write CRC register
   put_u32(out.bytes, out.crc);
@@ -99,34 +109,33 @@ PartialBitstream BitstreamWriter::render(
 
 std::string BitstreamWriter::script(const std::vector<ConfigOp>& ops) const {
   std::string out;
-  const int frame_bits = controller_->fabric().geometry().frame_length_bits();
   SimTime total = SimTime::zero();
   int total_frames = 0;
-  int index = 0;
-  for (const ConfigOp& op : ops) {
-    const auto frames = controller_->frames_of(op);
-    // Per-column transactions, mirroring ConfigController::apply.
-    std::set<std::pair<ColumnType, std::int16_t>> columns;
-    for (const FrameAddress& f : frames) columns.insert({f.type, f.column});
-    SimTime t = SimTime::zero();
-    for (const auto& col : columns) {
-      int n = 0;
-      for (const FrameAddress& f : frames)
-        if (f.type == col.first && f.column == col.second) ++n;
-      t += controller_->port().write_time(n, frame_bits);
-    }
+  int total_skipped = 0;
+  // Sequence-aware pricing, identical to what applying the ops in order
+  // would charge (see render()).
+  controller_->preview_sequence(ops, [&](std::size_t i, const ApplyResult& r,
+                                         const FrameSet&) {
     char line[256];
-    std::snprintf(line, sizeof line, "%2d  %-48s %4zu frames  %3zu cols  %s\n",
-                  ++index, op.label.c_str(), frames.size(), columns.size(),
-                  t.to_string().c_str());
+    std::snprintf(line, sizeof line, "%2zu  %-48s %4d frames  %3d cols  %s\n",
+                  i + 1, ops[i].label.c_str(), r.frames_written,
+                  r.columns_touched, r.time.to_string().c_str());
     out += line;
-    total += t;
-    total_frames += static_cast<int>(frames.size());
-  }
+    total += r.time;
+    total_frames += r.frames_written;
+    total_skipped += r.frames_skipped;
+  });
   char line[256];
-  std::snprintf(line, sizeof line, "    TOTAL %d ops, %d frames, %s\n",
-                static_cast<int>(ops.size()), total_frames,
-                total.to_string().c_str());
+  if (total_skipped > 0) {
+    std::snprintf(line, sizeof line,
+                  "    TOTAL %d ops, %d frames (%d clean-skipped), %s\n",
+                  static_cast<int>(ops.size()), total_frames, total_skipped,
+                  total.to_string().c_str());
+  } else {
+    std::snprintf(line, sizeof line, "    TOTAL %d ops, %d frames, %s\n",
+                  static_cast<int>(ops.size()), total_frames,
+                  total.to_string().c_str());
+  }
   out += line;
   return out;
 }

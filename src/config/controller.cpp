@@ -7,6 +7,18 @@
 
 namespace relogic::config {
 
+namespace {
+
+/// Packed {row, col, cell} key for overlay / rewrite scratch vectors
+/// (values are small non-negative ints, so 20 bits each is generous).
+std::uint64_t pack_cell_key(int row, int col, int cell) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(col)) << 20) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell));
+}
+
+}  // namespace
+
 ConfigOp& ConfigOp::add_path(fabric::NetId net,
                              const std::vector<fabric::NodeId>& path) {
   for (std::size_t i = 1; i < path.size(); ++i) {
@@ -29,7 +41,11 @@ ConfigController::ConfigController(fabric::Fabric& fabric,
     : fabric_(&fabric),
       port_(&port),
       mapper_(fabric.geometry()),
-      granularity_(granularity) {}
+      granularity_(granularity),
+      index_(fabric.geometry()),
+      image_(index_) {
+  deltas_scratch_.reset(index_.total_frames());
+}
 
 FrameAddress ConfigController::source_frame(const SourceChange& sc) const {
   // The output mux of a cell / pad enable lives in the node's own tile.
@@ -42,151 +58,238 @@ FrameAddress ConfigController::source_frame(const SourceChange& sc) const {
   return mapper_.pip_frame(graph, fabric::RouteEdge{sc.node, sc.node});
 }
 
-std::set<FrameAddress> ConfigController::frames_of(const ConfigOp& op) const {
-  std::set<FrameAddress> frames;
+void ConfigController::frames_of(const ConfigOp& op, FrameSet& out) const {
+  out.clear();
+  const auto& g = fabric_->geometry();
   const auto& graph = fabric_->graph();
+  const bool widen = granularity_ == WriteGranularity::kColumn;
+  if (widen) {
+    // Collect one marker id per touched column first (the column's first
+    // frame id — centre frames pass through as themselves), dedupe, then
+    // expand each distinct column to its contiguous frame run. Expansion
+    // order follows the sorted markers, and runs are disjoint and laid out
+    // in marker order, so `out` needs no second sort.
+    columns_scratch_.clear();
+    for (const ConfigAction& a : op.actions) {
+      if (const auto* cw = std::get_if<CellWrite>(&a)) {
+        // Same bounds contract the old FrameMapper::cell_frames path
+        // enforced — arithmetic id derivation must not spill into a
+        // neighbouring column region on a malformed op.
+        RELOGIC_CHECK(g.in_bounds(cw->clb));
+        RELOGIC_CHECK(cw->cell >= 0 && cw->cell < g.cells_per_clb);
+        columns_scratch_.push(index_.clb_frame_id(cw->clb.col, 0));
+      } else {
+        const FrameAddress f =
+            std::holds_alternative<EdgeChange>(a)
+                ? mapper_.pip_frame(graph, std::get<EdgeChange>(a).edge)
+                : source_frame(std::get<SourceChange>(a));
+        switch (f.type) {
+          case ColumnType::kClb:
+            columns_scratch_.push(index_.clb_frame_id(f.column, 0));
+            break;
+          case ColumnType::kIob:
+            columns_scratch_.push(index_.iob_frame_id(f.column, 0));
+            break;
+          case ColumnType::kCenter:
+            columns_scratch_.push(index_.id(f));
+            break;
+        }
+      }
+    }
+    columns_scratch_.normalize();
+    for (const std::int32_t marker : columns_scratch_) {
+      if (index_.is_clb(marker)) {
+        out.push_run(marker, g.frames_per_clb_column);
+      } else if (index_.is_iob(marker)) {
+        out.push_run(marker, g.frames_per_iob_column);
+      } else {
+        out.push(marker);  // centre frame: written as mapped, never widened
+      }
+    }
+    return;
+  }
   for (const ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<CellWrite>(&a)) {
-      for (const FrameAddress& f : mapper_.cell_frames(cw->clb, cw->cell))
-        frames.insert(f);
+      // A cell's frame group is contiguous in id space. Bounds-checked as
+      // the old FrameMapper::cell_frames path was.
+      RELOGIC_CHECK(g.in_bounds(cw->clb));
+      RELOGIC_CHECK(cw->cell >= 0 && cw->cell < g.cells_per_clb);
+      out.push_run(index_.cell_frame_base(cw->clb.col, cw->cell),
+                   g.frames_per_cell_config);
     } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
-      frames.insert(mapper_.pip_frame(graph, ec->edge));
+      out.push(index_.id(mapper_.pip_frame(graph, ec->edge)));
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
-      frames.insert(source_frame(*sc));
+      out.push(index_.id(source_frame(*sc)));
     }
   }
-  if (granularity_ != WriteGranularity::kColumn) return frames;
-  // Widen to whole columns.
-  std::set<FrameAddress> widened;
-  std::set<std::int16_t> clb_cols;
-  std::set<std::int16_t> iob_cols;
-  for (const FrameAddress& f : frames) {
-    switch (f.type) {
-      case ColumnType::kClb:
-        clb_cols.insert(f.column);
-        break;
-      case ColumnType::kIob:
-        iob_cols.insert(f.column);
-        break;
-      case ColumnType::kCenter:
-        widened.insert(f);
-        break;
-    }
-  }
-  const auto& g = fabric_->geometry();
-  for (std::int16_t c : clb_cols) {
-    for (int fr = 0; fr < g.frames_per_clb_column; ++fr)
-      widened.insert(
-          FrameAddress{ColumnType::kClb, c, static_cast<std::int16_t>(fr)});
-  }
-  for (std::int16_t c : iob_cols) {
-    for (int fr = 0; fr < g.frames_per_iob_column; ++fr)
-      widened.insert(
-          FrameAddress{ColumnType::kIob, c, static_cast<std::int16_t>(fr)});
-  }
-  return widened;
+  out.normalize();
 }
 
-std::map<FrameAddress, std::uint64_t> ConfigController::simulate_deltas(
-    const ConfigOp& op) const {
-  std::map<FrameAddress, std::uint64_t> deltas;
+void ConfigController::simulate_deltas(const ConfigOp& op,
+                                       FrameDeltaMap& out) const {
+  out.reset(index_.total_frames());
   // Overlay of the op's own earlier actions: within one op, a later action
   // is effective against the state the earlier ones will have produced.
-  std::map<CellKey, fabric::LogicCellConfig> cells;
-  std::map<std::pair<fabric::NetId, fabric::RouteEdge>, bool> edges;
-  std::map<std::pair<fabric::NetId, fabric::NodeId>, bool> sources;
+  overlay_cells_.clear();
+  overlay_edges_.clear();
+  overlay_sources_.clear();
+  accumulate_deltas(op, out);
+}
 
+void ConfigController::accumulate_deltas(const ConfigOp& op,
+                                         FrameDeltaMap& out) const {
+  const auto& g = fabric_->geometry();
   for (const ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<CellWrite>(&a)) {
-      const CellKey key{cw->clb.row, cw->clb.col, cw->cell};
-      const auto it = cells.find(key);
+      const std::uint64_t key =
+          pack_cell_key(cw->clb.row, cw->clb.col, cw->cell);
+      const auto [it, inserted] = overlay_cells_.try_emplace(key, cw->cfg);
       const fabric::LogicCellConfig before =
-          it != cells.end() ? it->second : fabric_->cell(cw->clb, cw->cell);
+          inserted ? fabric_->cell(cw->clb, cw->cell) : it->second;
+      if (!inserted) it->second = cw->cfg;
       if (before == cw->cfg) continue;
       const std::uint64_t d = FrameImage::cell_token(cw->clb.row, before) ^
                               FrameImage::cell_token(cw->clb.row, cw->cfg);
-      for (const FrameAddress& f : mapper_.cell_frames(cw->clb, cw->cell))
-        deltas[f] ^= d;
-      cells[key] = cw->cfg;
+      const std::int32_t base = index_.cell_frame_base(cw->clb.col, cw->cell);
+      for (int f = 0; f < g.frames_per_cell_config; ++f)
+        out.xor_delta(base + f, d);
     } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
-      const auto key = std::make_pair(ec->net, ec->edge);
-      const auto it = edges.find(key);
-      const bool on = it != edges.end()
-                          ? it->second
-                          : (fabric_->net_exists(ec->net) &&
-                             fabric_->net(ec->net).has_edge(ec->edge));
+      const EdgeKey key{ec->net, ec->edge.from, ec->edge.to};
+      const auto [it, inserted] = overlay_edges_.try_emplace(key, ec->add);
+      const bool on = inserted ? (fabric_->net_exists(ec->net) &&
+                                  fabric_->net(ec->net).has_edge(ec->edge))
+                               : it->second;
+      if (!inserted) it->second = ec->add;
       if (on == ec->add) continue;
-      deltas[mapper_.pip_frame(fabric_->graph(), ec->edge)] ^=
-          FrameImage::edge_token(ec->edge);
-      edges[key] = ec->add;
+      out.xor_delta(index_.id(mapper_.pip_frame(fabric_->graph(), ec->edge)),
+                    FrameImage::edge_token(ec->edge));
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
-      const auto key = std::make_pair(sc->net, sc->node);
-      const auto it = sources.find(key);
-      const bool on = it != sources.end()
-                          ? it->second
-                          : (fabric_->net_exists(sc->net) &&
-                             fabric_->net(sc->net).has_source(sc->node));
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(sc->net) << 32) | sc->node;
+      const auto [it, inserted] = overlay_sources_.try_emplace(key, sc->attach);
+      const bool on = inserted ? (fabric_->net_exists(sc->net) &&
+                                  fabric_->net(sc->net).has_source(sc->node))
+                               : it->second;
+      if (!inserted) it->second = sc->attach;
       if (on == sc->attach) continue;
-      deltas[source_frame(*sc)] ^= FrameImage::source_token(sc->node);
-      sources[key] = sc->attach;
+      out.xor_delta(index_.id(source_frame(*sc)),
+                    FrameImage::source_token(sc->node));
     }
   }
-  return deltas;
 }
 
-ApplyResult ConfigController::price(
-    const std::set<FrameAddress>& frames,
-    const std::map<FrameAddress, std::uint64_t>& deltas) const {
-  if (granularity_ != WriteGranularity::kDirtyFrame) return preview(frames);
-  std::set<FrameAddress> dirty;
-  for (const auto& [f, d] : deltas)
-    if (d != 0) dirty.insert(f);
-  ApplyResult result = preview(dirty);
+ApplyResult ConfigController::price_full(const FrameSet& frames) const {
+  // One pass: ids are sorted and column-contiguous (FrameIndex layout), so
+  // each column is one run — count it and charge its port transaction as
+  // the run closes. O(frames), no per-column rescan, no allocation.
+  ApplyResult result;
+  result.frames_written = static_cast<int>(frames.size());
+  const int frame_bits = fabric_->geometry().frame_length_bits();
+  std::int32_t run_column = -1;
+  int run_frames = 0;
+  for (const std::int32_t id : frames) {
+    const std::int32_t col = index_.column_of(id);
+    if (col != run_column) {
+      if (run_frames > 0) result.time += port_->write_time(run_frames, frame_bits);
+      run_column = col;
+      run_frames = 0;
+      ++result.columns_touched;
+    }
+    ++run_frames;
+  }
+  if (run_frames > 0) result.time += port_->write_time(run_frames, frame_bits);
+  return result;
+}
+
+int ConfigController::column_count(const FrameSet& frames) const {
+  int columns = 0;
+  std::int32_t run_column = -1;
+  for (const std::int32_t id : frames) {
+    const std::int32_t col = index_.column_of(id);
+    if (col != run_column) {
+      run_column = col;
+      ++columns;
+    }
+  }
+  return columns;
+}
+
+ApplyResult ConfigController::price(const FrameSet& frames,
+                                    const FrameDeltaMap& deltas) const {
+  if (granularity_ != WriteGranularity::kDirtyFrame)
+    return price_full(frames);
+  dirty_scratch_.clear();
+  for (const std::int32_t id : deltas.touched())
+    if (deltas.delta(id) != 0) dirty_scratch_.push(id);
+  dirty_scratch_.normalize();
+  ApplyResult result = price_full(dirty_scratch_);
   result.frames_skipped =
       static_cast<int>(frames.size()) - result.frames_written;
   return result;
 }
 
 ApplyResult ConfigController::preview(const ConfigOp& op) const {
-  return preview(op, frames_of(op));
+  frames_of(op, frames_scratch_);
+  return preview(op, frames_scratch_);
 }
 
-ApplyResult ConfigController::preview(
-    const ConfigOp& op, const std::set<FrameAddress>& frames) const {
-  if (granularity_ != WriteGranularity::kDirtyFrame) return preview(frames);
-  return price(frames, simulate_deltas(op));
+ApplyResult ConfigController::preview(const ConfigOp& op,
+                                      const FrameSet& frames) const {
+  if (granularity_ != WriteGranularity::kDirtyFrame)
+    return price_full(frames);
+  simulate_deltas(op, deltas_scratch_);
+  return price(frames, deltas_scratch_);
 }
 
-ApplyResult ConfigController::preview(
-    const std::set<FrameAddress>& frames) const {
-  ApplyResult result;
-  result.frames_written = static_cast<int>(frames.size());
+ApplyResult ConfigController::preview(const FrameSet& frames) const {
+  return price_full(frames);
+}
 
-  std::set<std::pair<ColumnType, std::int16_t>> columns;
-  for (const FrameAddress& f : frames) columns.insert({f.type, f.column});
-  result.columns_touched = static_cast<int>(columns.size());
+int ConfigController::readback_frames(const ConfigOp& op) const {
+  frames_of(op, frames_scratch_);
+  return static_cast<int>(frames_scratch_.size());
+}
 
-  // Port timing: one transaction per touched column (the frame-address
-  // register must be rewritten when the column changes).
-  const int frame_bits = fabric_->geometry().frame_length_bits();
-  for (const auto& col : columns) {
-    int n = 0;
-    for (const FrameAddress& f : frames)
-      if (f.type == col.first && f.column == col.second) ++n;
-    result.time += port_->write_time(n, frame_bits);
+void ConfigController::preview_sequence(
+    const std::vector<ConfigOp>& ops,
+    const std::function<void(std::size_t, const ApplyResult&,
+                             const FrameSet&)>& visit) const {
+  // One persistent overlay across the whole sequence: op k's deltas are
+  // computed against the fabric plus everything ops 0..k-1 would have
+  // written, so per-op dirty decisions match a sequential apply exactly.
+  overlay_cells_.clear();
+  overlay_edges_.clear();
+  overlay_sources_.clear();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    frames_of(ops[i], frames_scratch_);
+    if (granularity_ != WriteGranularity::kDirtyFrame) {
+      visit(i, price_full(frames_scratch_), frames_scratch_);
+      continue;
+    }
+    deltas_scratch_.reset(index_.total_frames());
+    accumulate_deltas(ops[i], deltas_scratch_);
+    const ApplyResult r = price(frames_scratch_, deltas_scratch_);
+    // price() left the dirty subset — exactly the written set — in
+    // dirty_scratch_.
+    visit(i, r, dirty_scratch_);
   }
-  return result;
 }
 
 ApplyResult ConfigController::apply(const ConfigOp& op,
                                     bool allow_lut_ram_columns) {
-  const std::set<FrameAddress> frames = frames_of(op);
+  frames_of(op, frames_scratch_);
+  return apply(op, frames_scratch_, allow_lut_ram_columns);
+}
+
+ApplyResult ConfigController::apply(const ConfigOp& op, const FrameSet& frames,
+                                    bool allow_lut_ram_columns) {
   if (!allow_lut_ram_columns) check_lut_ram_columns(op, frames, nullptr);
 
   // Apply the structural actions in order, collecting the exact per-frame
   // content deltas (before/after values observed on the fabric, so injected
   // configuration-memory faults are reflected in the shadow image too).
-  std::map<FrameAddress, std::uint64_t> deltas;
+  const auto& g = fabric_->geometry();
+  deltas_scratch_.reset(index_.total_frames());
   int effective = 0;
   for (const ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<CellWrite>(&a)) {
@@ -196,8 +299,10 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
         const fabric::LogicCellConfig after = fabric_->cell(cw->clb, cw->cell);
         const std::uint64_t d = FrameImage::cell_token(cw->clb.row, before) ^
                                 FrameImage::cell_token(cw->clb.row, after);
-        for (const FrameAddress& f : mapper_.cell_frames(cw->clb, cw->cell))
-          deltas[f] ^= d;
+        const std::int32_t base =
+            index_.cell_frame_base(cw->clb.col, cw->cell);
+        for (int f = 0; f < g.frames_per_cell_config; ++f)
+          deltas_scratch_.xor_delta(base + f, d);
       }
     } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
       const auto& tree = fabric_->net(ec->net);
@@ -207,8 +312,9 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
         else
           fabric_->remove_edge(ec->net, ec->edge);
         ++effective;
-        deltas[mapper_.pip_frame(fabric_->graph(), ec->edge)] ^=
-            FrameImage::edge_token(ec->edge);
+        deltas_scratch_.xor_delta(
+            index_.id(mapper_.pip_frame(fabric_->graph(), ec->edge)),
+            FrameImage::edge_token(ec->edge));
       }
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
       const auto& tree = fabric_->net(sc->net);
@@ -218,14 +324,16 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
         else
           fabric_->detach_source(sc->net, sc->node);
         ++effective;
-        deltas[source_frame(*sc)] ^= FrameImage::source_token(sc->node);
+        deltas_scratch_.xor_delta(index_.id(source_frame(*sc)),
+                                  FrameImage::source_token(sc->node));
       }
     }
   }
 
   // Commit the deltas to the shadow image, then price per granularity.
-  for (const auto& [f, d] : deltas) image_.apply_delta(f, d);
-  ApplyResult result = price(frames, deltas);
+  for (const std::int32_t id : deltas_scratch_.touched())
+    image_.apply_delta_id(id, deltas_scratch_.delta(id));
+  ApplyResult result = price(frames, deltas_scratch_);
   result.effective_actions = effective;
 
   ++totals_.ops;
@@ -244,35 +352,52 @@ ApplyResult ConfigController::apply(const ConfigOp& op,
 
 void ConfigController::check_lut_ram_columns(
     const ConfigOp& op, const std::set<CellKey>* extra_rewritten) const {
-  check_lut_ram_columns(op, frames_of(op), extra_rewritten);
+  frames_of(op, frames_scratch_);
+  check_lut_ram_columns(op, frames_scratch_, extra_rewritten);
 }
 
 void ConfigController::check_lut_ram_columns(
-    const ConfigOp& op, const std::set<FrameAddress>& frames,
+    const ConfigOp& op, const FrameSet& frames,
     const std::set<CellKey>* extra_rewritten) const {
-  // Columns the op writes.
-  std::set<std::int16_t> cols;
-  for (const FrameAddress& f : frames)
-    if (f.type == ColumnType::kClb) cols.insert(f.column);
-  if (cols.empty()) return;
-
   // Cells the op itself rewrites (those are intentional, hence exempt),
-  // plus any the caller knows are rewritten before this op applies.
-  std::set<CellKey> rewritten;  // {row, col, cell}
-  if (extra_rewritten != nullptr) rewritten = *extra_rewritten;
-  for (const ConfigAction& a : op.actions) {
-    if (const auto* cw = std::get_if<CellWrite>(&a))
-      rewritten.insert({cw->clb.row, cw->clb.col, cw->cell});
-  }
+  // plus any the caller knows are rewritten before this op applies. Built
+  // lazily: the fabric's per-column live-LUT-RAM counts short-circuit clean
+  // columns, so the common case never touches the exemption set at all.
+  bool rewrites_built = false;
+  const auto rewritten = [&](int row, int col, int cell) {
+    if (!rewrites_built) {
+      rewrites_built = true;
+      rewrites_scratch_.clear();
+      for (const ConfigAction& a : op.actions) {
+        if (const auto* cw = std::get_if<CellWrite>(&a))
+          rewrites_scratch_.push_back(
+              pack_cell_key(cw->clb.row, cw->clb.col, cw->cell));
+      }
+      std::sort(rewrites_scratch_.begin(), rewrites_scratch_.end());
+    }
+    if (std::binary_search(rewrites_scratch_.begin(), rewrites_scratch_.end(),
+                           pack_cell_key(row, col, cell)))
+      return true;
+    return extra_rewritten != nullptr &&
+           extra_rewritten->contains({row, col, cell});
+  };
 
+  // CLB columns the op writes: ids are column-contiguous, so distinct
+  // columns are run starts in the sorted id range.
   const auto& g = fabric_->geometry();
-  for (std::int16_t col : cols) {
+  int prev_col = -1;
+  for (const std::int32_t id : frames) {
+    if (!index_.is_clb(id)) continue;
+    const int col = index_.clb_column_of(id);
+    if (col == prev_col) continue;
+    prev_col = col;
+    if (fabric_->live_lut_ram_in_col(col) == 0) continue;
     for (int row = 0; row < g.clb_rows; ++row) {
       const ClbCoord c{row, col};
       for (int k = 0; k < g.cells_per_clb; ++k) {
         const auto& cell = fabric_->cell(c, k);
         if (cell.used && cell.lut_mode == fabric::LutMode::kRam &&
-            !rewritten.contains({row, col, k})) {
+            !rewritten(row, col, k)) {
           throw IllegalOperationError(
               "config op '" + op.label + "' touches column " +
               std::to_string(col) + " which holds a live LUT-RAM at " +

@@ -14,12 +14,6 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-void FrameImage::apply_delta(const FrameAddress& f, std::uint64_t delta) {
-  if (delta == 0) return;
-  auto [it, inserted] = hashes_.try_emplace(f, delta);
-  if (!inserted) it->second ^= delta;
-}
-
 std::uint64_t FrameImage::cell_token(int row,
                                      const fabric::LogicCellConfig& cfg) {
   // Pack every configuration field; two configs differing in any field get

@@ -6,6 +6,15 @@
 // trailing CRC — plus a human-readable script listing. The payload bits are
 // synthesised deterministically from the structural actions, so two
 // identical rearrangements produce byte-identical files.
+//
+// Rendering and pricing follow the controller's write granularity exactly,
+// and are sequence-aware (ConfigController::preview_sequence): whole
+// columns under kColumn, the mapped frame set under kFrame, and only the
+// frames whose contents would change *at that point of the sequence* under
+// kDirtyFrame — a later op rewriting an earlier op's content renders
+// nothing, exactly as applying the ops in order would skip it. `--script` /
+// `--out` frame totals therefore match the controller's ConfigTotals for
+// arbitrary op sequences (tests/config_test.cpp pins the agreement).
 #pragma once
 
 #include <cstdint>
@@ -42,7 +51,10 @@ class BitstreamWriter {
   std::string script(const std::vector<ConfigOp>& ops) const;
 
  private:
-  void append_op(const ConfigOp& op, PartialBitstream& out) const;
+  /// Emits one op's packets for the frames the controller says this point
+  /// of the sequence would write.
+  void append_op(const ConfigOp& op, const FrameSet& frames,
+                 PartialBitstream& out) const;
 
   const ConfigController* controller_;
 };

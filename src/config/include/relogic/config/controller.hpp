@@ -20,21 +20,32 @@
 // and the frames_skipped accounting); the structural effect on the fabric
 // is byte-identical across all three policies.
 //
+// The data path runs on the flat structures of config/frame_index.hpp:
+// frame sets are sorted dense-id vectors (FrameSet), content deltas live in
+// a flat epoch-cleared map (FrameDeltaMap), and pricing is a single pass
+// over a sorted id range that buckets per column while accumulating port
+// time — O(frames), not O(columns x frames). The controller keeps mutable
+// scratch buffers so steady-state ops allocate nothing; like the Fabric it
+// drives, a controller must not be shared across threads.
+//
 // The controller performs *configuration*; it never touches user state. The
 // interaction between configuration writes and live user logic is what the
 // relocation engine (relogic::reloc) choreographs on top of this class.
 #pragma once
 
-#include <map>
+#include <cstddef>
+#include <functional>
 #include <set>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "relogic/common/time.hpp"
 #include "relogic/config/frame.hpp"
 #include "relogic/config/frame_image.hpp"
+#include "relogic/config/frame_index.hpp"
 #include "relogic/config/granularity.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/fabric/fabric.hpp"
@@ -151,13 +162,47 @@ class ConfigController {
   bool column_granular() const {
     return granularity_ == WriteGranularity::kColumn;
   }
+  /// The dense frame-id addressing of this device's geometry.
+  const FrameIndex& index() const { return index_; }
   /// Shadow copy of the device's frame contents (dirty-frame diffing).
   const FrameImage& image() const { return image_; }
 
   /// Frames a ConfigOp would write, without applying it. Widened to whole
   /// columns under kColumn; the exact mapped frame set otherwise (for
-  /// kDirtyFrame this is the upper bound before dirty filtering).
-  std::set<FrameAddress> frames_of(const ConfigOp& op) const;
+  /// kDirtyFrame this is the upper bound before dirty filtering). The
+  /// out-parameter form lets hot callers reuse one FrameSet allocation.
+  void frames_of(const ConfigOp& op, FrameSet& out) const;
+  FrameSet frames_of(const ConfigOp& op) const {
+    FrameSet out;
+    frames_of(op, out);
+    return out;
+  }
+
+  /// Sequence-aware preview: prices `ops` as if applied in order. The value
+  /// overlay of earlier ops persists across the sequence, so under
+  /// kDirtyFrame a later op's dirty set reflects what earlier ops already
+  /// wrote — an op rewriting an earlier op's content prices as skipped,
+  /// exactly as applying the sequence would charge it. Invokes
+  /// `visit(index, result, written)` per op, where `written` is the frame
+  /// set apply would write at that point (valid only for the duration of
+  /// the callback). The BitstreamWriter renders and prices through this so
+  /// `--script` / `--out` totals match ConfigTotals for arbitrary op
+  /// sequences, not just independent ops.
+  void preview_sequence(
+      const std::vector<ConfigOp>& ops,
+      const std::function<void(std::size_t, const ApplyResult&,
+                               const FrameSet&)>& visit) const;
+
+  /// Full frame count a readback of the op's footprint must fetch. Readback
+  /// is never dirty-skippable — verifying a frame requires reading it
+  /// whether or not the preceding write changed its bytes — so this is the
+  /// frames_of size at every granularity (whole columns under kColumn).
+  /// Sweep pricing (health::RovingTester) uses this instead of write-side
+  /// counters so readback cost is identical across kFrame and kDirtyFrame.
+  int readback_frames(const ConfigOp& op) const;
+
+  /// Distinct columns a (normalized) frame set spans — one pass.
+  int column_count(const FrameSet& frames) const;
 
   /// Frame/column/port-time accounting of an op without applying it (the
   /// effective_actions field is left 0 — effectiveness is only known at
@@ -170,19 +215,23 @@ class ConfigController {
   /// Same accounting from an already-computed frame set (frames_of(op)),
   /// for callers that need the frames anyway and shouldn't pay for the
   /// mapping twice. Prices every frame in the set (no dirty filtering).
-  ApplyResult preview(const std::set<FrameAddress>& frames) const;
+  ApplyResult preview(const FrameSet& frames) const;
 
   /// preview(op) with the frame mapping reused from frames_of(op) — the
   /// granularity-aware variant of the overload above (dirty filtering
   /// still applies under kDirtyFrame).
-  ApplyResult preview(const ConfigOp& op,
-                      const std::set<FrameAddress>& frames) const;
+  ApplyResult preview(const ConfigOp& op, const FrameSet& frames) const;
 
   /// Applies the op to the fabric and charges the port timing model.
   /// `allow_lut_ram_columns` waives the live-LUT-RAM column rule — legal
   /// only while the affected clock domain is stopped (paper, Sec. 2: the
   /// system must be halted to guarantee data coherency).
   ApplyResult apply(const ConfigOp& op, bool allow_lut_ram_columns = false);
+
+  /// apply() with the frame mapping reused from frames_of(op) — for callers
+  /// (the transaction batcher) that already maintain the op's frame set.
+  ApplyResult apply(const ConfigOp& op, const FrameSet& frames,
+                    bool allow_lut_ram_columns);
 
   /// Cell key used by the LUT-RAM legality check: {row, col, cell}. A
   /// packed (row, col * 4 + cell) pair was used before; it aliased distinct
@@ -204,8 +253,7 @@ class ConfigController {
                                  nullptr) const;
 
   /// Same check from an already-computed frame set (frames_of(op)).
-  void check_lut_ram_columns(const ConfigOp& op,
-                             const std::set<FrameAddress>& frames,
+  void check_lut_ram_columns(const ConfigOp& op, const FrameSet& frames,
                              const std::set<CellKey>* extra_rewritten) const;
 
   const ConfigTotals& totals() const { return totals_; }
@@ -217,22 +265,60 @@ class ConfigController {
   /// Granularity-aware pricing: every frame of `frames` under kColumn /
   /// kFrame; only the dirty (non-zero-delta) subset under kDirtyFrame,
   /// with the remainder counted as frames_skipped.
-  ApplyResult price(const std::set<FrameAddress>& frames,
-                    const std::map<FrameAddress, std::uint64_t>& deltas) const;
+  ApplyResult price(const FrameSet& frames, const FrameDeltaMap& deltas) const;
+  /// One pass over a sorted id set: counts frames and columns and charges
+  /// one port transaction per column run.
+  ApplyResult price_full(const FrameSet& frames) const;
   /// Per-frame content deltas the op *would* produce, simulated against the
   /// current fabric with an overlay of the op's own earlier actions (an op
   /// that adds then removes the same PIP nets out to delta 0). Injected
   /// configuration-memory faults are not modelled here — apply() computes
   /// the exact deltas from observed before/after values instead.
-  std::map<FrameAddress, std::uint64_t> simulate_deltas(
-      const ConfigOp& op) const;
+  void simulate_deltas(const ConfigOp& op, FrameDeltaMap& out) const;
+  /// simulate_deltas core: accumulates one op's deltas into `out` reading
+  /// before-values through the *persistent* overlay scratch (callers clear
+  /// the overlays to choose single-op or sequence semantics).
+  void accumulate_deltas(const ConfigOp& op, FrameDeltaMap& out) const;
 
   fabric::Fabric* fabric_;
   const ConfigPort* port_;
   FrameMapper mapper_;
   WriteGranularity granularity_;
+  FrameIndex index_;
   FrameImage image_;
   ConfigTotals totals_;
+
+  // ---- reusable scratch (not thread-safe; see the header comment) ---------
+  mutable FrameSet frames_scratch_;   ///< apply(op) / preview(op) mapping
+  mutable FrameSet dirty_scratch_;    ///< dirty subset in price()
+  mutable FrameSet columns_scratch_;  ///< distinct column markers (kColumn)
+  mutable FrameDeltaMap deltas_scratch_;
+  /// simulate_deltas / preview_sequence value overlay of earlier actions.
+  /// Hash maps (reused across calls, so buckets are allocated once): the
+  /// per-op path keeps them tiny, but preview_sequence persists them across
+  /// a whole op sequence, where a linear scan would go quadratic.
+  struct EdgeKey {
+    fabric::NetId net;
+    fabric::NodeId from;
+    fabric::NodeId to;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& k) const {
+      std::uint64_t x = (static_cast<std::uint64_t>(k.net) << 32) ^
+                        (static_cast<std::uint64_t>(k.from) << 16) ^ k.to;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  mutable std::unordered_map<std::uint64_t, fabric::LogicCellConfig>
+      overlay_cells_;
+  mutable std::unordered_map<EdgeKey, bool, EdgeKeyHash> overlay_edges_;
+  mutable std::unordered_map<std::uint64_t, bool> overlay_sources_;
+  /// check_lut_ram_columns: packed {row, col, cell} keys the op rewrites.
+  mutable std::vector<std::uint64_t> rewrites_scratch_;
 };
 
 }  // namespace relogic::config

@@ -25,10 +25,15 @@
 // model only — structural state never flows through this class.
 //
 // Note the dirty decision itself is per-op (delta != 0) and never reads the
-// accumulated digests; the digest map is the *mirror* of the device's frame
-// contents — bounded by the device's total frame count — maintained for
-// consumers of mirrored contents (digest-based readback comparison, the
-// planned dirty-aware BitstreamWriter rendering; see ROADMAP).
+// accumulated digests; the digest store is the *mirror* of the device's
+// frame contents — maintained for consumers of mirrored contents
+// (digest-based readback comparison, the dirty-aware BitstreamWriter
+// rendering).
+//
+// Storage is a flat array indexed by dense frame id (config::FrameIndex) —
+// the frame universe is bounded by the device geometry, so the mirror is a
+// single contiguous allocation sized once at construction, and apply-time
+// delta commits are a single array XOR instead of a std::map walk.
 //
 // The shadow stays consistent as long as every fabric mutation goes through
 // the owning ConfigController, which feeds apply-time before/after values
@@ -37,9 +42,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "relogic/config/frame.hpp"
+#include "relogic/config/frame_index.hpp"
 #include "relogic/fabric/cell.hpp"
 #include "relogic/fabric/fabric.hpp"
 
@@ -47,20 +53,37 @@ namespace relogic::config {
 
 class FrameImage {
  public:
-  FrameImage() = default;
+  explicit FrameImage(const FrameIndex& index)
+      : index_(index),
+        hash_(static_cast<std::size_t>(index.total_frames()), 0),
+        touched_(static_cast<std::size_t>(index.total_frames()), 0) {}
+
+  const FrameIndex& index() const { return index_; }
 
   /// Current content digest of a frame (0 until first touched — the digest
   /// of the erased configuration memory).
   std::uint64_t digest(const FrameAddress& f) const {
-    const auto it = hashes_.find(f);
-    return it == hashes_.end() ? 0 : it->second;
+    return digest_id(index_.id(f));
+  }
+  std::uint64_t digest_id(std::int32_t id) const {
+    return hash_[static_cast<std::size_t>(id)];
   }
 
   /// XORs a content delta into a frame's digest (no-op when delta == 0).
-  void apply_delta(const FrameAddress& f, std::uint64_t delta);
+  void apply_delta(const FrameAddress& f, std::uint64_t delta) {
+    apply_delta_id(index_.id(f), delta);
+  }
+  void apply_delta_id(std::int32_t id, std::uint64_t delta) {
+    if (delta == 0) return;
+    hash_[static_cast<std::size_t>(id)] ^= delta;
+    if (!touched_[static_cast<std::size_t>(id)]) {
+      touched_[static_cast<std::size_t>(id)] = 1;
+      ++tracked_;
+    }
+  }
 
   /// Frames whose digest has ever moved away from the erased state.
-  std::size_t tracked_frames() const { return hashes_.size(); }
+  std::size_t tracked_frames() const { return tracked_; }
 
   // ---- content tokens (XOR-composable) ------------------------------------
   /// Token of one logic cell's configuration at a given row. Tokens of the
@@ -72,7 +95,10 @@ class FrameImage {
   static std::uint64_t source_token(fabric::NodeId n);
 
  private:
-  std::map<FrameAddress, std::uint64_t> hashes_;
+  FrameIndex index_;
+  std::vector<std::uint64_t> hash_;
+  std::vector<std::uint8_t> touched_;
+  std::size_t tracked_ = 0;
 };
 
 }  // namespace relogic::config

@@ -28,7 +28,8 @@ std::vector<NodeId> RouteTree::nodes() const {
 Fabric::Fabric(DeviceGeometry geometry)
     : geom_(std::move(geometry)),
       graph_(geom_),
-      clbs_(static_cast<std::size_t>(geom_.clb_count())) {
+      clbs_(static_cast<std::size_t>(geom_.clb_count())),
+      lut_ram_per_col_(static_cast<std::size_t>(geom_.clb_cols), 0) {
   RELOGIC_CHECK_MSG(
       geom_.cells_per_clb >= 1 && geom_.cells_per_clb <= kMaxCellsPerClb,
       "cells_per_clb outside the fabric's storable range");
@@ -75,6 +76,9 @@ bool Fabric::set_cell_config(ClbCoord c, int cell,
   if (slot == stored) return false;  // identical rewrite: no effect, no event
   const LogicCellConfig before = slot;
   used_cells_ += (stored.used ? 1 : 0) - (before.used ? 1 : 0);
+  lut_ram_per_col_[static_cast<std::size_t>(c.col)] +=
+      (stored.used && stored.lut_mode == LutMode::kRam ? 1 : 0) -
+      (before.used && before.lut_mode == LutMode::kRam ? 1 : 0);
   slot = stored;
   for (auto* l : listeners_) l->on_cell_changed(c, cell, before, stored);
   return true;

@@ -114,6 +114,16 @@ class Fabric {
   /// Number of used cells across the device.
   int used_cell_count() const { return used_cells_; }
 
+  /// Live LUT-RAM cells stored in one CLB column. Maintained incrementally
+  /// by set_cell_config (every cell mutation funnels through it, including
+  /// restore() and fault injection), so the configuration controller's
+  /// per-op LUT-RAM column legality check can skip clean columns without
+  /// scanning rows x cells — the hot-path cost that used to dominate
+  /// ConfigController::apply on large devices.
+  int live_lut_ram_in_col(int col) const {
+    return lut_ram_per_col_[static_cast<std::size_t>(col)];
+  }
+
   // ---- nets ----------------------------------------------------------------
   /// Creates an empty net and returns its id (ids start at 1).
   NetId create_net(std::string name);
@@ -182,6 +192,8 @@ class Fabric {
   DeviceGeometry geom_;
   RoutingGraph graph_;
   std::vector<ClbConfig> clbs_;
+  /// Per-CLB-column count of live LUT-RAM cells (see live_lut_ram_in_col).
+  std::vector<int> lut_ram_per_col_;
   /// Injected configuration-memory defects, keyed by linear cell index.
   std::unordered_map<int, CellFault> faults_;
   std::vector<RouteTree> nets_;     // index 0 unused

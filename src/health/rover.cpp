@@ -26,15 +26,7 @@ std::set<int> RovingTester::lut_ram_columns() const {
   const auto& geom = fab.geometry();
   std::set<int> cols;
   for (int c = 0; c < geom.clb_cols; ++c) {
-    for (int r = 0; r < geom.clb_rows && !cols.contains(c); ++r) {
-      for (int k = 0; k < geom.cells_per_clb; ++k) {
-        const auto& cfg = fab.cell(ClbCoord{r, c}, k);
-        if (cfg.used && cfg.lut_mode == fabric::LutMode::kRam) {
-          cols.insert(c);
-          break;
-        }
-      }
-    }
+    if (fab.live_lut_ram_in_col(c) > 0) cols.insert(c);
   }
   return cols;
 }
@@ -89,11 +81,12 @@ bool RovingTester::test_cell(ClbCoord clb, int cell, const RoverOptions& opt,
     report.frames_written += res.frames_written;
     report.config_time += res.time;
     // Readback through the same port: one transaction per column. Priced
-    // on the op's full frame set, not the written subset — a readback must
-    // fetch every frame it wants to verify, so dirty-frame write skipping
-    // (ApplyResult::frames_skipped) never shrinks it.
+    // on the op's full frame set (ConfigController::readback_frames), not
+    // the written subset — a readback must fetch every frame it wants to
+    // verify, so dirty-frame write skipping never shrinks it and sweep
+    // readback cost is identical across kFrame and kDirtyFrame.
     report.config_time += controller_->port().readback_time(
-        res.frames_written + res.frames_skipped, frame_bits);
+        controller_->readback_frames(op), frame_bits);
     const std::uint16_t got = fab.cell(clb, cell).lut;
     if (got != pattern) {
       faulty = true;

@@ -13,10 +13,11 @@ TransactionBatcher::TransactionBatcher(config::ConfigController& controller,
 void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   if (op.empty()) return;
   // One frame-set computation per op; the unbatched-baseline preview, the
-  // legality check, and the max_columns / max_frames gates all share it.
-  // Stats are only recorded once the op is past the checks that can throw,
-  // so a rejected op never skews the batched-vs-unbatched comparison.
-  const std::set<config::FrameAddress> frames = controller_->frames_of(op);
+  // legality check, the max_columns / max_frames gates AND the flush-time
+  // apply (through the running union) all share it. Stats are only
+  // recorded once the op is past the checks that can throw, so a rejected
+  // op never skews the batched-vs-unbatched comparison.
+  controller_->frames_of(op, op_frames_);
 
   // An op that writes a LUT-RAM cell config must apply alone: the live
   // LUT-RAM column check runs once per transaction against the fabric
@@ -38,8 +39,9 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
     // kDirtyFrame (the op previews against the very state the unbatched
     // sequence would see), not an estimate.
     flush();
-    const auto alone = controller_->preview(op, frames);
-    const auto r = controller_->apply(op, options_.allow_lut_ram_columns);
+    const auto alone = controller_->preview(op, op_frames_);
+    const auto r =
+        controller_->apply(op, op_frames_, options_.allow_lut_ram_columns);
     ++stats_.ops_in;
     stats_.unbatched_column_writes += alone.columns_touched;
     stats_.unbatched_frames += alone.frames_written;
@@ -61,12 +63,12 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   // per-op check's verdict. The merged apply()'s own check is strictly
   // weaker and serves as a safety net only.
   if (!options_.allow_lut_ram_columns)
-    controller_->check_lut_ram_columns(op, frames, &pending_rewrites_);
+    controller_->check_lut_ram_columns(op, op_frames_, &pending_rewrites_);
 
   // Merge-path baseline: previewed against the fabric as it stands at
   // enqueue (before the pending batch applies) — an estimate under
   // kDirtyFrame, exact otherwise (see the header comment).
-  const auto alone = controller_->preview(op, frames);
+  const auto alone = controller_->preview(op, op_frames_);
 
   ++stats_.ops_in;
   stats_.unbatched_column_writes += alone.columns_touched;
@@ -74,33 +76,29 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
   stats_.unbatched_frames_skipped += alone.frames_skipped;
   stats_.unbatched_time += alone.time;
 
-  std::set<Column> op_columns;
-  if (options_.max_columns > 0) {
-    for (const auto& f : frames) op_columns.insert({f.type, f.column});
-    if (pending_ops_ > 0) {
-      std::set<Column> merged = pending_columns_;
-      merged.insert(op_columns.begin(), op_columns.end());
-      if (static_cast<int>(merged.size()) > options_.max_columns) flush();
+  if (pending_ops_ > 0 && (options_.max_columns > 0 || options_.max_frames > 0)) {
+    merged_scratch_ = pending_frames_;
+    merged_scratch_.union_with(op_frames_);
+    if (options_.max_columns > 0 &&
+        controller_->column_count(merged_scratch_) > options_.max_columns) {
+      flush();
+    } else if (options_.max_frames > 0 &&
+               static_cast<int>(merged_scratch_.size()) > options_.max_frames) {
+      flush();
     }
-  }
-  if (options_.max_frames > 0 && pending_ops_ > 0) {
-    std::set<config::FrameAddress> merged = pending_frames_;
-    merged.insert(frames.begin(), frames.end());
-    if (static_cast<int>(merged.size()) > options_.max_frames) flush();
   }
 
   if (pending_ops_ == 0) {
     pending_ = op;
+    pending_frames_ = op_frames_;
     pending_ops_ = 1;
   } else {
     pending_.label += " + " + op.label;
     pending_.actions.insert(pending_.actions.end(), op.actions.begin(),
                             op.actions.end());
+    pending_frames_.union_with(op_frames_);
     ++pending_ops_;
   }
-  pending_columns_.insert(op_columns.begin(), op_columns.end());
-  if (options_.max_frames > 0)
-    pending_frames_.insert(frames.begin(), frames.end());
   for (const config::ConfigAction& a : op.actions) {
     if (const auto* cw = std::get_if<config::CellWrite>(&a))
       pending_rewrites_.insert({cw->clb.row, cw->clb.col, cw->cell});
@@ -113,10 +111,12 @@ void TransactionBatcher::flush() {
   const int batched = std::exchange(pending_ops_, 0);
   config::ConfigOp op = std::move(pending_);
   pending_ = config::ConfigOp{};
-  pending_columns_.clear();
-  pending_frames_.clear();
   pending_rewrites_.clear();
-  const auto r = controller_->apply(op, options_.allow_lut_ram_columns);
+  // The running union IS frames_of(op) for the merged op, so apply skips
+  // the re-mapping pass entirely.
+  const auto r =
+      controller_->apply(op, pending_frames_, options_.allow_lut_ram_columns);
+  pending_frames_.clear();
   ++stats_.transactions;
   stats_.column_writes += r.columns_touched;
   stats_.frames_written += r.frames_written;

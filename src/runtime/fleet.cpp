@@ -514,9 +514,9 @@ DeviceReport FleetManager::run_device(
   }
   report.stats = scheduler.run_apps(apps, cfg_.overlap);
 
-  // Replay the initial partial configuration of every placed task against a
-  // real fabric through the transaction batcher, so the report carries
-  // measured (not estimated) transaction counts for batched vs unbatched.
+  // Replay the configuration traffic of every placed task against a real
+  // fabric through the transaction batcher, so the report carries measured
+  // (not estimated) transaction counts for batched vs unbatched.
   fabric::Fabric fab(geom);
   if (cfg_.health.enabled()) faults.install(fab);
   config::ConfigController controller(fab, port, plane.granularity);
@@ -524,29 +524,49 @@ DeviceReport FleetManager::run_device(
   if (!cfg_.batch_config) bopt.max_ops = 1;
   TransactionBatcher batcher(controller, bopt);
 
-  std::vector<std::size_t> by_config_start;
+  // Each task contributes a per-task op *sequence* — its initial partial
+  // configuration at config_start and the teardown clear at finish — so the
+  // replayed stream carries the redundancy a real device sees (configure,
+  // run, clear, reconfigure the freed slot). That is exactly the stream
+  // where kDirtyFrame's cancellation wins at fleet scale: a configure and
+  // its clear coalesced into one batch XOR out to nothing, and the skip
+  // lands in frame_writes_dirty_skipped.
+  struct ReplayEvent {
+    SimTime at;
+    bool clear;  ///< clears order before configures on time ties: a slot
+                 ///< freed at t is re-configured at the same t by its
+                 ///< successor
+    std::size_t task;
+  };
+  std::vector<ReplayEvent> events;
   for (std::size_t i = 0; i < report.stats.tasks.size(); ++i) {
-    if (!report.stats.tasks[i].rejected && !report.stats.tasks[i].slot.empty())
-      by_config_start.push_back(i);
-  }
-  std::stable_sort(by_config_start.begin(), by_config_start.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return report.stats.tasks[a].config_start <
-                            report.stats.tasks[b].config_start;
-                   });
-  for (std::size_t i : by_config_start) {
     const auto& task = report.stats.tasks[i];
-    config::ConfigOp op(task.name);
+    if (task.rejected || task.slot.empty()) continue;
+    events.push_back({task.config_start, false, i});
+    events.push_back({task.finish, true, i});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ReplayEvent& a, const ReplayEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.clear && !b.clear;
+                   });
+  for (const ReplayEvent& ev : events) {
+    const auto& task = report.stats.tasks[ev.task];
+    config::ConfigOp op(ev.clear ? task.name + " clear" : task.name);
     for (int r = task.slot.row; r < task.slot.row_end(); ++r) {
       for (int c = task.slot.col; c < task.slot.col_end(); ++c) {
         for (int k = 0; k < geom.cells_per_clb; ++k) {
+          if (ev.clear) {
+            op.clear_cell(ClbCoord{r, c}, k);
+            continue;
+          }
           fabric::LogicCellConfig cell;
           cell.used = true;
           cell.reg = fabric::RegMode::kFF;
           // Distinct truth table per task so successive occupants of the
           // same slot are effective rewrites, not suppressed identical ones.
           cell.lut = static_cast<std::uint16_t>(
-              (2654435761u * (static_cast<unsigned>(i) + 1) +
+              (2654435761u * (static_cast<unsigned>(ev.task) + 1) +
                40503u * static_cast<unsigned>(k)) >>
               12);
           op.write_cell(ClbCoord{r, c}, k, cell);

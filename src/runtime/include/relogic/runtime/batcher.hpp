@@ -25,6 +25,14 @@
 // under kDirtyFrame that baseline is an estimate — each op is previewed
 // against the fabric as it stands at enqueue, before the pending batch has
 // applied.
+//
+// Each incoming op's frame set (config::FrameSet, sorted dense ids) is
+// computed exactly once per enqueue and reused for the LUT-RAM legality
+// check, the unbatched-baseline preview, the max_columns / max_frames
+// gates, and — via the running union the batcher maintains — the flush
+// apply itself, which takes the merged set instead of re-mapping the
+// concatenated op. All sets live in reusable members, so steady-state
+// enqueue/flush allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -93,16 +101,17 @@ class TransactionBatcher {
   config::ConfigController& controller() { return *controller_; }
 
  private:
-  using Column = std::pair<config::ColumnType, std::int16_t>;
-
   config::ConfigController* controller_;
   BatchOptions options_;
   config::ConfigOp pending_;
-  /// Columns / frames the pending batch maps to (running unions, so the
-  /// max_columns / max_frames gates cost one frames_of per incoming op,
-  /// not a re-preview of the whole batch).
-  std::set<Column> pending_columns_;
-  std::set<config::FrameAddress> pending_frames_;
+  /// Running union of the pending batch's frame sets — equals
+  /// frames_of(pending_) (widening distributes over unions), so flush()
+  /// hands it to apply() instead of re-mapping the merged op. Also powers
+  /// the max_columns / max_frames gates at one frames_of per incoming op.
+  config::FrameSet pending_frames_;
+  /// Scratch reused across enqueues (incoming op's set, gate trial union).
+  config::FrameSet op_frames_;
+  config::FrameSet merged_scratch_;
   /// Cells written by the pending batch — the exemption set that makes the
   /// enqueue-time LUT-RAM legality check match the per-op sequence.
   std::set<config::ConfigController::CellKey> pending_rewrites_;

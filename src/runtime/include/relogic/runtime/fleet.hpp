@@ -26,11 +26,14 @@
 // dispatch. That is the baseline bench_fleet_online measures the online
 // loop against.
 //
-// Alongside the area-level schedule, each device replays the partial
-// configurations of its admitted tasks against a real Fabric +
-// ConfigController through a TransactionBatcher, so fleet reports carry
-// honest configuration-port transaction counts: batched versus the
-// one-transaction-per-op baseline on the same workload.
+// Alongside the area-level schedule, each device replays the configuration
+// traffic of its admitted tasks — a per-task op sequence: the initial
+// partial configuration at config_start and the teardown clear at finish,
+// event-ordered — against a real Fabric + ConfigController through a
+// TransactionBatcher, so fleet reports carry honest configuration-port
+// transaction counts: batched versus the one-transaction-per-op baseline on
+// the same workload, with kDirtyFrame's configure/clear cancellations
+// showing up in frame_writes_dirty_skipped at fleet scale.
 #pragma once
 
 #include <cstddef>

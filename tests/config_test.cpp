@@ -205,5 +205,56 @@ TEST(Crc32, KnownVector) {
   EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
 }
 
+// The writer renders/prices from the controller's written set, so its frame
+// totals equal the controller's ConfigTotals at every granularity — under
+// kDirtyFrame it used to render the full mapped set and over-report.
+TEST(Bitstream, WriterTotalsMatchControllerTotalsAtEveryGranularity) {
+  for (const auto gran :
+       {WriteGranularity::kColumn, WriteGranularity::kFrame,
+        WriteGranularity::kDirtyFrame}) {
+    SCOPED_TRACE(to_string(gran));
+    const auto geom = DeviceGeometry::tiny(8, 8);
+    Fabric fab(geom);
+    BoundaryScanPort port;
+    ConfigController ctl(fab, port, gran);
+    BitstreamWriter writer(ctl);
+
+    // A sequence with cross-op dependence: "cfg a again" rewrites the very
+    // content "cfg a" establishes, so a sequence-blind writer would price
+    // it as dirty; the applied sequence skips it. Plus a self-cancelling op
+    // that kDirtyFrame must render as zero frames.
+    std::vector<ConfigOp> ops;
+    ops.emplace_back("cfg a").write_cell({1, 1}, 0,
+                                         LogicCellConfig::constant(true));
+    ops.emplace_back("cfg b").write_cell({2, 4}, 1,
+                                         LogicCellConfig::constant(false));
+    ops.emplace_back("self-cancel")
+        .write_cell({3, 6}, 2, LogicCellConfig::constant(true))
+        .clear_cell({3, 6}, 2);
+    ops.emplace_back("cfg a again")
+        .write_cell({1, 1}, 0, LogicCellConfig::constant(true));
+
+    const auto image = writer.render(ops);
+    const auto script = writer.script(ops);
+
+    int applied_frames = 0;
+    for (const auto& op : ops) applied_frames += ctl.apply(op).frames_written;
+    EXPECT_EQ(image.frame_count, ctl.totals().frames_written);
+    EXPECT_EQ(image.frame_count, applied_frames);
+
+    if (gran == WriteGranularity::kDirtyFrame) {
+      // The self-cancelling op and the identical rewrite each skipped
+      // their whole frame group...
+      EXPECT_EQ(ctl.totals().frames_skipped, 2 * geom.frames_per_cell_config);
+      EXPECT_NE(script.find("clean-skipped"), std::string::npos);
+      // ...and re-rendering the now-applied ops writes nothing at all:
+      // every rewrite is content-identical.
+      EXPECT_EQ(writer.render(ops).frame_count, 0);
+    } else {
+      EXPECT_EQ(writer.render(ops).frame_count, ctl.totals().frames_written);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace relogic::config

@@ -131,6 +131,16 @@ TEST_F(DirtyControllerTest, SelfCancellingOpDirtiesNothing) {
   EXPECT_TRUE(g.is_free(wire));
 }
 
+TEST_F(DirtyControllerTest, ReadbackFramesNeverDirtySkipped) {
+  config::ConfigOp op("cfg");
+  op.write_cell({1, 1}, 0, LogicCellConfig::constant(true));
+  ctl_.apply(op);
+  // An identical rewrite writes nothing under kDirtyFrame — but a readback
+  // verifying the op must still fetch the whole frame group.
+  EXPECT_EQ(ctl_.preview(op).frames_written, 0);
+  EXPECT_EQ(ctl_.readback_frames(op), geom_.frames_per_cell_config);
+}
+
 TEST_F(DirtyControllerTest, ShadowImageTracksAppliedDeltas) {
   EXPECT_EQ(ctl_.image().tracked_frames(), 0u);
   config::ConfigOp op("cfg");
@@ -455,6 +465,10 @@ TEST(FleetConfigPlane, DirtyGranularityWritesFewerFramesSameSchedule) {
   EXPECT_EQ(ra.admitted, rb.admitted);
   EXPECT_LT(rb.aggregate.counter_value("frame_writes"),
             ra.aggregate.counter_value("frame_writes"));
+  // The per-task configure + clear replay sequences give dirty diffing real
+  // cancellations to skip at fleet scale (a configure merged with its own
+  // clear XORs out to nothing).
+  EXPECT_GT(rb.aggregate.counter_value("frame_writes_dirty_skipped"), 0);
 }
 
 }  // namespace

@@ -345,6 +345,32 @@ TEST(RovingTester, FreeFabricFullRotationDetectsEveryFault) {
   EXPECT_EQ(again.cells_tested, 256 - map.injected_count());
 }
 
+// Readback is never dirty-skippable: a sweep must fetch every frame it
+// wants to verify whether or not the preceding write changed its bytes, so
+// the rover prices readback on the op's full frame set
+// (ConfigController::readback_frames) and an identical sweep costs exactly
+// the same under kFrame and kDirtyFrame.
+TEST(RovingTester, SweepCostIdenticalAcrossFrameAndDirtyGranularity) {
+  health::SweepReport reports[2];
+  int i = 0;
+  for (const auto gran : {config::WriteGranularity::kFrame,
+                          config::WriteGranularity::kDirtyFrame}) {
+    fabric::Fabric fab(fabric::DeviceGeometry::tiny(6, 6));
+    config::BoundaryScanPort port;
+    config::ConfigController ctl(fab, port, gran);
+    health::FaultInjector injector(6, 6, 4, 0.05, 11);
+    health::FaultMap map = injector.generate();
+    map.install(fab);
+    health::RovingTester rover(ctl, /*engine=*/nullptr, map);
+    reports[i++] = rover.sweep({});
+  }
+  EXPECT_EQ(reports[0].cells_tested, reports[1].cells_tested);
+  EXPECT_EQ(reports[0].faults_detected, reports[1].faults_detected);
+  EXPECT_EQ(reports[0].frames_written, reports[1].frames_written);
+  EXPECT_GT(reports[0].config_time, SimTime::zero());
+  EXPECT_EQ(reports[0].config_time, reports[1].config_time);
+}
+
 TEST(RovingTester, SkipsLiveLutRamColumnsEntirely) {
   fabric::Fabric fab(fabric::DeviceGeometry::tiny(6, 6));
   config::BoundaryScanPort port;
