@@ -6,6 +6,8 @@
 // time — showing phase 1 (copy configuration + parallel inputs) and
 // phase 2 (parallel outputs, then disconnect original, outputs first).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "relogic/common/logging.hpp"
 #include "relogic/config/controller.hpp"
@@ -51,16 +53,24 @@ void run_case(const char* title, const netlist::Netlist& nl) {
   Rng rng(17);
   for (int i = 0; i < 8; ++i) harness.step_random(rng);
 
+  // Capture the engine's one-line-per-op narration through the log sink
+  // instead of letting it interleave with stdout on stderr; the trace is
+  // then printed as part of this case's block below.
+  std::vector<std::string> op_trace;
+  set_log_sink(
+      [&op_trace](LogLevel, const std::string& msg) { op_trace.push_back(msg); });
   set_log_level(LogLevel::kDebug);  // emits one line per config op
   const auto before = controller.totals();
   const auto report =
       engine.relocate_cell(impl, 0, place::CellSite{ClbCoord{9, 9}, 0});
   set_log_level(LogLevel::kOff);
+  set_log_sink(nullptr);
   const auto after = controller.totals();
 
   for (int i = 0; i < 8; ++i) harness.step_random(rng);
 
   std::printf("%s\n", title);
+  for (const auto& line : op_trace) std::printf("    %s\n", line.c_str());
   std::printf("  %s\n", report.to_string().c_str());
   std::printf("  transactions %d, frames %d, columns %d, port time %s\n",
               after.ops - before.ops,
@@ -76,7 +86,7 @@ void run_case(const char* title, const netlist::Netlist& nl) {
 
 int main() {
   std::printf("# Fig. 2 — two-phase CLB relocation procedure\n");
-  std::printf("# (op-by-op trace on stderr: phase 1 = copy config + parallel "
+  std::printf("# (op-by-op trace per case: phase 1 = copy config + parallel "
               "inputs,\n#  phase 2 = parallel outputs, disconnect original "
               "outputs, then inputs)\n\n");
   run_case("combinational cell:",

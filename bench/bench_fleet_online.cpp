@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_report.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/runtime/fleet.hpp"
 #include "relogic/sched/workload.hpp"
 
@@ -32,7 +33,17 @@ std::string slug(const std::string& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   constexpr int kTasks = 250;
   constexpr int kDevices = 4;
   constexpr std::uint64_t kSeed = 2003;
@@ -163,6 +174,40 @@ int main() {
           .count();
   std::printf("end-to-end wall clock: %.0f ms\n", wall_ms);
   report.add("wall_clock_ms", wall_ms, "ms");
+
+  // ---- optional trace capture ---------------------------------------------
+  // One extra poisson/least-loaded/online run with the deterministic tracer
+  // attached; the span JSON lands wherever --trace points (Perfetto
+  // loadable). Runs after the sweep's wall-clock capture so tracing never
+  // perturbs its numbers.
+  if (!trace_file.empty()) {
+    sched::WorkloadParams wp;
+    wp.pattern = sched::ArrivalPattern::kPoisson;
+    wp.task_count = kTasks;
+    wp.mean_interarrival_ms = 0.8;
+    wp.seed = kSeed;
+
+    runtime::FleetConfig cfg;
+    cfg.devices = kDevices;
+    cfg.rows = cfg.cols = 12;
+    cfg.dispatch = runtime::DispatchPolicy::kLeastLoaded;
+    cfg.admission = runtime::AdmissionMode::kOnline;
+    cfg.rebalance_backlog_ms = kRebalanceMs;
+    cfg.sched.policy = sched::ManagementPolicy::kTransparent;
+
+    obs::Tracer tracer;
+    runtime::FleetManager fleet(cfg);
+    fleet.set_tracer(&tracer);
+    fleet.submit_all(sched::WorkloadGenerator(wp).generate());
+    fleet.run();
+    if (!tracer.write_json(trace_file)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                trace_file.c_str());
+  }
 
   if (report.write()) {
     std::printf("wrote %s\n", report.path().c_str());

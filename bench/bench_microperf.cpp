@@ -16,6 +16,7 @@
 #include "relogic/config/controller.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/netlist/benchmarks.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
 #include "relogic/runtime/batcher.hpp"
@@ -224,6 +225,57 @@ BENCHMARK(BM_BatcherFlush)
     ->Arg(static_cast<int>(fabric::DevicePreset::kXCV200))
     ->Arg(static_cast<int>(fabric::DevicePreset::kXCV1000))
     ->Unit(benchmark::kMicrosecond);
+
+// ---- tracer overhead --------------------------------------------------------
+// The observability contract (DESIGN.md §7): a disabled tracer costs one
+// untaken branch per emission site. All three variants run the exact
+// BM_ConfigApply XCV200 workload: _base never touches the tracer API,
+// _off explicitly installs the null-object handle, _on attaches a live
+// tracer (arg rendering + ring write). CI gates _off within 5% of _base —
+// the two are registered adjacently so they run back-to-back under the
+// same thermal/cache conditions, which a gate against the distant
+// BM_ConfigApply_3 measurement could not guarantee.
+
+enum class TraceMode { kBase, kOff, kOn };
+
+void trace_overhead_run(benchmark::State& state, TraceMode mode) {
+  const auto geom =
+      fabric::DeviceGeometry::preset(fabric::DevicePreset::kXCV200);
+  fabric::Fabric fab(geom);
+  config::BoundaryScanPort port;
+  config::ConfigController ctl(fab, port,
+                               config::WriteGranularity::kDirtyFrame);
+  obs::Tracer tracer;
+  if (mode == TraceMode::kOff) ctl.set_trace(obs::TraceTrack{});
+  if (mode == TraceMode::kOn)
+    ctl.set_trace(tracer.track(0, 0, "bench", "config-port"));
+  const config::ConfigOp ops[2] = {spread_op(geom, 2, 0),
+                                   spread_op(geom, 2, 1)};
+  int phase = 0;
+  std::int64_t applied = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.apply(ops[phase & 1]).frames_written);
+    ++phase;
+    ++applied;
+  }
+  state.SetItemsProcessed(applied);
+  state.SetLabel(geom.name);
+}
+
+void BM_TraceOverhead_base(benchmark::State& state) {
+  trace_overhead_run(state, TraceMode::kBase);
+}
+BENCHMARK(BM_TraceOverhead_base)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceOverhead_off(benchmark::State& state) {
+  trace_overhead_run(state, TraceMode::kOff);
+}
+BENCHMARK(BM_TraceOverhead_off)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceOverhead_on(benchmark::State& state) {
+  trace_overhead_run(state, TraceMode::kOn);
+}
+BENCHMARK(BM_TraceOverhead_on)->Unit(benchmark::kMicrosecond);
 
 void BM_DefragPlan(benchmark::State& state) {
   // Planning cost on a fragmented 32x32 grid.

@@ -23,10 +23,20 @@ machine cancels out, a config-plane regression does not. Without the
 reference the guard falls back to raw times, where the 2x factor must also
 absorb hardware variance.
 
+On top of the cross-run baseline comparison, one *within-run* gate guards
+the observability contract: a disabled tracer must be free. The current
+report must carry BM_TraceOverhead_off (the BM_ConfigApply XCV200 workload
+with a null trace handle explicitly installed) within TRACE_OFF_FACTOR of
+BM_TraceOverhead_base (the identical workload never touching the tracer
+API). The two are registered adjacently in bench_microperf so they run
+back-to-back — same machine state, no normalization needed; gating against
+the minutes-earlier BM_ConfigApply_3 measurement was too drift-prone for a
+5% margin. Missing either metric fails the guard.
+
 If the guard fires without a plausible code cause, or after an intentional
 hot-path change, refresh the baseline:
 
-    ./build/bench_microperf --benchmark_filter='BM_ConfigApply|BM_DirtyPreview|BM_BatcherFlush|BM_RoutingGraphBuild'
+    ./build/bench_microperf --benchmark_filter='BM_ConfigApply|BM_DirtyPreview|BM_BatcherFlush|BM_TraceOverhead|BM_RoutingGraphBuild'
     cp BENCH_microperf.json bench/baselines/microperf_baseline.json
 
 Usage: check_perf_baseline.py <current.json> <baseline.json> [max_factor]
@@ -35,8 +45,18 @@ Usage: check_perf_baseline.py <current.json> <baseline.json> [max_factor]
 import json
 import sys
 
-GUARDED_PREFIXES = ("BM_ConfigApply", "BM_DirtyPreview", "BM_BatcherFlush")
+GUARDED_PREFIXES = (
+    "BM_ConfigApply",
+    "BM_DirtyPreview",
+    "BM_BatcherFlush",
+    "BM_TraceOverhead",
+)
 REFERENCE_METRIC = "BM_RoutingGraphBuild_8"
+
+# Disabled-tracer gate: _off vs the adjacent untraced twin, same run.
+TRACE_OFF_METRIC = "BM_TraceOverhead_off"
+TRACE_BASE_METRIC = "BM_TraceOverhead_base"
+TRACE_OFF_FACTOR = 1.05
 
 
 def load_metrics(path):
@@ -49,6 +69,22 @@ def load_metrics(path):
     }
 
 
+def check_trace_overhead(current):
+    """Within-run gate: disabled tracer within TRACE_OFF_FACTOR of the
+    identical untraced workload. Returns True on pass."""
+    off = current.get(TRACE_OFF_METRIC)
+    base = current.get(TRACE_BASE_METRIC)
+    if off is None or base is None or base <= 0:
+        print(f"FAIL trace-overhead gate: need both {TRACE_OFF_METRIC} and "
+              f"{TRACE_BASE_METRIC} in the current report")
+        return False
+    ratio = off / base
+    verdict = "FAIL" if ratio > TRACE_OFF_FACTOR else "ok"
+    print(f"{verdict:4} {TRACE_OFF_METRIC}: {off:.3g} vs {TRACE_BASE_METRIC} "
+          f"{base:.3g} same-run ({ratio:.3f}x, limit {TRACE_OFF_FACTOR:.2f}x)")
+    return ratio <= TRACE_OFF_FACTOR
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(__doc__)
@@ -56,6 +92,8 @@ def main(argv):
     current = load_metrics(argv[1])
     baseline = load_metrics(argv[2])
     factor = float(argv[3]) if len(argv) > 3 else 2.0
+
+    failed_trace_gate = not check_trace_overhead(current)
 
     cur_ref = current.pop(REFERENCE_METRIC, None)
     base_ref = baseline.pop(REFERENCE_METRIC, None)
@@ -84,6 +122,7 @@ def main(argv):
         print(f"{verdict:4} {name}: {cur:.3g} (normalized) vs baseline "
               f"{base:.3g} ({ratio:.2f}x, limit {factor:.1f}x)")
         failed = failed or ratio > factor
+    failed = failed or failed_trace_gate
     if failed:
         print("perf-regression guard FAILED — see bench/check_perf_baseline.py "
               "for the baseline-refresh procedure")

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validator for relogic::obs Chrome trace-event JSON (stdlib only).
+
+Checks the invariants the tracer promises (DESIGN.md §7) so CI can gate
+`relogic-cli --trace` / `bench_fleet_online --trace` output without loading
+it into Perfetto:
+
+  * top level is an object with a "traceEvents" list and "displayTimeUnit";
+  * every event carries "ph", "pid", "tid"; every non-metadata event
+    carries a numeric "ts" >= 0;
+  * 'X' complete events carry a numeric "dur" >= 0 and a "cat"/"name";
+  * 'B'/'E' pairs balance per (pid, tid) lane and never go negative
+    (an 'E' with no open 'B' would render as garbage nesting);
+  * 'i' instants carry a scope ("s");
+  * 'C' counter samples carry an "args" object with a numeric value;
+  * metadata ('M') events are process_name/thread_name with an args.name.
+
+With --min-cats N, additionally requires at least N distinct non-metadata,
+non-counter categories — the whole-request-path coverage gate.
+
+Usage: check_trace_format.py TRACE.json [--min-cats N]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    path = argv[1]
+    min_cats = 0
+    rest = argv[2:]
+    while rest:
+        if rest[0] == "--min-cats" and len(rest) > 1:
+            min_cats = int(rest[1])
+            rest = rest[2:]
+        else:
+            sys.stderr.write(__doc__)
+            return 2
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        return fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('missing or non-list "traceEvents"')
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        return fail('"displayTimeUnit" must be "ms" or "ns"')
+
+    cats = set()
+    depth = {}  # (pid, tid) -> open 'B' count
+    counts = {}  # phase -> count
+    for i, e in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            return fail(f"{where}: not an object")
+        ph = e.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            return fail(f'{where}: bad "ph": {ph!r}')
+        counts[ph] = counts.get(ph, 0) + 1
+        if not isinstance(e.get("pid"), int) or not isinstance(
+                e.get("tid"), int):
+            return fail(f"{where}: pid/tid must be integers")
+        lane = (e["pid"], e["tid"])
+
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                return fail(f"{where}: unexpected metadata {e.get('name')!r}")
+            if not isinstance(e.get("args", {}).get("name"), str):
+                return fail(f"{where}: metadata without args.name")
+            continue
+
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"{where}: missing or negative ts: {ts!r}")
+
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{where}: 'X' with missing or negative dur")
+        if ph in ("X", "B", "i", "C"):
+            if not isinstance(e.get("cat"), str) or not isinstance(
+                    e.get("name"), str):
+                return fail(f"{where}: '{ph}' without cat/name")
+            if ph != "C":
+                cats.add(e["cat"])
+        if ph == "B":
+            depth[lane] = depth.get(lane, 0) + 1
+        if ph == "E":
+            depth[lane] = depth.get(lane, 0) - 1
+            if depth[lane] < 0:
+                return fail(f"{where}: 'E' with no open 'B' on lane {lane}")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            return fail(f"{where}: instant without scope")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not any(
+                    isinstance(v, (int, float)) for v in args.values()):
+                return fail(f"{where}: counter without numeric args")
+
+    unbalanced = {lane: d for lane, d in depth.items() if d != 0}
+    if unbalanced:
+        return fail(f"unbalanced B/E nesting: {unbalanced}")
+    if min_cats and len(cats) < min_cats:
+        return fail(f"only {len(cats)} span categories ({sorted(cats)}), "
+                    f"need >= {min_cats}")
+
+    phases = " ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
+    print(f"ok: {len(events)} events ({phases}), "
+          f"{len(cats)} categories: {sorted(cats)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

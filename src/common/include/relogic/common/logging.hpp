@@ -1,11 +1,16 @@
 // Minimal leveled logger used across the library.
 //
 // Off by default; benches/examples raise the level to narrate relocation
-// steps. Not thread-safe by design — the simulator is single-threaded.
+// steps. The level/sink globals are not synchronised — set them before
+// spawning workers. The log context is thread-local, so concurrent device
+// runs tag their own lines.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+
+#include "relogic/common/time.hpp"
 
 namespace relogic {
 
@@ -14,6 +19,19 @@ enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 /// Global log threshold; messages above the threshold are dropped.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Redirects log output. The sink receives the composed message (context
+/// prefix included, level tag not). An empty sink restores stderr. Lets
+/// tests and benches capture narration instead of spamming stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Thread-local component/sim-time tag prefixed to subsequent log lines as
+/// "[t=<ms>ms <component>] ". Instrumented components set it while a tracer
+/// is active so log lines correlate with trace spans; when cleared it costs
+/// nothing. `component` must outlive its use (string literals).
+void set_log_context(const char* component, SimTime now);
+void clear_log_context();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -6,6 +6,13 @@ namespace relogic {
 
 namespace {
 LogLevel g_level = LogLevel::kOff;
+LogSink g_sink;
+
+struct LogContext {
+  const char* component = nullptr;
+  std::int64_t time_ps = 0;
+};
+thread_local LogContext g_context;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,9 +36,31 @@ const char* level_name(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+void set_log_context(const char* component, SimTime now) {
+  g_context.component = component;
+  g_context.time_ps = now.picoseconds();
+}
+
+void clear_log_context() { g_context.component = nullptr; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[relogic %s] %s\n", level_name(level), msg.c_str());
+  std::string line;
+  if (g_context.component) {
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[t=%.3fms %s] ",
+                  static_cast<double>(g_context.time_ps) / 1e9,
+                  g_context.component);
+    line = prefix;
+  }
+  line += msg;
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "[relogic %s] %s\n", level_name(level), line.c_str());
 }
 }  // namespace detail
 

@@ -340,7 +340,20 @@ ApplyResult ConfigController::apply(const ConfigOp& op, const FrameSet& frames,
   totals_.frames_written += result.frames_written;
   totals_.frames_skipped += result.frames_skipped;
   totals_.columns_touched += result.columns_touched;
+  const SimTime span_start = totals_.time;
   totals_.time += result.time;
+
+  if (trace_) {
+    trace_.complete("config", op.label, span_start, result.time,
+                    {obs::arg("granularity", to_string(granularity_)),
+                     obs::arg("frames_written", result.frames_written),
+                     obs::arg("frames_skipped", result.frames_skipped),
+                     obs::arg("columns", result.columns_touched),
+                     obs::arg("effective_actions", result.effective_actions)});
+    trace_.counter("frames_written", totals_.time,
+                   static_cast<double>(totals_.frames_written));
+    set_log_context("config", totals_.time);
+  }
 
   RELOGIC_LOG(kDebug) << "config op '" << op.label << "': "
                       << result.frames_written << " frames ("

@@ -49,6 +49,7 @@
 #include "relogic/config/granularity.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/fabric/fabric.hpp"
+#include "relogic/obs/trace.hpp"
 
 namespace relogic::config {
 
@@ -259,6 +260,12 @@ class ConfigController {
   const ConfigTotals& totals() const { return totals_; }
   void reset_totals() { totals_ = ConfigTotals{}; }
 
+  /// Attaches a trace lane: every apply() emits one 'X' span on the
+  /// cumulative port-busy clock (ts = totals().time before the op) with
+  /// granularity and frame accounting as args. Default-constructed handle
+  /// (the default) disables tracing at the cost of one branch per apply.
+  void set_trace(obs::TraceTrack track) { trace_ = track; }
+
  private:
   /// The frame controlling a net-source attach/detach (output mux / pad).
   FrameAddress source_frame(const SourceChange& sc) const;
@@ -287,6 +294,7 @@ class ConfigController {
   FrameIndex index_;
   FrameImage image_;
   ConfigTotals totals_;
+  obs::TraceTrack trace_;
 
   // ---- reusable scratch (not thread-safe; see the header comment) ---------
   mutable FrameSet frames_scratch_;   ///< apply(op) / preview(op) mapping

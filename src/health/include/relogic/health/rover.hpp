@@ -72,6 +72,12 @@ class RovingTester {
 
   int rotations_completed() const { return rotations_; }
 
+  /// Attaches a trace lane: one 'X' span per window position on the
+  /// controller's cumulative port-busy clock (so window spans align with
+  /// the controller's own config-op spans), plus fault-detection and
+  /// rotation instants. Default handle = disabled.
+  void set_trace(obs::TraceTrack track) { trace_ = track; }
+
  private:
   /// Nearest usable destination outside the window for a cell being
   /// vacated: unused, not detected-faulty, outside every live region, and
@@ -100,6 +106,7 @@ class RovingTester {
   reloc::RelocationEngine* engine_;
   FaultMap* map_;
   int rotations_ = 0;
+  obs::TraceTrack trace_;
 };
 
 }  // namespace relogic::health

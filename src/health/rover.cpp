@@ -108,6 +108,12 @@ bool RovingTester::test_cell(ClbCoord clb, int cell, const RoverOptions& opt,
   if (faulty) {
     map_->mark_detected(clb, cell, observed);
     ++report.faults_detected;
+    if (trace_)
+      trace_.instant("health", "fault " + clb.to_string(),
+                     controller_->totals().time,
+                     {obs::arg("cell", cell),
+                      obs::arg("lut_bit", int(observed.lut_bit)),
+                      obs::arg("stuck_value", observed.stuck_value)});
     RELOGIC_LOG(kInfo) << "selftest: fault at " << clb.to_string()
                        << " cell " << cell << " (bit "
                        << int(observed.lut_bit) << " stuck at "
@@ -140,6 +146,9 @@ SweepReport RovingTester::sweep(
     const ClbRect window{0, col, geom.clb_rows, width};
     ++report.window_positions;
     report.clbs_swept += window.area();
+    const SimTime window_t0 = controller_->totals().time;
+    const int relocated_before = report.cells_relocated;
+    const int tested_before = report.cells_tested;
 
     // ---- vacate: relocate live cells out of the window -------------------
     if (engine_ != nullptr) {
@@ -194,9 +203,21 @@ SweepReport RovingTester::sweep(
         if (clb_tested) ++report.clbs_tested;
       }
     }
+
+    if (trace_)
+      trace_.complete(
+          "health", "window col " + std::to_string(col), window_t0,
+          controller_->totals().time - window_t0,
+          {obs::arg("cols", width),
+           obs::arg("relocated", report.cells_relocated - relocated_before),
+           obs::arg("tested", report.cells_tested - tested_before)});
   }
 
   ++rotations_;
+  if (trace_)
+    trace_.instant("health", "rotation", controller_->totals().time,
+                   {obs::arg("rotation", rotations_),
+                    obs::arg("faults_detected", report.faults_detected)});
   return report;
 }
 

@@ -80,6 +80,33 @@ FleetManager::FleetManager(FleetConfig config) : cfg_(std::move(config)) {
   quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
 }
 
+void FleetManager::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  tr_admission_ = {};
+  tr_queue_ = {};
+  tr_health_ = {};
+  tr_meter_ = {};
+  device_trace_.clear();
+  if (!tracer) return;
+  // Track registration order is the export order; fixed here, once, on the
+  // caller's thread, so the trace is identical no matter how many workers
+  // later write into the per-device tracks.
+  tr_admission_ = tracer->track(0, 0, "fleet", "admission");
+  tr_queue_ = tracer->track(0, 1, "fleet", "queue");
+  tr_health_ = tracer->track(0, 2, "fleet", "health");
+  tr_meter_ = tracer->track(0, 3, "fleet", "telemetry");
+  device_trace_.resize(static_cast<std::size_t>(cfg_.devices));
+  for (int d = 0; d < cfg_.devices; ++d) {
+    const std::string proc = "device " + std::to_string(d);
+    DeviceTrace& t = device_trace_[static_cast<std::size_t>(d)];
+    t.sched = tracer->track(d + 1, 0, proc, "scheduler");
+    t.tasks = tracer->track(d + 1, 1, proc, "tasks");
+    t.port = tracer->track(d + 1, 2, proc, "config-port");
+    t.health = tracer->track(d + 1, 3, proc, "health");
+    t.meter = tracer->track(d + 1, 4, proc, "telemetry");
+  }
+}
+
 void FleetManager::ensure_health_state() {
   if (!cfg_.health.enabled() || !fault_maps_.empty()) return;
   const auto geom = fabric::DeviceGeometry::tiny(cfg_.rows, cfg_.cols);
@@ -155,6 +182,11 @@ void FleetManager::maybe_quarantine(SimTime now) {
     if (density <= cfg_.health.quarantine_threshold) continue;
     quarantined_[static_cast<std::size_t>(d)] = true;
     ++quarantined_count_;
+    if (tr_health_)
+      tr_health_.instant("health", "quarantine device " + std::to_string(d),
+                         now,
+                         {obs::arg("device", d),
+                          obs::arg("fault_density", density)});
     RELOGIC_LOG(kInfo) << "device " << d << " quarantined (fault density "
                        << density << ")";
     // With the whole fleet quarantined there is no healthier peer —
@@ -176,6 +208,9 @@ void FleetManager::maybe_quarantine(SimTime now) {
       entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
       place(qi, dst, now, /*queue_aware=*/true);
       ++rebalanced_;
+      if (tr_health_)
+        tr_health_.instant("health", "evacuate " + queue_[qi].app.name, now,
+                           {obs::arg("from", d), obs::arg("to", dst)});
     }
     refresh_queued_estimates(d, now);
   }
@@ -344,6 +379,10 @@ void FleetManager::rebalance(SimTime now) {
         ++rebalanced_;
         --budget;
         moved = true;
+        if (tr_admission_)
+          tr_admission_.instant("dispatch",
+                                "rebalance " + queue_[qi].app.name, now,
+                                {obs::arg("from", src), obs::arg("to", dst)});
         RELOGIC_LOG(kDebug) << "rebalanced request " << qi << " device "
                             << src << " -> " << dst;
       }
@@ -444,6 +483,15 @@ const std::vector<int>& FleetManager::dispatch() {
     const Request& req = queue_[qi];
     clock_ = std::max(clock_, req.app.start);
     const SimTime now = clock_;
+    if (tr_admission_) {
+      tr_admission_.instant(
+          "admission", req.app.name, now,
+          {obs::arg_ms("arrival", req.app.start),
+           obs::arg("footprint_clbs", req.footprint_clbs),
+           obs::arg_ms("duration", req.duration),
+           obs::arg("functions", req.app.functions.size())});
+      set_log_context("fleet", now);
+    }
 
     // The clock is monotone and every ledger query filters on est_end >
     // now, so departed entries can be dropped for good — this keeps the
@@ -457,7 +505,12 @@ const std::vector<int>& FleetManager::dispatch() {
     bool fits = true;
     for (const auto& fn : req.app.functions)
       fits = fits && fn.height <= cfg_.rows && fn.width <= cfg_.cols;
-    if (!fits) continue;  // assignment stays -1; round-robin keeps its slot
+    if (!fits) {
+      if (tr_admission_)
+        tr_admission_.instant("admission", req.app.name + " rejected", now,
+                              {obs::arg("reason", "oversized")});
+      continue;  // assignment stays -1; round-robin keeps its slot
+    }
 
     if (online) maybe_quarantine(now);
     int d = pick_device(now, req.footprint_clbs);
@@ -469,9 +522,26 @@ const std::vector<int>& FleetManager::dispatch() {
         req.footprint_clbs > capacity_at(d, now)) {
       d = least_backlogged_peer(now, /*exclude=*/-1, req.footprint_clbs)
               .first;
-      if (d < 0) continue;  // assignment stays -1
+      if (d < 0) {
+        if (tr_admission_)
+          tr_admission_.instant("admission", req.app.name + " rejected", now,
+                                {obs::arg("reason", "fault-degraded")});
+        continue;  // assignment stays -1
+      }
     }
     place(qi, d, now, /*queue_aware=*/online);
+    if (tr_admission_) {
+      const LedgerEntry& e = ledger_[static_cast<std::size_t>(d)].back();
+      tr_admission_.complete(
+          "dispatch", req.app.name, now, SimTime::zero(),
+          {obs::arg("policy", to_string(cfg_.dispatch)), obs::arg("device", d),
+           obs::arg("footprint_clbs", req.footprint_clbs),
+           obs::arg_ms("est_start", e.est_start)});
+      // Estimated queue wait on the chosen device, as booked at admission
+      // (rebalancing may revise it later; this lane records the decision).
+      tr_queue_.complete("queue", req.app.name, now, e.est_start - now,
+                         {obs::arg("device", d)});
+    }
     if (online) rebalance(now);
   }
   placed_ = queue_.size();
@@ -495,7 +565,12 @@ DeviceReport FleetManager::run_device(
   const config::ConfigPort& port = *port_owner;
   const reloc::RelocationCostModel cost(geom, port, {}, plane.granularity);
 
+  const DeviceTrace tr = device_trace_.empty()
+                             ? DeviceTrace{}
+                             : device_trace_[static_cast<std::size_t>(device)];
+
   sched::Scheduler scheduler(cfg_.rows, cfg_.cols, cost, cfg_.sched);
+  scheduler.set_trace({tr.sched, tr.tasks, tr.health});
   // Per-device roving self-test: the worker owns a private copy of the
   // device's injected fault map (run_device is const and runs on a pool
   // thread), so detections stay thread-local and deterministic.
@@ -520,6 +595,7 @@ DeviceReport FleetManager::run_device(
   fabric::Fabric fab(geom);
   if (cfg_.health.enabled()) faults.install(fab);
   config::ConfigController controller(fab, port, plane.granularity);
+  controller.set_trace(tr.port);
   BatchOptions bopt = cfg_.batch;
   if (!cfg_.batch_config) bopt.max_ops = 1;
   TransactionBatcher batcher(controller, bopt);
@@ -633,6 +709,15 @@ DeviceReport FleetManager::run_device(
                ? s.config_port_busy.milliseconds() / s.makespan.milliseconds()
                : 0.0);
   t.gauge("config_time_saved_ms").set(report.batch.saved().milliseconds());
+
+  if (tr.meter) {
+    // One 'C' sample per counter at the device's makespan: the end-of-run
+    // totals as counter tracks alongside the spans. std::map iteration
+    // keeps the sample order deterministic.
+    for (const auto& [name, c] : t.counters())
+      tr.meter.counter(name, s.makespan, static_cast<double>(c.value()));
+  }
+  clear_log_context();
   return report;
 }
 
@@ -700,6 +785,13 @@ FleetReport FleetManager::run() {
   report.aggregate.counter("rebalanced_requests").add(rebalanced_);
   if (cfg_.health.enabled())
     report.aggregate.counter("quarantined_devices").add(quarantined_count_);
+
+  if (tr_meter_) {
+    for (const auto& [name, c] : report.aggregate.counters())
+      tr_meter_.counter(name, report.makespan,
+                        static_cast<double>(c.value()));
+    clear_log_context();
+  }
 
   queue_.clear();
   assignment_.clear();

@@ -44,6 +44,7 @@
 
 #include "relogic/config/controller.hpp"
 #include "relogic/health/fault.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/runtime/batcher.hpp"
 #include "relogic/runtime/telemetry.hpp"
 #include "relogic/sched/scheduler.hpp"
@@ -211,6 +212,15 @@ class FleetManager {
   /// Requests migrated by the rebalancer so far (reset by run()).
   int rebalanced_requests() const { return rebalanced_; }
 
+  /// Attaches a tracer for subsequent dispatch()/run() calls (nullptr
+  /// detaches). Registers every track up front — fleet lanes on pid 0,
+  /// one pid per device with scheduler/tasks/port/health/telemetry lanes —
+  /// so worker threads never touch the track registry; each track has a
+  /// single writer and export order is fixed, which is what makes the
+  /// trace byte-identical across thread counts (DESIGN.md §7). Call before
+  /// the first submit()/dispatch() of the run to capture admission events.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Dispatches, executes every device run on the worker pool, and
   /// gathers telemetry. Leaves the admission queue empty.
   FleetReport run();
@@ -292,6 +302,20 @@ class FleetManager {
   std::vector<std::vector<double>> fault_detect_ms_;
   std::vector<bool> quarantined_;
   int quarantined_count_ = 0;
+  // ---- tracing (set_tracer) -----------------------------------------------
+  struct DeviceTrace {
+    obs::TraceTrack sched;   ///< DES lane (placement/config/relocation)
+    obs::TraceTrack tasks;   ///< per-task queue/run spans
+    obs::TraceTrack port;    ///< ConfigController replay transactions
+    obs::TraceTrack health;  ///< sweep windows, detections, rotations
+    obs::TraceTrack meter;   ///< telemetry counter samples
+  };
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceTrack tr_admission_;  ///< admission instants + dispatch spans
+  obs::TraceTrack tr_queue_;      ///< estimated queue-wait spans
+  obs::TraceTrack tr_health_;     ///< quarantine / evacuation instants
+  obs::TraceTrack tr_meter_;      ///< fleet-aggregate counter samples
+  std::vector<DeviceTrace> device_trace_;
 };
 
 }  // namespace relogic::runtime

@@ -29,13 +29,17 @@ class Counter {
   std::int64_t value_ = 0;
 };
 
-/// Last-written scalar with merge-by-mean semantics (a merged gauge reports
-/// the mean of the samples merged into it, plus the sample count).
+/// Sampled scalar reporting the mean over its samples. `set` *accumulates*
+/// a sample: recording two samples on one registry and recording them on
+/// two registries then merging report the same mean/count. (It used to
+/// overwrite — last-write-wins before a merge, mean after — which silently
+/// discarded earlier samples; the accumulate semantics make the two paths
+/// agree.)
 class Gauge {
  public:
   void set(double v) {
-    sum_ = v;
-    samples_ = 1;
+    sum_ += v;
+    ++samples_;
   }
   void merge(const Gauge& other) {
     sum_ += other.sum_;
@@ -100,6 +104,11 @@ class Telemetry {
   bool has_histogram(const std::string& name) const {
     return histograms_.contains(name);
   }
+
+  /// Read-only views for exporters (e.g. trace counter tracks); std::map,
+  /// so iteration order is deterministic.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
 
   /// Folds another registry into this one (counters add, histograms merge,
   /// gauges average).

@@ -182,6 +182,7 @@ std::string Telemetry::to_json(int indent) const {
        << ", \"mean\": " << json_number(h.mean())
        << ", \"p50\": " << json_number(h.quantile(0.5))
        << ", \"p90\": " << json_number(h.quantile(0.9))
+       << ", \"p95\": " << json_number(h.quantile(0.95))
        << ", \"p99\": " << json_number(h.quantile(0.99)) << ", \"buckets\": [";
     const auto& counts = h.bucket_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {

@@ -32,6 +32,7 @@
 #include "relogic/area/defrag.hpp"
 #include "relogic/area/manager.hpp"
 #include "relogic/health/fault.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/reloc/cost.hpp"
 #include "relogic/sched/workload.hpp"
 
@@ -136,10 +137,27 @@ struct RunStats {
   double avg_turnaround_ms() const;
 };
 
+/// Trace lanes the discrete-event run emits into (all on the device's
+/// simulated clock; see DESIGN.md §7). Default-constructed lanes disable
+/// their emissions at the cost of one branch per event.
+struct SchedulerTrace {
+  /// Placement instants, rearrangement planning, 'config' spans (function
+  /// configuration on the port), 'relocation' spans (two-phase moves), and
+  /// one B/E envelope around the whole run.
+  obs::TraceTrack sched;
+  /// Per-task 'queue' (eligible -> run start) and 'task' (execution) spans.
+  obs::TraceTrack tasks;
+  /// Self-test sweep: test-window spans, fault detections, rotations.
+  obs::TraceTrack health;
+};
+
 class Scheduler {
  public:
   Scheduler(int rows, int cols, reloc::RelocationCostModel cost,
             SchedulerConfig config);
+
+  /// Attaches trace lanes for subsequent runs (copies the handles).
+  void set_trace(const SchedulerTrace& trace) { trace_ = trace; }
 
   /// Enables the roving self-test for subsequent runs. `faults` carries the
   /// injected ground truth and receives detections; it must outlive the
@@ -163,6 +181,7 @@ class Scheduler {
   SchedulerConfig cfg_;
   SelfTestConfig selftest_;
   health::FaultMap* faults_ = nullptr;
+  SchedulerTrace trace_;
 };
 
 }  // namespace relogic::sched

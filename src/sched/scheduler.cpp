@@ -97,12 +97,13 @@ class Engine {
  public:
   Engine(int rows, int cols, const reloc::RelocationCostModel& cost,
          const SchedulerConfig& cfg, const SelfTestConfig& selftest,
-         health::FaultMap* faults)
+         health::FaultMap* faults, const SchedulerTrace& trace)
       : mgr_(rows, cols),
         cost_(&cost),
         cfg_(&cfg),
         st_(&selftest),
-        faults_(faults) {}
+        faults_(faults),
+        tr_(trace) {}
 
   std::vector<Job> jobs;
   /// Jobs whose readiness is triggered by another job's end (prefetch
@@ -110,6 +111,10 @@ class Engine {
   std::multimap<int, int> ready_after;
 
   RunStats run() {
+    if (tr_.sched)
+      tr_.sched.begin("sched", "des-run", SimTime::zero(),
+                      {obs::arg("jobs", jobs.size()),
+                       obs::arg("policy", to_string(cfg_->policy))});
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (jobs[i].ready == SimTime::never()) continue;  // chained readiness
       push(Ev{jobs[i].ready, seq_++, EvKind::kReady, static_cast<int>(i)});
@@ -124,6 +129,10 @@ class Engine {
       dispatch(ev);
     }
     finalize();
+    if (tr_.sched) {
+      tr_.sched.end(stats_.makespan);
+      clear_log_context();
+    }
     return std::move(stats_);
   }
 
@@ -137,6 +146,7 @@ class Engine {
       frag_integral_ += mgr_.fragmentation() * dt;
       elapsed_ms_ += dt;
       now_ = t;
+      if (tr_.sched) set_log_context("sched", now_);
     }
     stats_.fragmentation_max =
         std::max(stats_.fragmentation_max, mgr_.fragmentation());
@@ -175,12 +185,18 @@ class Engine {
     if (job.placed || job.done || job.rejected) return;
     if (job.fn.height > mgr_.rows() || job.fn.width > mgr_.cols()) {
       job.rejected = true;
+      if (tr_.tasks)
+        tr_.tasks.instant("queue", job.fn.name + " rejected", now_,
+                          {obs::arg("reason", "oversized")});
       return;
     }
     // Expired waiters are rejected.
     if (cfg_->max_wait != SimTime::never() &&
         now_ - job.ready > cfg_->max_wait) {
       job.rejected = true;
+      if (tr_.tasks)
+        tr_.tasks.instant("queue", job.fn.name + " rejected", now_,
+                          {obs::arg("reason", "max-wait")});
       return;
     }
 
@@ -193,6 +209,11 @@ class Engine {
         !sweep_testing_) {
       const auto plan = plan_request(job.fn.height, job.fn.width);
       if (plan && plan_affordable(*plan, job)) {
+        if (tr_.sched)
+          tr_.sched.instant("placement", "rearrange for " + job.fn.name, now_,
+                            {obs::arg("moves", plan->moves.size()),
+                             obs::arg("height", job.fn.height),
+                             obs::arg("width", job.fn.width)});
         execute_moves(*plan);
         slot = plan->request_slot;
       }
@@ -213,6 +234,15 @@ class Engine {
     job.config_done = job.config_start + cost_->configure_time(job.fn.cells());
     port_free_at_ = job.config_done;
     stats_.config_port_busy += job.config_done - job.config_start;
+    if (tr_.sched) {
+      tr_.sched.instant("placement", job.fn.name, now_,
+                        {obs::arg("slot", job.slot.to_string()),
+                         obs::arg("clbs", job.fn.clbs())});
+      tr_.sched.complete("config", job.fn.name, job.config_start,
+                         job.config_done - job.config_start,
+                         {obs::arg("cells", job.fn.cells()),
+                          obs::arg("slot", job.slot.to_string())});
+    }
     push(Ev{job.config_done, seq_++, EvKind::kConfigDone, job.id});
   }
 
@@ -234,6 +264,17 @@ class Engine {
     job.run_start = now_;
     job.running = true;
     job.end = now_ + job.fn.duration;
+    if (tr_.tasks) {
+      // Queue-wait span: eligibility (ready, or the predecessor's end for
+      // chained functions) until execution begins.
+      SimTime eligible = job.ready;
+      if (job.predecessor) {
+        const Job& pred = jobs[static_cast<std::size_t>(*job.predecessor)];
+        if (pred.done) eligible = std::max(eligible, pred.end);
+      }
+      tr_.tasks.complete("queue", job.fn.name, eligible, now_ - eligible,
+                         {obs::arg_ms("config_start", job.config_start)});
+    }
     push(Ev{job.end, seq_++, EvKind::kEnd, job.id, job.end_version});
   }
 
@@ -241,6 +282,11 @@ class Engine {
     job.running = false;
     job.done = true;
     job.end = now_;
+    if (tr_.tasks)
+      tr_.tasks.complete("task", job.fn.name, job.run_start,
+                         now_ - job.run_start,
+                         {obs::arg("slot", job.slot.to_string()),
+                          obs::arg_ms("halted", job.halted)});
     mgr_.release(job.region);
     ++area_gen_;
     --placed_live_;
@@ -368,6 +414,15 @@ class Engine {
       ++stats_.rearrangement_moves;
     }
     stats_.moved_clbs += mv.from.area();
+    if (tr_.sched)
+      tr_.sched.complete(
+          "relocation", victim.fn.name, start, cost,
+          {obs::arg("from", mv.from.to_string()),
+           obs::arg("to", mv.to.to_string()), obs::arg("clbs", mv.from.area()),
+           obs::arg("selftest", selftest),
+           obs::arg("halts_victim", cfg_->policy ==
+                                        ManagementPolicy::kHaltAndMove &&
+                                    victim.running)});
 
     mgr_.move(mv.region, mv.to);
     ++area_gen_;
@@ -464,6 +519,11 @@ class Engine {
     port_free_at_ = done;
     stats_.config_port_busy += test_time;
     sweep_testing_ = true;
+    if (tr_.health)
+      tr_.health.complete("health", "sweep-test", start, test_time,
+                          {obs::arg("col", window.col),
+                           obs::arg("cols", window.width),
+                           obs::arg("claimed_clbs", sweep_claimed_)});
     push(Ev{done, seq_++, EvKind::kSweepDone, -1});
   }
 
@@ -495,6 +555,10 @@ class Engine {
               mgr_.mask_faulty(clb);
               ++stats_.faulty_clbs;
               ++area_gen_;
+              if (tr_.health)
+                tr_.health.instant("health", "fault-detected", now_,
+                                   {obs::arg("row", r), obs::arg("col", c),
+                                    obs::arg("cells", fresh)});
             }
           }
         }
@@ -507,6 +571,9 @@ class Engine {
     if (sweep_col_ >= mgr_.cols()) {
       sweep_col_ = 0;
       ++stats_.sweep_rotations;
+      if (tr_.health)
+        tr_.health.instant("health", "rotation", now_,
+                           {obs::arg("rotation", stats_.sweep_rotations)});
     }
 
     // Releasing the window may unblock waiters (and masking may have eaten
@@ -552,6 +619,7 @@ class Engine {
   const SchedulerConfig* cfg_;
   const SelfTestConfig* st_;
   health::FaultMap* faults_;
+  SchedulerTrace tr_;
   int sweep_col_ = 0;
   int sweep_claimed_ = 0;       ///< CLBs held by the current test window
   bool sweep_testing_ = false;  ///< a test transaction holds the port
@@ -591,7 +659,7 @@ void Scheduler::enable_selftest(const SelfTestConfig& selftest,
 }
 
 RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
-  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_);
+  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_, trace_);
   engine.jobs.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     Job j;
@@ -605,7 +673,7 @@ RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
 
 RunStats Scheduler::run_apps(const std::vector<AppSpec>& apps, int overlap) {
   RELOGIC_CHECK(overlap >= 1);
-  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_);
+  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_, trace_);
   int id = 0;
   for (std::size_t a = 0; a < apps.size(); ++a) {
     const AppSpec& app = apps[a];

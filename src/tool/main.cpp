@@ -36,6 +36,7 @@
 #include "relogic/health/fault.hpp"
 #include "relogic/health/rover.hpp"
 #include "relogic/netlist/benchmarks.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
 #include "relogic/runtime/fleet.hpp"
@@ -86,6 +87,12 @@ struct Options {
   double quarantine_threshold = 0.0;
   int sweep_window = 1;
   double sweep_period_ms = 5.0;
+
+  // Observability: deterministic trace spans (Chrome trace-event JSON,
+  // Perfetto loadable). --trace-wall additionally stamps each event with
+  // the wall clock, which breaks byte-identical output across runs.
+  std::string trace_file;
+  bool trace_wall = false;
 };
 
 [[noreturn]] void usage(int code) {
@@ -149,7 +156,15 @@ struct Options {
       "  --sweep-window N       test window width in CLB columns (default 1)\n"
       "  --sweep-period MS      fleet: interval between window advances\n"
       "                         (default 5; the single-device rover runs one\n"
-      "                         continuous rotation instead)\n");
+      "                         continuous rotation instead)\n"
+      "\n"
+      "observability:\n"
+      "  --trace FILE           record deterministic trace spans on the\n"
+      "                         simulated clock and write Chrome trace-event\n"
+      "                         JSON (load in ui.perfetto.dev)\n"
+      "  --trace-wall           also stamp events with the wall clock (adds\n"
+      "                         a wall_us arg; output is no longer\n"
+      "                         byte-identical across runs)\n");
   std::exit(code);
 }
 
@@ -314,6 +329,10 @@ Options parse_args(int argc, char** argv) {
       opt.fleet_cfg.threads = std::stoi(need(i));
     } else if (arg == "--telemetry") {
       opt.telemetry_file = need(i);
+    } else if (arg == "--trace") {
+      opt.trace_file = need(i);
+    } else if (arg == "--trace-wall") {
+      opt.trace_wall = true;
     } else if (arg == "--selftest") {
       opt.selftest = true;
     } else if (arg == "--fault-rate") {
@@ -363,6 +382,26 @@ class OpRecorder {
   std::vector<config::ConfigOp> ops_;
 };
 
+std::unique_ptr<obs::Tracer> make_tracer(const Options& opt) {
+  if (opt.trace_file.empty()) return nullptr;
+  obs::Tracer::Options topt;
+  topt.wall_clock = opt.trace_wall;
+  return std::make_unique<obs::Tracer>(topt);
+}
+
+int finish_trace(const Options& opt, const obs::Tracer& tracer) {
+  if (!tracer.write_json(opt.trace_file)) {
+    std::fprintf(stderr, "failed to write trace to %s\n",
+                 opt.trace_file.c_str());
+    return 1;
+  }
+  std::printf("trace written to %s (open in ui.perfetto.dev)%s\n",
+              opt.trace_file.c_str(),
+              tracer.dropped_events() > 0 ? " [ring buffer dropped events]"
+                                          : "");
+  return 0;
+}
+
 int run_fleet(const Options& opt) {
   runtime::FleetConfig cfg = opt.fleet_cfg;
   cfg.devices = opt.fleet;
@@ -384,6 +423,8 @@ int run_fleet(const Options& opt) {
   params.seed = opt.seed;
 
   runtime::FleetManager fleet(cfg);
+  const std::unique_ptr<obs::Tracer> tracer = make_tracer(opt);
+  if (tracer) fleet.set_tracer(tracer.get());
   fleet.submit_all(sched::WorkloadGenerator(params).generate());
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -459,6 +500,7 @@ int run_fleet(const Options& opt) {
   } else {
     std::printf("\n%s", report.to_json().c_str());
   }
+  if (tracer) return finish_trace(opt, *tracer);
   return 0;
 }
 
@@ -476,6 +518,15 @@ int main(int argc, char** argv) {
         config::make_port(opt.port);
     const config::ConfigPort& port = *port_owner;
     config::ConfigController controller(fab, port, opt.granularity);
+    // Single-device tracing: one pid with a config-port lane (every
+    // transaction the controller applies) and a health lane (the rover's
+    // window spans), both on the cumulative port-busy clock.
+    const std::unique_ptr<obs::Tracer> tracer = make_tracer(opt);
+    obs::TraceTrack tr_health;
+    if (tracer) {
+      controller.set_trace(tracer->track(0, 0, opt.device, "config-port"));
+      tr_health = tracer->track(0, 1, opt.device, "health");
+    }
     sim::FabricSim sim(fab, dm);
     sim.add_clock(sim::ClockSpec{});
     place::Implementer implementer(fab, dm);
@@ -627,6 +678,7 @@ int main(int argc, char** argv) {
                         opt.fault_seed.value_or(opt.seed)));
       }
       health::RovingTester rover(controller, &engine, fault_map);
+      rover.set_trace(tr_health);
       health::RoverOptions ropt;
       ropt.window_cols = opt.sweep_window;
       std::vector<place::Implementation*> live;
@@ -698,6 +750,7 @@ int main(int argc, char** argv) {
                     opt.out_file.c_str());
       }
     }
+    if (tracer) return finish_trace(opt, *tracer);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "relogic-cli: %s\n", e.what());

@@ -1,10 +1,14 @@
-// Unit tests: relogic::common (time, geometry, rng, errors).
+// Unit tests: relogic::common (time, geometry, rng, logging, errors).
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "relogic/common/error.hpp"
 #include "relogic/common/geometry.hpp"
+#include "relogic/common/logging.hpp"
 #include "relogic/common/rng.hpp"
 #include "relogic/common/time.hpp"
 
@@ -87,6 +91,33 @@ TEST(Rng, ExponentialHasRoughlyRightMean) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
   EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Logging, SinkCapturesLinesWithContextPrefix) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& msg) {
+    captured.emplace_back(level, msg);
+  });
+  set_log_level(LogLevel::kInfo);
+
+  RELOGIC_LOG(kInfo) << "plain";
+  set_log_context("sched", SimTime::ms(12));
+  RELOGIC_LOG(kInfo) << "ctx";
+  RELOGIC_LOG(kDebug) << "below threshold, dropped";
+  clear_log_context();
+  RELOGIC_LOG(kWarn) << "after clear";
+
+  set_log_level(LogLevel::kOff);
+  set_log_sink(nullptr);
+  RELOGIC_LOG(kError) << "after sink reset";  // to stderr, not captured
+
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "plain");
+  // Context-tagged line: simulated timestamp + component, then the message.
+  EXPECT_EQ(captured[1].second, "[t=12.000ms sched] ctx");
+  EXPECT_EQ(captured[2].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[2].second, "after clear");
 }
 
 TEST(Error, CheckMacroThrowsContractError) {

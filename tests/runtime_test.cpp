@@ -78,6 +78,36 @@ TEST(Telemetry, HostileMetricNamesProduceValidJson) {
   EXPECT_EQ(json.find('\x1f'), std::string::npos);
 }
 
+TEST(Telemetry, GaugeSetAccumulates) {
+  // `set` records a sample; it must NOT overwrite. Two samples on one
+  // registry report the same mean/count as one sample on each of two
+  // registries merged — the property the old last-write-wins broke.
+  Gauge one;
+  one.set(1.0);
+  one.set(3.0);
+  EXPECT_EQ(one.samples(), 2);
+  EXPECT_DOUBLE_EQ(one.mean(), 2.0);
+
+  Gauge a;
+  Gauge b;
+  a.set(1.0);
+  b.set(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.samples(), one.samples());
+  EXPECT_DOUBLE_EQ(a.mean(), one.mean());
+}
+
+TEST(Telemetry, HistogramJsonCarriesP50P95P99) {
+  Telemetry t;
+  auto& h = t.histogram("lat", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.observe(i < 96 ? 5.0 : 50.0);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"p50\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 50"), std::string::npos);  // capped by max
+}
+
 TEST(Telemetry, RegistryMergeAndJson) {
   Telemetry a;
   Telemetry b;
