@@ -73,7 +73,7 @@ void BM_SimulatorCycles(benchmark::State& state) {
   const auto nl = netlist::bench::random_fsm("perf", 24, 4, 4, 5);
   auto impl = implementer.implement(
       netlist::map_netlist(nl),
-      place::ImplementOptions{ClbRect{1, 1, 6, 6}, 0, {}});
+      place::ImplementOptions{ClbRect{1, 1, 6, 6}, 0, {}, {}});
   // Free-running stimulus through pads.
   Rng rng(1);
   std::int64_t cycles = 0;
@@ -106,7 +106,7 @@ void BM_GatedCellRelocation(benchmark::State& state) {
         2, netlist::bench::ClockingStyle::kGatedClock);
     auto impl = implementer.implement(
         netlist::map_netlist(nl),
-        place::ImplementOptions{ClbRect{2, 2, 2, 2}, 0, {}});
+        place::ImplementOptions{ClbRect{2, 2, 2, 2}, 0, {}, {}});
     sim::CircuitHarness harness(sim, nl, impl);
     harness.step({true, true});
     state.ResumeTiming();

@@ -135,6 +135,15 @@ class AreaManager {
   /// — the textual stand-in for the paper's Fig. 7 floorplan view.
   std::string to_ascii() const;
 
+  // ---- invariant audit (DESIGN.md §8.4) -------------------------------------
+  /// Cross-checks the occupancy ledger against the region table from
+  /// scratch: every region's rectangle is exactly its grid footprint, every
+  /// grid cell's occupant exists, and the incremental free/masked counters
+  /// match a full recount. Throws AuditError naming the first divergence.
+  /// Always compiled (tests call it directly); the periodic call sites at
+  /// sweep boundaries are gated on RELOGIC_AUDIT.
+  void audit() const;
+
  private:
   void fill(const ClbRect& r, RegionId id);
   bool rect_free(const ClbRect& r) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "relogic/common/audit.hpp"
+
 namespace relogic::area {
 
 AreaManager::AreaManager(int rows, int cols)
@@ -215,6 +217,67 @@ double AreaManager::fragmentation() const {
   if (free_clbs_ == 0) return 0.0;
   const int largest = largest_free_rect().area();
   return 1.0 - static_cast<double>(largest) / free_clbs_;
+}
+
+void AreaManager::audit() const {
+  constexpr const char* kWhere = "AreaManager";
+  RELOGIC_AUDIT_CHECK(
+      grid_.size() == static_cast<std::size_t>(rows_) * cols_, kWhere,
+      "grid size does not match geometry");
+
+  // Pass 1: the region table against the grid. Each region's rectangle must
+  // lie in bounds and be filled with exactly its id.
+  for (const auto& [id, r] : regions_) {
+    RELOGIC_AUDIT_CHECK(id > 0 && r.id == id, kWhere,
+                        "region table entry with inconsistent id " +
+                            std::to_string(id));
+    RELOGIC_AUDIT_CHECK(
+        r.rect.row >= 0 && r.rect.col >= 0 && r.rect.row_end() <= rows_ &&
+            r.rect.col_end() <= cols_ && r.rect.area() > 0,
+        kWhere, "region " + std::to_string(id) + " rectangle out of bounds");
+    for (int row = r.rect.row; row < r.rect.row_end(); ++row)
+      for (int col = r.rect.col; col < r.rect.col_end(); ++col)
+        RELOGIC_AUDIT_CHECK(
+            grid_[static_cast<std::size_t>(row) * cols_ + col] == id, kWhere,
+            "region " + std::to_string(id) + " missing from grid at (" +
+                std::to_string(row) + "," + std::to_string(col) + ")");
+  }
+
+  // Pass 2: the grid against the region table, recounting everything the
+  // hot path maintains incrementally. Pass 1 proved each region covers its
+  // own rectangle; equal per-id cell counts then pin the reverse direction
+  // (no stray cells outside it).
+  int free_count = 0;
+  int masked_count = 0;
+  std::size_t region_cells = 0;
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    const RegionId id = grid_[i];
+    if (id == kNoRegion) {
+      ++free_count;
+    } else if (id == kFaultyRegion) {
+      ++masked_count;
+    } else {
+      const auto it = regions_.find(id);
+      RELOGIC_AUDIT_CHECK(it != regions_.end(), kWhere,
+                          "grid cell " + std::to_string(i) +
+                              " occupied by unknown region " +
+                              std::to_string(id));
+      ++region_cells;
+    }
+  }
+  std::size_t table_cells = 0;
+  for (const auto& [id, r] : regions_)
+    table_cells += static_cast<std::size_t>(r.rect.area());
+  RELOGIC_AUDIT_CHECK(region_cells == table_cells, kWhere,
+                      "grid holds " + std::to_string(region_cells) +
+                          " region cells but the table claims " +
+                          std::to_string(table_cells));
+  RELOGIC_AUDIT_CHECK(free_clbs_ == free_count, kWhere,
+                      "free_clbs counter " + std::to_string(free_clbs_) +
+                          " != recounted " + std::to_string(free_count));
+  RELOGIC_AUDIT_CHECK(masked_clbs_ == masked_count, kWhere,
+                      "masked_clbs counter " + std::to_string(masked_clbs_) +
+                          " != recounted " + std::to_string(masked_count));
 }
 
 }  // namespace relogic::area

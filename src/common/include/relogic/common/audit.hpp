@@ -1,0 +1,54 @@
+// Debug invariant audits (DESIGN.md §8.4).
+//
+// Several subsystems maintain derived state incrementally on the hot path —
+// the AreaManager's occupancy ledger and free-CLB counters, the FrameImage
+// digest mirror, the fleet's admission ledger — and their correctness is
+// otherwise only sampled by example-based tests. Each of those owners
+// exposes an `audit()` method that cross-checks the incremental state
+// against a from-scratch recompute and throws AuditError on the first
+// divergence, naming the mismatched quantity.
+//
+// The audit() methods are always compiled and callable (tests invoke them
+// directly); the *periodic* call sites at sweep/flush boundaries are gated
+// on the RELOGIC_AUDIT compile-time flag (CMake option RELOGIC_AUDIT, ON in
+// the sanitizer CI jobs) so release builds pay nothing:
+//
+//   if constexpr (relogic::audit_enabled()) mgr.audit();
+#pragma once
+
+#include <string>
+
+#include "relogic/common/error.hpp"
+
+#ifndef RELOGIC_AUDIT
+#define RELOGIC_AUDIT 0
+#endif
+
+namespace relogic {
+
+/// An incremental-state invariant failed a from-scratch cross-check. Always
+/// a library bug (or unsanctioned mutation behind an owner's back), never a
+/// caller error.
+class AuditError : public Error {
+ public:
+  explicit AuditError(const std::string& what) : Error(what) {}
+};
+
+/// True when the build enables periodic audits (-DRELOGIC_AUDIT=ON).
+constexpr bool audit_enabled() { return RELOGIC_AUDIT != 0; }
+
+namespace detail {
+[[noreturn]] inline void audit_failed(const char* where,
+                                      const std::string& msg) {
+  throw AuditError(std::string("audit failed [") + where + "]: " + msg);
+}
+}  // namespace detail
+
+}  // namespace relogic
+
+/// Inside an audit() method: checks one invariant, throwing AuditError
+/// tagged with `where` (the audit's name) on failure.
+#define RELOGIC_AUDIT_CHECK(expr, where, msg)                \
+  do {                                                       \
+    if (!(expr)) ::relogic::detail::audit_failed(where, msg); \
+  } while (false)

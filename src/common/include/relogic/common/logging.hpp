@@ -1,9 +1,13 @@
 // Minimal leveled logger used across the library.
 //
 // Off by default; benches/examples raise the level to narrate relocation
-// steps. The level/sink globals are not synchronised — set them before
-// spawning workers. The log context is thread-local, so concurrent device
-// runs tag their own lines.
+// steps. Thread safety (DESIGN.md §8): the level is an atomic (the
+// RELOGIC_LOG fast path is one relaxed load), the sink is guarded by a
+// mutex and sink invocations are serialized under it — a capturing sink
+// (tests append lines to a vector) needs no locking of its own, and
+// swapping the sink mid-run cannot race an emission. A sink must not log
+// re-entrantly. The log context is thread-local, so concurrent device runs
+// tag their own lines.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,121 @@
+// Clang thread-safety annotations + a capability-annotated mutex wrapper.
+//
+// The determinism contract (DESIGN.md §7) and the fleet's fork-join model
+// rest on lock/ownership discipline that example-based tests can only
+// sample. These macros wire the discipline into the compiler: under clang
+// with -Wthread-safety (the CI `clang-thread-safety` job builds with
+// -Werror=thread-safety), annotated members may only be touched while the
+// named capability is held, and lock/unlock mismatches are compile errors.
+// Under GCC/MSVC every macro expands to nothing, so annotations are free
+// documentation there.
+//
+// Conventions in this codebase (DESIGN.md §8.1):
+//  * shared mutable state guarded by a Mutex gets RELOGIC_GUARDED_BY;
+//  * private helpers that assume the lock is held get RELOGIC_REQUIRES;
+//  * public entry points that take the lock themselves get RELOGIC_EXCLUDES
+//    so a re-entrant call from a locked context is a compile error;
+//  * single-writer structures (obs::TraceBuffer) cannot be expressed as a
+//    capability — they are documented at the declaration and enforced
+//    dynamically by the RELOGIC_AUDIT concurrent-writer check instead.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RELOGIC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RELOGIC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability ("mutex" in diagnostics).
+#define RELOGIC_CAPABILITY(x) RELOGIC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RELOGIC_SCOPED_CAPABILITY RELOGIC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define RELOGIC_GUARDED_BY(x) RELOGIC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define RELOGIC_PT_GUARDED_BY(x) RELOGIC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define RELOGIC_REQUIRES(...) \
+  RELOGIC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RELOGIC_REQUIRES_SHARED(...) \
+  RELOGIC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define RELOGIC_ACQUIRE(...) \
+  RELOGIC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELOGIC_ACQUIRE_SHARED(...) \
+  RELOGIC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define RELOGIC_RELEASE(...) \
+  RELOGIC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELOGIC_RELEASE_SHARED(...) \
+  RELOGIC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `res`.
+#define RELOGIC_TRY_ACQUIRE(res, ...) \
+  RELOGIC_THREAD_ANNOTATION(try_acquire_capability(res, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard for
+/// public entry points that take the lock themselves).
+#define RELOGIC_EXCLUDES(...) \
+  RELOGIC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RELOGIC_RETURN_CAPABILITY(x) \
+  RELOGIC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Declares that the calling thread already holds the capability (dynamic
+/// fact the analysis cannot see, e.g. checked via a runtime assert).
+#define RELOGIC_ASSERT_CAPABILITY(x) \
+  RELOGIC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry a
+/// comment explaining why the discipline holds anyway.
+#define RELOGIC_NO_THREAD_SAFETY_ANALYSIS \
+  RELOGIC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace relogic {
+
+/// std::mutex with the capability attribute, so members can be declared
+/// RELOGIC_GUARDED_BY(mu_) and clang enforces the guard. Use MutexLock for
+/// scoped acquisition; bare lock()/unlock() are annotated for the rare
+/// manual pairing.
+class RELOGIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RELOGIC_ACQUIRE() { mu_.lock(); }
+  void unlock() RELOGIC_RELEASE() { mu_.unlock(); }
+  bool try_lock() RELOGIC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex, visible to the analysis (std::lock_guard is not
+/// annotated in libstdc++, so locking through it would leave every guarded
+/// access a false positive).
+class RELOGIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RELOGIC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELOGIC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace relogic

@@ -1,12 +1,22 @@
 #include "relogic/common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <utility>
+
+#include "relogic/common/thread_annotations.hpp"
 
 namespace relogic {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
-LogSink g_sink;
+// Fleet workers log concurrently: the level is read on every RELOGIC_LOG
+// (relaxed atomic — no ordering needed, the value only gates verbosity) and
+// the sink is read per emitted line. Serializing emissions under the sink
+// mutex makes a capturing sink safe without its own locking and keeps
+// set_log_sink race-free even mid-run (TSan-clean; DESIGN.md §8).
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+Mutex g_sink_mu;
+LogSink g_sink RELOGIC_GUARDED_BY(g_sink_mu);
 
 struct LogContext {
   const char* component = nullptr;
@@ -33,10 +43,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+void set_log_sink(LogSink sink) {
+  MutexLock lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
 
 void set_log_context(const char* component, SimTime now) {
   g_context.component = component;
@@ -56,6 +71,9 @@ void log_emit(LogLevel level, const std::string& msg) {
     line = prefix;
   }
   line += msg;
+  // One emission at a time: the sink sees serialized calls (its captures
+  // need no lock), and whole lines never interleave on stderr either.
+  MutexLock lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, line);
     return;

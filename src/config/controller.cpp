@@ -1,8 +1,10 @@
 #include "relogic/config/controller.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "relogic/common/audit.hpp"
 #include "relogic/common/logging.hpp"
 
 namespace relogic::config {
@@ -45,6 +47,60 @@ ConfigController::ConfigController(fabric::Fabric& fabric,
       index_(fabric.geometry()),
       image_(index_) {
   deltas_scratch_.reset(index_.total_frames());
+  recompute_digests(audit_baseline_);
+}
+
+void ConfigController::recompute_digests(std::vector<std::uint64_t>& out) const {
+  const auto& g = fabric_->geometry();
+  out.assign(static_cast<std::size_t>(index_.total_frames()), 0);
+  const fabric::LogicCellConfig def{};
+  for (int row = 0; row < g.clb_rows; ++row) {
+    for (int col = 0; col < g.clb_cols; ++col) {
+      for (int cell = 0; cell < g.cells_per_clb; ++cell) {
+        const fabric::LogicCellConfig& cfg =
+            fabric_->cell(ClbCoord{row, col}, cell);
+        if (cfg == def) continue;
+        const std::uint64_t d = FrameImage::cell_token(row, def) ^
+                                FrameImage::cell_token(row, cfg);
+        const std::int32_t base = index_.cell_frame_base(col, cell);
+        for (int f = 0; f < g.frames_per_cell_config; ++f)
+          out[static_cast<std::size_t>(base + f)] ^= d;
+      }
+    }
+  }
+  for (const fabric::NetId n : fabric_->live_nets()) {
+    const fabric::RouteTree& tree = fabric_->net(n);
+    for (const fabric::RouteEdge& e : tree.edges)
+      out[static_cast<std::size_t>(
+          index_.id(mapper_.pip_frame(fabric_->graph(), e)))] ^=
+          FrameImage::edge_token(e);
+    for (const fabric::NodeId s : tree.sources)
+      out[static_cast<std::size_t>(index_.id(
+          source_frame(SourceChange{n, s, true})))] ^=
+          FrameImage::source_token(s);
+  }
+}
+
+void ConfigController::audit_image() const {
+  constexpr const char* kWhere = "FrameImage";
+  std::vector<std::uint64_t> current;
+  recompute_digests(current);
+  for (std::int32_t id = 0; id < index_.total_frames(); ++id) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    // The image accumulates deltas relative to the construction-time state.
+    const std::uint64_t expect = current[i] ^ audit_baseline_[i];
+    RELOGIC_AUDIT_CHECK(
+        image_.digest_id(id) == expect, kWhere,
+        "frame " + std::to_string(id) + " digest " +
+            std::to_string(image_.digest_id(id)) + " != recomputed " +
+            std::to_string(expect) +
+            " (incremental delta bug, or a fabric mutation bypassed the "
+            "controller)");
+    RELOGIC_AUDIT_CHECK(expect == 0 || image_.ever_touched_id(id), kWhere,
+                        "frame " + std::to_string(id) +
+                            " holds content but was never touched through "
+                            "the controller");
+  }
 }
 
 FrameAddress ConfigController::source_frame(const SourceChange& sc) const {

@@ -260,6 +260,18 @@ class ConfigController {
   const ConfigTotals& totals() const { return totals_; }
   void reset_totals() { totals_ = ConfigTotals{}; }
 
+  // ---- invariant audit (DESIGN.md §8.4) -------------------------------------
+  /// Cross-checks the incremental FrameImage digest mirror against a full
+  /// recompute from fabric ground truth (every cell config, live PIP and
+  /// attached source, relative to the fabric state at controller
+  /// construction — fault installation happens before construction, so the
+  /// baseline folds injected corruption in). Throws AuditError on the first
+  /// divergent frame: either the incremental delta path dropped/duplicated
+  /// a token, or something mutated the fabric behind the controller's back
+  /// — both contract violations. Always compiled; periodic call sites
+  /// (TransactionBatcher::flush) are gated on RELOGIC_AUDIT.
+  void audit_image() const;
+
   /// Attaches a trace lane: every apply() emits one 'X' span on the
   /// cumulative port-busy clock (ts = totals().time before the op) with
   /// granularity and frame accounting as args. Default-constructed handle
@@ -269,6 +281,11 @@ class ConfigController {
  private:
   /// The frame controlling a net-source attach/detach (output mux / pad).
   FrameAddress source_frame(const SourceChange& sc) const;
+  /// Absolute per-frame content digest of the fabric as it stands: XOR of
+  /// the diff-from-default token of every non-default cell config plus the
+  /// tokens of every live PIP and attached source. audit_image compares
+  /// image_ against recompute(now) ^ recompute(construction).
+  void recompute_digests(std::vector<std::uint64_t>& out) const;
   /// Granularity-aware pricing: every frame of `frames` under kColumn /
   /// kFrame; only the dirty (non-zero-delta) subset under kDirtyFrame,
   /// with the remainder counted as frames_skipped.
@@ -295,6 +312,9 @@ class ConfigController {
   FrameImage image_;
   ConfigTotals totals_;
   obs::TraceTrack trace_;
+  /// Fabric content digests at construction — the erased-state baseline the
+  /// image's deltas are relative to (see audit_image). One walk at ctor.
+  std::vector<std::uint64_t> audit_baseline_;
 
   // ---- reusable scratch (not thread-safe; see the header comment) ---------
   mutable FrameSet frames_scratch_;   ///< apply(op) / preview(op) mapping

@@ -84,6 +84,13 @@ class FrameImage {
 
   /// Frames whose digest has ever moved away from the erased state.
   std::size_t tracked_frames() const { return tracked_; }
+  /// Whether one frame has ever been touched (its digest may since have
+  /// returned to the erased state). Used by ConfigController::audit_image:
+  /// a frame whose recomputed content differs from the baseline must have
+  /// seen at least one delta.
+  bool ever_touched_id(std::int32_t id) const {
+    return touched_[static_cast<std::size_t>(id)] != 0;
+  }
 
   // ---- content tokens (XOR-composable) ------------------------------------
   /// Token of one logic cell's configuration at a given row. Tokens of the

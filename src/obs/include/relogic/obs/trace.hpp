@@ -25,7 +25,13 @@
 #include <string>
 #include <vector>
 
+#include "relogic/common/audit.hpp"
+#include "relogic/common/thread_annotations.hpp"
 #include "relogic/common/time.hpp"
+
+#if RELOGIC_AUDIT
+#include <atomic>
+#endif
 
 namespace relogic::obs {
 
@@ -62,9 +68,27 @@ struct TraceEvent {
 /// Pre-sized single-writer ring of trace events. When full, the oldest
 /// events are overwritten (the most recent window survives) and `dropped`
 /// counts the casualties — deterministically, since insertion order is.
+///
+/// Single-writer contract (DESIGN.md §7): exactly one thread pushes into a
+/// given ring at a time, and readers (export) run only after the writer is
+/// joined. The contract cannot be expressed as a clang capability (there is
+/// no lock to name), so RELOGIC_AUDIT builds enforce it dynamically: push()
+/// trips an AuditError when two writers ever overlap.
 class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity);
+
+#if RELOGIC_AUDIT
+  // The concurrent-writer flag is an atomic, which is not movable — and the
+  // owning Tracer::Track is moved into its deque on registration. The flag
+  // is meaningless before the first post-registration push, so moves reset
+  // it. Audit builds only: the unconditional members keep the default move.
+  TraceBuffer(TraceBuffer&& other) noexcept
+      : events_(std::move(other.events_)),
+        next_(other.next_),
+        size_(other.size_),
+        dropped_(other.dropped_) {}
+#endif
 
   /// Slot for the next event; the caller fills it in place. Reuses the
   /// oldest slot once the ring is full.
@@ -81,6 +105,9 @@ class TraceBuffer {
   std::size_t next_ = 0;
   std::size_t size_ = 0;
   std::int64_t dropped_ = 0;
+#if RELOGIC_AUDIT
+  std::atomic<bool> busy_{false};  ///< single-writer audit (see above)
+#endif
 };
 
 class Tracer;
@@ -129,8 +156,12 @@ class Tracer {
 
   /// Registers a track and returns its handle. `process`/`thread` name the
   /// pid/tid lanes in the viewer. Must be called before the track's writer
-  /// thread starts; one writer per track.
-  TraceTrack track(int pid, int tid, std::string process, std::string thread);
+  /// thread starts; one writer per track. Registration mutates the track
+  /// registry under mu_ — handles stay valid (deque), but the export order
+  /// is fixed by registration order, so register everything up front on one
+  /// thread (FleetManager::set_tracer does).
+  TraceTrack track(int pid, int tid, std::string process, std::string thread)
+      RELOGIC_EXCLUDES(mu_);
 
   struct Track {
     int pid = 0;
@@ -140,22 +171,34 @@ class Tracer {
     TraceBuffer buf;
   };
 
-  const std::deque<Track>& tracks() const { return tracks_; }
+  /// Registered tracks. The reference outlives the internal lock: callers
+  /// must be quiescent (no concurrent track()) — in practice export/tests
+  /// run after every writer joined.
+  const std::deque<Track>& tracks() const RELOGIC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return tracks_;
+  }
   bool wall_clock() const { return opt_.wall_clock; }
   /// Microseconds since tracer construction (wall clock).
   double wall_now_us() const;
   /// Events overwritten across all tracks.
-  std::int64_t dropped_events() const;
+  std::int64_t dropped_events() const RELOGIC_EXCLUDES(mu_);
 
   /// Chrome trace-event JSON: metadata events naming each track, then every
   /// retained event, one per line, in track-registration + insertion order.
-  std::string to_json() const;
+  std::string to_json() const RELOGIC_EXCLUDES(mu_);
   /// Renders to_json() into `path`. Returns false on I/O failure.
   bool write_json(const std::string& path) const;
 
  private:
+  std::int64_t dropped_locked() const RELOGIC_REQUIRES(mu_);
+
   Options opt_;
-  std::deque<Track> tracks_;
+  /// Guards the registry *structure* (registration, export walk). Ring
+  /// contents are single-writer by contract, not lock-protected — see
+  /// TraceBuffer.
+  mutable Mutex mu_;
+  std::deque<Track> tracks_ RELOGIC_GUARDED_BY(mu_);
   std::int64_t epoch_ns_ = 0;
 };
 

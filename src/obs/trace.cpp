@@ -82,6 +82,15 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
     : events_(capacity == 0 ? 1 : capacity) {}
 
 TraceEvent& TraceBuffer::push() {
+#if RELOGIC_AUDIT
+  // Single-writer audit: a second thread entering while a push is in flight
+  // is a determinism-contract violation whatever the interleaving. The flag
+  // stays set on failure — every subsequent writer trips too.
+  RELOGIC_AUDIT_CHECK(!busy_.exchange(true, std::memory_order_acquire),
+                      "TraceBuffer",
+                      "concurrent push() on a single-writer ring "
+                      "(DESIGN.md §7: one writer per track)");
+#endif
   TraceEvent& e = events_[next_];
   next_ = (next_ + 1) % events_.size();
   if (size_ < events_.size()) {
@@ -89,6 +98,9 @@ TraceEvent& TraceBuffer::push() {
   } else {
     ++dropped_;
   }
+#if RELOGIC_AUDIT
+  busy_.store(false, std::memory_order_release);
+#endif
   return e;
 }
 
@@ -154,6 +166,7 @@ Tracer::Tracer(Options opt) : opt_(opt), epoch_ns_(steady_ns()) {}
 
 TraceTrack Tracer::track(int pid, int tid, std::string process,
                          std::string thread) {
+  MutexLock lock(mu_);
   tracks_.push_back(Track{pid, tid, std::move(process), std::move(thread),
                           TraceBuffer(opt_.track_capacity)});
   TraceTrack handle;
@@ -166,18 +179,24 @@ double Tracer::wall_now_us() const {
   return static_cast<double>(steady_ns() - epoch_ns_) * 1e-3;
 }
 
-std::int64_t Tracer::dropped_events() const {
+std::int64_t Tracer::dropped_locked() const {
   std::int64_t n = 0;
   for (const auto& t : tracks_) n += t.buf.dropped();
   return n;
 }
 
+std::int64_t Tracer::dropped_events() const {
+  MutexLock lock(mu_);
+  return dropped_locked();
+}
+
 std::string Tracer::to_json() const {
+  MutexLock lock(mu_);
   std::string out;
   out.reserve(1 << 16);
   out += "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"generator\": "
          "\"relogic::obs\", \"dropped_events\": ";
-  out += std::to_string(dropped_events());
+  out += std::to_string(dropped_locked());
   out += "},\n\"traceEvents\": [\n";
   bool first = true;
   auto sep = [&] {

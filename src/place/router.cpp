@@ -198,7 +198,9 @@ std::vector<NodeId> Router::find_path_to_net(NodeId from, NetId net,
     const QueueItem item = open.top();
     open.pop();
     if (is_target(item.node)) {
-      std::vector<NodeId> path{item.node};
+      // This search keys items by plain NodeId (no touched-tree bit), so
+      // the narrowing is value-preserving.
+      std::vector<NodeId> path{static_cast<NodeId>(item.node)};
       NodeId cur = item.node;
       while (true) {
         auto it = parent.find(cur);

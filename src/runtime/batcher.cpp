@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "relogic/common/audit.hpp"
 #include "relogic/common/logging.hpp"
 
 namespace relogic::runtime {
@@ -52,6 +53,8 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
     stats_.frames_written += r.frames_written;
     stats_.frames_skipped += r.frames_skipped;
     stats_.time += r.time;
+    // Solo ops commit outside flush(); audit this transaction boundary too.
+    if constexpr (relogic::audit_enabled()) controller_->audit_image();
     return;
   }
 
@@ -125,6 +128,9 @@ void TransactionBatcher::flush() {
   RELOGIC_LOG(kDebug) << "batched " << batched << " config ops into one "
                       << r.columns_touched << "-column transaction ("
                       << r.time.to_string() << ")";
+  // Flush boundary: in audit builds, cross-check the digest mirror against
+  // a full recompute now that the merged transaction has committed.
+  if constexpr (relogic::audit_enabled()) controller_->audit_image();
 }
 
 }  // namespace relogic::runtime

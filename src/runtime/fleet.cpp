@@ -1,6 +1,7 @@
 #include "relogic/runtime/fleet.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <limits>
 #include <memory>
@@ -9,7 +10,9 @@
 #include <thread>
 #include <utility>
 
+#include "relogic/common/audit.hpp"
 #include "relogic/common/logging.hpp"
+#include "relogic/common/thread_annotations.hpp"
 #include "relogic/reloc/cost.hpp"
 
 namespace relogic::runtime {
@@ -546,7 +549,54 @@ const std::vector<int>& FleetManager::dispatch() {
   }
   placed_ = queue_.size();
   dispatched_ = true;
+  // Admission-pass boundary: the ledger, the assignment vector and the
+  // request queue must reconcile before any device run consumes them.
+  if constexpr (relogic::audit_enabled()) audit_admission();
   return assignment_;
+}
+
+void FleetManager::audit_admission() const {
+  RELOGIC_AUDIT_CHECK(assignment_.size() == queue_.size(), "FleetManager",
+                      "assignment vector diverged from the request queue (" +
+                          std::to_string(assignment_.size()) + " vs " +
+                          std::to_string(queue_.size()) + ")");
+  RELOGIC_AUDIT_CHECK(
+      ledger_.size() == static_cast<std::size_t>(cfg_.devices), "FleetManager",
+      "per-device ledger count diverged from the fleet size");
+  for (int a : assignment_)
+    RELOGIC_AUDIT_CHECK(a >= -1 && a < cfg_.devices, "FleetManager",
+                        "assignment references nonexistent device " +
+                            std::to_string(a));
+  // Live entries only: dispatch() drops an entry for good once its est_end
+  // has passed the admission clock, so a placed-then-departed request is
+  // *expected* to be absent — the ledger mirrors remaining work, not
+  // admission history (that is assignment_'s job).
+  std::vector<std::uint8_t> on_ledger(queue_.size(), 0);
+  for (int d = 0; d < cfg_.devices; ++d) {
+    for (const LedgerEntry& e : ledger_[static_cast<std::size_t>(d)]) {
+      RELOGIC_AUDIT_CHECK(e.req < queue_.size(), "FleetManager",
+                          "ledger entry references request " +
+                              std::to_string(e.req) + " beyond the queue");
+      RELOGIC_AUDIT_CHECK(
+          assignment_[e.req] == d, "FleetManager",
+          "request " + std::to_string(e.req) + " booked on device " +
+              std::to_string(d) + " but assigned to device " +
+              std::to_string(assignment_[e.req]));
+      RELOGIC_AUDIT_CHECK(!on_ledger[e.req], "FleetManager",
+                          "request " + std::to_string(e.req) +
+                              " appears on more than one ledger");
+      on_ledger[e.req] = 1;
+      RELOGIC_AUDIT_CHECK(e.est_start <= e.est_end, "FleetManager",
+                          "request " + std::to_string(e.req) +
+                              " booked with est_start after est_end");
+      RELOGIC_AUDIT_CHECK(
+          e.clbs == queue_[e.req].footprint_clbs, "FleetManager",
+          "request " + std::to_string(e.req) +
+              " booked with a footprint diverging from its request (" +
+              std::to_string(e.clbs) + " vs " +
+              std::to_string(queue_[e.req].footprint_clbs) + ")");
+    }
+  }
 }
 
 DeviceReport FleetManager::run_device(
@@ -746,27 +796,53 @@ FleetReport FleetManager::run() {
   int workers = cfg_.threads > 0 ? cfg_.threads : std::max(1, hw);
   workers = std::min(workers, cfg_.devices);
 
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
-  auto work = [&](int w) {
-    try {
-      for (int d = w; d < cfg_.devices; d += workers) {
+  // Worker-pool shared state (DESIGN.md §8.1). A device's report is a pure
+  // function of (cfg_, its app list): workers write disjoint
+  // report.devices slots and read only const member state, so the ONLY
+  // cross-thread mutable state is the work counter handing out device ids
+  // and the guarded error list. Dynamic assignment via fetch_add replaces
+  // the old static stride — faster when device workloads are skewed, and
+  // identical output either way since results never depend on which worker
+  // ran a device.
+  struct RunState {
+    std::atomic<int> next_device{0};
+    Mutex mu;
+    /// (device, exception) pairs — device-ordered at rethrow time so the
+    /// surfaced error does not depend on thread interleaving.
+    std::vector<std::pair<int, std::exception_ptr>> errors
+        RELOGIC_GUARDED_BY(mu);
+  };
+  RunState state;
+  auto work = [&]() {
+    for (;;) {
+      const int d = state.next_device.fetch_add(1, std::memory_order_relaxed);
+      if (d >= cfg_.devices) return;
+      try {
         report.devices[static_cast<std::size_t>(d)] =
             run_device(d, per_device[static_cast<std::size_t>(d)]);
+      } catch (...) {
+        MutexLock lock(state.mu);
+        state.errors.emplace_back(d, std::current_exception());
       }
-    } catch (...) {
-      errors[static_cast<std::size_t>(w)] = std::current_exception();
     }
   };
   if (workers <= 1) {
-    work(0);
+    work();
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(work, w);
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
     for (auto& th : pool) th.join();
   }
-  for (const auto& err : errors)
-    if (err) std::rethrow_exception(err);
+  {
+    // Pool has joined: single-threaded again, but the lock keeps the
+    // thread-safety analysis honest (and costs one uncontended acquire).
+    MutexLock lock(state.mu);
+    std::sort(state.errors.begin(), state.errors.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (!state.errors.empty())
+      std::rethrow_exception(state.errors.front().second);
+  }
 
   report.admitted = admitted_tasks;
   report.rejected = admission_rejects;
@@ -780,6 +856,24 @@ FleetReport FleetManager::run() {
     report.tested_clbs += d.stats.tested_clbs;
     report.makespan = std::max(report.makespan, d.stats.makespan);
     report.aggregate.merge(d.telemetry);
+  }
+  // Aggregation boundary: before the fleet-only counters land, every
+  // aggregate counter must equal the sum of its per-device contributions —
+  // the merge must neither drop nor double-count a device.
+  if constexpr (relogic::audit_enabled()) {
+    for (const DeviceReport& d : report.devices)
+      d.telemetry.audit("device " + std::to_string(d.device));
+    report.aggregate.audit("fleet aggregate");
+    for (const auto& [name, c] : report.aggregate.counters()) {
+      std::int64_t sum = 0;
+      for (const DeviceReport& d : report.devices)
+        sum += d.telemetry.counter_value(name);
+      RELOGIC_AUDIT_CHECK(sum == c.value(), "FleetManager",
+                          "aggregate counter " + name +
+                              " diverged from the per-device sum (" +
+                              std::to_string(c.value()) + " vs " +
+                              std::to_string(sum) + ")");
+    }
   }
   report.aggregate.counter("admission_rejected").add(admission_rejects);
   report.aggregate.counter("rebalanced_requests").add(rebalanced_);

@@ -33,6 +33,13 @@
 // apply itself, which takes the merged set instead of re-mapping the
 // concatenated op. All sets live in reusable members, so steady-state
 // enqueue/flush allocates nothing.
+//
+// Threading contract: a batcher (and the ConfigController + Fabric behind
+// it) belongs to exactly one device run and is confined to that worker
+// thread — nothing here locks (DESIGN.md §8.1). In audit builds every
+// transaction boundary (flush and the solo-op path) cross-checks the
+// controller's frame-digest mirror against a full recompute
+// (ConfigController::audit_image, DESIGN.md §8.4).
 #pragma once
 
 #include <cstdint>

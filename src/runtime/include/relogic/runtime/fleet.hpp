@@ -212,6 +212,14 @@ class FleetManager {
   /// Requests migrated by the rebalancer so far (reset by run()).
   int rebalanced_requests() const { return rebalanced_; }
 
+  /// Cross-checks the admission ledger against the request queue: every
+  /// live entry references a valid request, matches assignment_ and the
+  /// request's footprint, spans a non-inverted [est_start, est_end], and no
+  /// request sits on two devices at once. Throws AuditError on the first
+  /// divergence. Always compiled (tests call it directly); dispatch() calls
+  /// it at the end of every admission pass when audit_enabled().
+  void audit_admission() const;
+
   /// Attaches a tracer for subsequent dispatch()/run() calls (nullptr
   /// detaches). Registers every track up front — fleet lanes on pid 0,
   /// one pid per device with scheduler/tasks/port/health/telemetry lanes —
@@ -223,6 +231,16 @@ class FleetManager {
 
   /// Dispatches, executes every device run on the worker pool, and
   /// gathers telemetry. Leaves the admission queue empty.
+  ///
+  /// Threading contract (DESIGN.md §8.1): admission state (queue_, ledger_,
+  /// assignment_, ...) is confined to the caller's thread — submit(),
+  /// dispatch() and run() must not be called concurrently. run() is the
+  /// only method that spawns threads, and its workers share exactly two
+  /// pieces of mutable state: an atomic work counter handing out device
+  /// ids, and a mutex-guarded error list (both annotated, both local to
+  /// run()). Everything else a worker touches is either const member state
+  /// or its own disjoint report.devices slot, which is why the report is
+  /// byte-identical across thread counts.
   FleetReport run();
 
  private:

@@ -10,6 +10,12 @@
 // Metrics are keyed by name. Registries merge: per-device registries are
 // folded into one fleet-wide aggregate (counters add, histograms add
 // bucket-wise, gauges average).
+//
+// Threading contract: a Telemetry registry is thread-confined. Each fleet
+// worker fills the registry inside its own DeviceReport; the fold into the
+// fleet aggregate happens after the worker pool joins, on the caller's
+// thread. Nothing here locks, and nothing here may be shared across threads
+// while being written (DESIGN.md §8.1).
 #pragma once
 
 #include <cstdint>
@@ -83,6 +89,13 @@ class Histogram {
   /// Adds another histogram's observations. Bounds must be identical.
   void merge(const Histogram& other);
 
+  /// Cross-checks the internal invariants: one bucket per bound plus the
+  /// overflow bucket, count == sum of bucket counts, ordered min/max and a
+  /// finite sum whenever any observation was recorded. Throws AuditError
+  /// (common/audit.hpp) naming `what` on the first violation. Always
+  /// compiled; periodic call sites are gated on audit_enabled().
+  void audit(const std::string& what) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::int64_t> counts_;  // bounds_.size() + 1 entries
@@ -113,6 +126,11 @@ class Telemetry {
   /// Folds another registry into this one (counters add, histograms merge,
   /// gauges average).
   void merge(const Telemetry& other);
+
+  /// Audits every metric in the registry (see Histogram::audit; gauges must
+  /// carry a non-negative sample count). `where` prefixes the failure
+  /// message so fleet audits can name the offending device.
+  void audit(const std::string& where) const;
 
   /// Deterministic JSON object (keys sorted, fixed float formatting).
   /// `indent` spaces of additional indentation are applied to every line

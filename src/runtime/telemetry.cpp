@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "relogic/common/audit.hpp"
 #include "relogic/common/error.hpp"
 
 namespace relogic::runtime {
@@ -69,6 +70,35 @@ void Histogram::merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+void Histogram::audit(const std::string& what) const {
+  RELOGIC_AUDIT_CHECK(counts_.size() == bounds_.size() + 1, "Histogram",
+                      what + ": bucket count does not match bounds + overflow");
+  std::int64_t bucket_sum = 0;
+  for (std::int64_t c : counts_) {
+    RELOGIC_AUDIT_CHECK(c >= 0, "Histogram",
+                        what + ": negative bucket count");
+    bucket_sum += c;
+  }
+  RELOGIC_AUDIT_CHECK(bucket_sum == count_, "Histogram",
+                      what + ": count diverged from the bucket sum (" +
+                          std::to_string(count_) + " vs " +
+                          std::to_string(bucket_sum) + ")");
+  if (count_ > 0) {
+    RELOGIC_AUDIT_CHECK(min_ <= max_, "Histogram",
+                        what + ": min exceeds max");
+    RELOGIC_AUDIT_CHECK(std::isfinite(sum_), "Histogram",
+                        what + ": non-finite observation sum");
+  }
+}
+
+void Telemetry::audit(const std::string& where) const {
+  for (const auto& [name, h] : histograms_)
+    h.audit(where + "/" + name);
+  for (const auto& [name, g] : gauges_)
+    RELOGIC_AUDIT_CHECK(g.samples() >= 0, "Telemetry",
+                        where + "/" + name + ": negative gauge sample count");
 }
 
 Histogram& Telemetry::histogram(const std::string& name) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "relogic/common/audit.hpp"
 #include "relogic/common/logging.hpp"
 
 namespace relogic::sched {
@@ -482,6 +483,9 @@ class Engine {
   }
 
   void on_sweep_step() {
+    // Sweep boundary: in audit builds, recount the occupancy ledger before
+    // the window vacate/claim churn starts from it.
+    if constexpr (relogic::audit_enabled()) mgr_.audit();
     const ClbRect window = sweep_window();
     if (!vacate_window(window)) {
       // Retry after one period; the window does not advance until every
@@ -575,6 +579,10 @@ class Engine {
         tr_.health.instant("health", "rotation", now_,
                            {obs::arg("rotation", stats_.sweep_rotations)});
     }
+
+    // Sweep-done boundary: the claim strips are released and any detected
+    // CLBs masked — the ledger must reconcile before waiters re-place.
+    if constexpr (relogic::audit_enabled()) mgr_.audit();
 
     // Releasing the window may unblock waiters (and masking may have eaten
     // the hole they were promised — they will queue again).

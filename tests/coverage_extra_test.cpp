@@ -96,7 +96,7 @@ TEST(EngineOptions, OutputParallelCyclesExtendWallTime) {
     const auto nl = netlist::bench::counter(3);
     auto impl = implementer.implement(
         netlist::map_netlist(nl),
-        place::ImplementOptions{ClbRect{2, 2, 3, 3}, 0, {}});
+        place::ImplementOptions{ClbRect{2, 2, 3, 3}, 0, {}, {}});
     sim::CircuitHarness harness(sim, nl, impl);
     harness.step({});
 
@@ -126,7 +126,7 @@ TEST(EngineOptions, TinyAuxRadiusFailsInCrowdedNeighbourhood) {
       1, netlist::bench::ClockingStyle::kGatedClock);
   auto impl = implementer.implement(
       netlist::map_netlist(nl),
-      place::ImplementOptions{ClbRect{2, 2, 2, 2}, 0, {}});
+      place::ImplementOptions{ClbRect{2, 2, 2, 2}, 0, {}, {}});
 
   // Crowd the destination's whole neighbourhood.
   const ClbCoord dest{8, 8};

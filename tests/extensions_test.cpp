@@ -66,7 +66,7 @@ TEST(RouteOptimization, IdempotentSecondPass) {
   const auto nl = netlist::bench::counter(3);
   auto impl = rig.implementer.implement(
       netlist::map_netlist(nl),
-      place::ImplementOptions{ClbRect{1, 1, 3, 3}, 0, {}});
+      place::ImplementOptions{ClbRect{1, 1, 3, 3}, 0, {}, {}});
   sim::CircuitHarness harness(rig.sim, nl, impl);
   for (int i = 0; i < 3; ++i) ASSERT_TRUE(harness.step({}).ok());
 
@@ -138,7 +138,9 @@ TEST(MultiClock, GatedRelocationInSecondDomain) {
   ASSERT_TRUE(harness.step({false, false}).ok());
   const auto rep = rig.engine.relocate_function(impl, ClbRect{10, 10, 3, 3});
   for (const auto& r : rep.cells) {
-    if (r.reg == fabric::RegMode::kFF) EXPECT_TRUE(r.state_verified);
+    if (r.reg == fabric::RegMode::kFF) {
+      EXPECT_TRUE(r.state_verified);
+    }
   }
   ASSERT_TRUE(harness.step({false, false}).ok());
   ASSERT_TRUE(harness.step({true, true}).ok());
@@ -208,7 +210,7 @@ TEST(LutRamHalt, ClockGatingStopsAndResumesCleanly) {
   const auto nl = netlist::bench::counter(4);
   auto impl = rig.implementer.implement(
       netlist::map_netlist(nl),
-      place::ImplementOptions{ClbRect{2, 2, 3, 3}, 0, {}});
+      place::ImplementOptions{ClbRect{2, 2, 3, 3}, 0, {}, {}});
   sim::CircuitHarness h(rig.sim, nl, impl);
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(h.step({}).ok());
 

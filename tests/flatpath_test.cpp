@@ -51,11 +51,14 @@ TEST(FrameIndexTest, BijectionCoversTheWholeUniverseInAddressOrder) {
       EXPECT_EQ(index.id(f), id);
       // Dense ids enumerate addresses in FrameAddress's own <=> order, so a
       // sorted id set iterates exactly as the old std::set<FrameAddress>.
-      if (id > 0) EXPECT_LT(prev, f);
+      if (id > 0) {
+        EXPECT_LT(prev, f);
+      }
       prev = f;
       // Column ids are monotone and group-contiguous.
-      if (id > 0)
+      if (id > 0) {
         EXPECT_GE(index.column_of(id), index.column_of(id - 1));
+      }
     }
     EXPECT_EQ(index.column_of(index.total_frames() - 1),
               index.total_columns() - 1);
@@ -418,9 +421,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{true, WriteGranularity::kColumn},
                       std::pair{true, WriteGranularity::kFrame},
                       std::pair{true, WriteGranularity::kDirtyFrame}),
-    [](const auto& info) {
-      return std::string(info.param.first ? "tiny_dense_" : "tiny_") +
-             config::to_string(info.param.second);
+    [](const auto& pinfo) {
+      return std::string(pinfo.param.first ? "tiny_dense_" : "tiny_") +
+             config::to_string(pinfo.param.second);
     });
 
 }  // namespace

@@ -282,8 +282,9 @@ TEST(GoldenEquivalence, FabricStateIdenticalAcrossGranularitiesAndBackends) {
       }
 
       // Narrower granularities never write more frames.
-      if (gran != WriteGranularity::kColumn)
+      if (gran != WriteGranularity::kColumn) {
         EXPECT_LE(got.frames_written, ref.frames_written);
+      }
     }
   }
 }

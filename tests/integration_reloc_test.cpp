@@ -109,8 +109,8 @@ TEST_P(LockstepTest, CounterMatchesGolden) {
 INSTANTIATE_TEST_SUITE_P(Styles, LockstepTest,
                          ::testing::Values(ClockingStyle::kFreeRunning,
                                            ClockingStyle::kGatedClock),
-                         [](const auto& info) {
-                           return info.param == ClockingStyle::kFreeRunning
+                         [](const auto& pinfo) {
+                           return pinfo.param == ClockingStyle::kFreeRunning
                                       ? "FreeRunning"
                                       : "GatedClock";
                          });

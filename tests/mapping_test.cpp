@@ -107,7 +107,9 @@ TEST(Mapping, EveryConsumedSignalHasProducer) {
       if (in == kInvalidSig) continue;
       EXPECT_NO_THROW(mapped.producer(in));
     }
-    if (cell.uses_ce()) EXPECT_NO_THROW(mapped.producer(cell.ce));
+    if (cell.uses_ce()) {
+      EXPECT_NO_THROW(mapped.producer(cell.ce));
+    }
   }
   for (const auto& out : nl.outputs()) {
     EXPECT_NO_THROW(mapped.producer(out.signal));

@@ -111,12 +111,12 @@ std::vector<Param> walk_params() {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomWalkReloc,
                          ::testing::ValuesIn(walk_params()),
-                         [](const auto& info) {
-                           return std::string(info.param.style ==
+                         [](const auto& pinfo) {
+                           return std::string(pinfo.param.style ==
                                                       ClockingStyle::kFreeRunning
                                                   ? "Free"
                                                   : "Gated") +
-                                  std::to_string(info.param.seed);
+                                  std::to_string(pinfo.param.seed);
                          });
 
 // Property: relocation is idempotent on function behaviour — moving a
@@ -191,6 +191,7 @@ TEST(FailureInjection, BrokenNetFailsValidation) {
           place::suggest_region(netlist::map_netlist(nl), {2, 2},
                                 rig.fab.geometry()),
           0,
+          {},
           {}});
   // Pick a net with at least two edges and amputate its first edge.
   for (const auto& [sig, net] : impl.signal_nets) {

@@ -1,0 +1,12 @@
+// Lint self-test fixture: real violations, every one carrying the escape
+// hatch — the self-test requires this file to stay quiet.
+#include <chrono>
+
+long wall_report() {
+  // lint-allow(wall-clock): operator-facing wall time, never serialised
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long wall_inline() {
+  return time(nullptr);  // lint-allow(wall-clock): fixture for same-line form
+}

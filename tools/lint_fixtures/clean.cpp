@@ -1,0 +1,30 @@
+// Lint self-test fixture: near-misses only — every pattern here skirts a
+// rule without breaking it, and the self-test requires zero reports.
+#include <map>
+#include <string>
+
+// A comment mentioning std::chrono::steady_clock must not trip wall-clock,
+/* nor a block comment calling rand() or time(nullptr). */
+
+struct SimClock {
+  long now_ms = 0;
+  long sim_time() const { return now_ms; }
+};
+
+long near_misses(SimClock& clk, int operand) {
+  long t = clk.sim_time();       // identifier merely *containing* "time("
+  long u = est_start_time(t);    // identifier merely ending in "time"
+  set_timeout(5);                // "time" not followed by '('
+  return t + u + operand;
+}
+
+struct Report {
+  std::map<std::string, int> rows_;  // ordered: free to iterate anywhere
+  std::string to_json() const {
+    std::string out;
+    for (const auto& [k, v] : rows_) {
+      out += k + "=" + std::to_string(v) + " %plus ";  // %p + word char
+    }
+    return out;
+  }
+};

@@ -1,0 +1,44 @@
+// Lint self-test fixture: every violation here is PLANTED and the line
+// numbers are pinned by EXPECTED in check_determinism_lint.py. Renumber
+// both together. This file is never compiled.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+long wall_a() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+long wall_b(struct timespec* ts) {
+  return clock_gettime(0, ts);
+}
+long wall_c() {
+  return time(nullptr);
+}
+
+int rand_a() {
+  std::random_device rd;
+  (void)rd;
+  return rand();
+}
+int rand_b(std::mt19937& gen) {
+  return static_cast<int>(gen());
+}
+
+void ptr_a(const void* p) {
+  printf("at %p\n", p);
+}
+void ptr_b(std::ostream& os, int* p) {
+  os << static_cast<void*>(p);
+}
+
+struct Registry {
+  std::unordered_map<int, int> entries_;
+  std::string to_json() const {
+    std::string out;
+    // Unordered iteration inside an export function: flagged.
+    for (const auto& [k, v] : entries_) {
+      out += std::to_string(k);
+    }
+    return out;
+  }
+};

@@ -1,0 +1,14 @@
+// Lint self-test fixture: the file name marks an export path, so ANY
+// unordered iteration in here is flagged regardless of function name.
+#include <string>
+#include <unordered_set>
+
+std::unordered_set<int> pins_;
+
+int sum_pins() {
+  int total = 0;
+  for (int p : pins_) {
+    total += p;
+  }
+  return total;
+}
