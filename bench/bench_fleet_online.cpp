@@ -11,6 +11,7 @@
 //
 // Writes BENCH_fleet_online.json (see bench_report.hpp). Deterministic:
 // two runs with the same seed produce byte-identical reports.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -35,12 +36,15 @@ std::string slug(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::string trace_file;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace FILE] [--metrics]\n", argv[0]);
       return 2;
     }
   }
@@ -174,6 +178,57 @@ int main(int argc, char** argv) {
           .count();
   std::printf("end-to-end wall clock: %.0f ms\n", wall_ms);
   report.add("wall_clock_ms", wall_ms, "ms");
+
+  // ---- optional metrics-timeline capture ----------------------------------
+  // One extra poisson/least-loaded/online run with the sim-clock metrics
+  // plane enabled: windowed rates and final-window queue-wait quantiles land
+  // in the BENCH report. Runs after the sweep's wall-clock capture so
+  // sampling never perturbs its numbers.
+  if (metrics) {
+    sched::WorkloadParams wp;
+    wp.pattern = sched::ArrivalPattern::kPoisson;
+    wp.task_count = kTasks;
+    wp.mean_interarrival_ms = 0.8;
+    wp.seed = kSeed;
+
+    runtime::FleetConfig cfg;
+    cfg.devices = kDevices;
+    cfg.rows = cfg.cols = 12;
+    cfg.dispatch = runtime::DispatchPolicy::kLeastLoaded;
+    cfg.admission = runtime::AdmissionMode::kOnline;
+    cfg.rebalance_backlog_ms = kRebalanceMs;
+    cfg.sched.policy = sched::ManagementPolicy::kTransparent;
+    cfg.metrics.sample_interval_ms = 5.0;
+
+    runtime::FleetManager fleet(cfg);
+    fleet.submit_all(sched::WorkloadGenerator(wp).generate());
+    const auto result = fleet.run();
+    const auto& tl = result.timeline;
+
+    // Peak per-window completion rate across the aggregate timeline.
+    double peak_rate = 0.0;
+    for (std::size_t row = 0; row < tl.size(); ++row)
+      peak_rate =
+          std::max(peak_rate, tl.counter_rate_per_s(row, "tasks_completed"));
+    // p99 queue wait of the last window that actually saw queue activity
+    // (trailing drain windows report "no data", not a stale quantile).
+    double p99_final = 0.0;
+    for (std::size_t row = tl.size(); row-- > 0;) {
+      const auto q = tl.window_quantile(row, "queue_wait_ms", 0.99);
+      if (q) {
+        p99_final = *q;
+        break;
+      }
+    }
+    std::printf(
+        "metrics timeline (poisson, least-loaded, online, 5 ms windows): %zu "
+        "samples, peak window rate %.1f tasks/s, final-window queue-wait p99 "
+        "%.3f ms\n",
+        tl.size(), peak_rate, p99_final);
+    report.add("metrics_samples", static_cast<double>(tl.size()), "samples");
+    report.add("peak_window_task_rate", peak_rate, "tasks/s");
+    report.add("p99_queue_wait_final_window_ms", p99_final, "ms");
+  }
 
   // ---- optional trace capture ---------------------------------------------
   // One extra poisson/least-loaded/online run with the deterministic tracer

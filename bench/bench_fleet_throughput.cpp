@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_report.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/runtime/fleet.hpp"
 #include "relogic/sched/workload.hpp"
 
@@ -31,7 +32,17 @@ std::string slug(const std::string& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   constexpr int kTasks = 400;
   constexpr std::uint64_t kSeed = 2003;
 
@@ -89,6 +100,34 @@ int main() {
     report.add(key + "_wall", wall_ms, "ms");
     report.add(key + "_txn_saved", static_cast<double>(txn_unbatched - txn),
                "transactions");
+  }
+
+  // ---- optional trace capture ---------------------------------------------
+  // One extra 4-device/least-loaded run with the deterministic tracer
+  // attached. Runs after the sweep's wall-clock captures so tracing never
+  // perturbs its numbers.
+  if (!trace_file.empty()) {
+    runtime::FleetConfig cfg;
+    cfg.devices = 4;
+    cfg.dispatch = runtime::DispatchPolicy::kLeastLoaded;
+    cfg.sched.policy = sched::ManagementPolicy::kTransparent;
+
+    sched::RandomTaskParams params;
+    params.task_count = kTasks;
+    params.seed = kSeed;
+
+    obs::Tracer tracer;
+    runtime::FleetManager fleet(cfg);
+    fleet.set_tracer(&tracer);
+    fleet.submit_all(sched::random_tasks(params));
+    fleet.run();
+    if (!tracer.write_json(trace_file)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                trace_file.c_str());
   }
 
   if (report.write()) {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bench_report.hpp"
+#include "relogic/obs/trace.hpp"
 #include "relogic/runtime/fleet.hpp"
 #include "relogic/sched/workload.hpp"
 
@@ -40,7 +41,17 @@ std::string rate_key(double rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   const bool smoke = std::getenv("RELOGIC_BENCH_SMOKE") != nullptr;
   const int kTasks = smoke ? 60 : 250;
   constexpr int kDevices = 4;
@@ -114,6 +125,43 @@ int main() {
       }
     }
     std::printf("\n");
+  }
+
+  // ---- optional trace capture ---------------------------------------------
+  // One extra poisson/least-loaded run at the middle fault rate with the
+  // deterministic tracer attached — the health lane (window spans, fault
+  // detections, quarantines) is exactly what this bench sweeps. Runs after
+  // the sweep so tracing never perturbs its numbers.
+  if (!trace_file.empty()) {
+    sched::WorkloadParams wp;
+    wp.pattern = sched::ArrivalPattern::kPoisson;
+    wp.task_count = kTasks;
+    wp.mean_interarrival_ms = 0.8;
+    wp.seed = kSeed;
+
+    runtime::FleetConfig cfg;
+    cfg.devices = kDevices;
+    cfg.rows = cfg.cols = 12;
+    cfg.dispatch = runtime::DispatchPolicy::kLeastLoaded;
+    cfg.rebalance_backlog_ms = 80.0;
+    cfg.sched.policy = sched::ManagementPolicy::kTransparent;
+    cfg.health.selftest = true;
+    cfg.health.fault_rate = 0.01;
+    cfg.health.fault_seed = kSeed;
+    cfg.health.quarantine_threshold = 0.08;
+
+    obs::Tracer tracer;
+    runtime::FleetManager fleet(cfg);
+    fleet.set_tracer(&tracer);
+    fleet.submit_all(sched::WorkloadGenerator(wp).generate());
+    fleet.run();
+    if (!tracer.write_json(trace_file)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                trace_file.c_str());
   }
 
   if (report.write()) {

@@ -16,10 +16,13 @@
 #include "relogic/config/controller.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/netlist/benchmarks.hpp"
+#include "relogic/obs/timeline.hpp"
 #include "relogic/obs/trace.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
 #include "relogic/runtime/batcher.hpp"
+#include "relogic/sched/scheduler.hpp"
+#include "relogic/sched/workload.hpp"
 #include "relogic/sim/harness.hpp"
 
 namespace {
@@ -276,6 +279,56 @@ void BM_TraceOverhead_on(benchmark::State& state) {
   trace_overhead_run(state, TraceMode::kOn);
 }
 BENCHMARK(BM_TraceOverhead_on)->Unit(benchmark::kMicrosecond);
+
+// Metrics plane overhead on the scheduler's event loop: base never mentions
+// metrics, off attaches a null sampler (the per-event `if (live_)` guards),
+// on samples a live registry every 1 ms of simulated time. The perf gate
+// (check_perf_baseline.py) holds off within 5% of base: a disabled metrics
+// plane must be free on the request path, mirroring BM_TraceOverhead.
+enum class MetricsMode { kBase, kOff, kOn };
+
+void metrics_overhead_run(benchmark::State& state, MetricsMode mode) {
+  sched::RandomTaskParams params;
+  params.task_count = 60;
+  params.mean_interarrival_ms = 1.0;
+  params.seed = 11;
+  const auto tasks = sched::random_tasks(params);
+  const auto geom = fabric::DeviceGeometry::xcv200();
+  const config::SelectMapPort port;
+  const reloc::RelocationCostModel cost(geom, port);
+  sched::Scheduler sched(16, 16, cost, sched::SchedulerConfig{});
+  if (mode == MetricsMode::kOff) sched.set_metrics(nullptr);
+  std::int64_t completed = 0;
+  for (auto _ : state) {
+    // The sampler is per-run state (samples are recorded in time order and
+    // every run restarts the simulated clock), so the on mode pays its
+    // construction too — that cost is part of enabling the plane.
+    obs::MetricsTimeline timeline;
+    obs::TimelineSampler sampler(&timeline, SimTime::ms(1));
+    if (mode == MetricsMode::kOn) sched.set_metrics(&sampler);
+    const auto stats = sched.run_tasks(tasks);
+    benchmark::DoNotOptimize(stats.makespan);
+    completed += static_cast<std::int64_t>(stats.tasks.size()) - stats.rejected;
+    if (mode == MetricsMode::kOn) sched.set_metrics(nullptr);
+  }
+  state.SetItemsProcessed(completed);
+  state.SetLabel(geom.name);
+}
+
+void BM_MetricsOverhead_base(benchmark::State& state) {
+  metrics_overhead_run(state, MetricsMode::kBase);
+}
+BENCHMARK(BM_MetricsOverhead_base)->Unit(benchmark::kMillisecond);
+
+void BM_MetricsOverhead_off(benchmark::State& state) {
+  metrics_overhead_run(state, MetricsMode::kOff);
+}
+BENCHMARK(BM_MetricsOverhead_off)->Unit(benchmark::kMillisecond);
+
+void BM_MetricsOverhead_on(benchmark::State& state) {
+  metrics_overhead_run(state, MetricsMode::kOn);
+}
+BENCHMARK(BM_MetricsOverhead_on)->Unit(benchmark::kMillisecond);
 
 void BM_DefragPlan(benchmark::State& state) {
   // Planning cost on a fragmented 32x32 grid.

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validator for relogic::obs metrics-timeline JSON (stdlib only).
+
+Checks the invariants the metrics plane promises (DESIGN.md §7.5) so CI
+can gate `relogic-cli --metrics-out` / `bench_fleet_online --metrics`
+output without a JSON-schema dependency:
+
+  * top level is an object with schema "relogic.metrics.v1", a numeric
+    "sample_interval_ms" >= 0, an "aggregate" timeline and a "devices"
+    list of {device, timeline} objects;
+  * every timeline has a non-empty "samples" list with non-decreasing
+    "t_ms", integer "sweep_col" >= -1 and "quarantined_devices" >= 0;
+  * counter values are non-negative, never decrease, never disappear
+    once present, and each row's "delta" equals value minus the previous
+    row's value (the value itself on first appearance); "rate_per_s" is
+    non-negative and zero exactly when the delta is zero;
+  * gauge "samples" counts are non-negative and non-decreasing;
+  * histogram "count" is non-decreasing, "window_count" equals count
+    minus the previous row's count, and a zero-observation window never
+    carries window_p50/p95/p99 keys (no data, not stale quantiles);
+  * the aggregate's "quarantined_devices" is non-decreasing (devices
+    never leave quarantine within a run).
+
+With --min-samples N, additionally requires the aggregate timeline to
+carry at least N rows — the coverage gate for CI smoke runs.
+
+Usage: check_metrics_format.py METRICS.json [--min-samples N]
+"""
+
+import json
+import sys
+
+SCHEMA = "relogic.metrics.v1"
+WINDOW_QUANTILES = ("window_p50", "window_p95", "window_p99")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def check_timeline(tl, label, monotone_quarantine):
+    """Returns (error, row_count, counter_names). error is None on pass."""
+    if not isinstance(tl, dict) or not isinstance(tl.get("samples"), list):
+        return f'{label}: missing or non-list "samples"', 0, set()
+    samples = tl["samples"]
+    if not samples:
+        return f"{label}: empty timeline", 0, set()
+
+    prev_t = None
+    prev_quar = 0
+    prev_counters = {}
+    prev_gauge_samples = {}
+    prev_hist_counts = {}
+    names = set()
+    for i, row in enumerate(samples):
+        where = f"{label} row {i}"
+        if not isinstance(row, dict):
+            return f"{where}: not an object", 0, set()
+        t = row.get("t_ms")
+        if not isinstance(t, (int, float)) or t < 0:
+            return f"{where}: missing or negative t_ms: {t!r}", 0, set()
+        if prev_t is not None and t < prev_t:
+            return f"{where}: t_ms {t} < previous {prev_t}", 0, set()
+        prev_t = t
+        sweep = row.get("sweep_col")
+        if not isinstance(sweep, int) or sweep < -1:
+            return f"{where}: bad sweep_col: {sweep!r}", 0, set()
+        quar = row.get("quarantined_devices")
+        if not isinstance(quar, int) or quar < 0:
+            return f"{where}: bad quarantined_devices: {quar!r}", 0, set()
+        if monotone_quarantine and quar < prev_quar:
+            return (f"{where}: quarantined_devices {quar} < previous "
+                    f"{prev_quar}"), 0, set()
+        prev_quar = quar
+
+        counters = row.get("counters")
+        if not isinstance(counters, dict):
+            return f"{where}: missing counters object", 0, set()
+        missing = set(prev_counters) - set(counters)
+        if missing:
+            return f"{where}: counters disappeared: {sorted(missing)}", 0, set()
+        for name, c in sorted(counters.items()):
+            names.add(name)
+            value, delta = c.get("value"), c.get("delta")
+            rate = c.get("rate_per_s")
+            if not isinstance(value, int) or value < 0:
+                return f"{where}: counter {name} bad value: {value!r}", 0, set()
+            before = prev_counters.get(name, 0)
+            if value < before:
+                return (f"{where}: counter {name} ran backwards "
+                        f"({before} -> {value})"), 0, set()
+            if delta != value - before:
+                return (f"{where}: counter {name} delta {delta!r} != "
+                        f"{value} - {before}"), 0, set()
+            if not isinstance(rate, (int, float)) or rate < 0:
+                return f"{where}: counter {name} bad rate: {rate!r}", 0, set()
+            if (rate == 0) != (delta == 0) and i > 0:
+                return (f"{where}: counter {name} rate {rate} inconsistent "
+                        f"with delta {delta}"), 0, set()
+        prev_counters = {n: c["value"] for n, c in counters.items()}
+
+        for name, g in sorted(row.get("gauges", {}).items()):
+            n = g.get("samples")
+            if not isinstance(n, int) or n < 0:
+                return f"{where}: gauge {name} bad samples: {n!r}", 0, set()
+            if n < prev_gauge_samples.get(name, 0):
+                return (f"{where}: gauge {name} sample count ran "
+                        f"backwards"), 0, set()
+            prev_gauge_samples[name] = n
+
+        for name, h in sorted(row.get("histograms", {}).items()):
+            count, wcount = h.get("count"), h.get("window_count")
+            if not isinstance(count, int) or count < 0:
+                return f"{where}: histogram {name} bad count: {count!r}", 0, set()
+            before = prev_hist_counts.get(name, 0)
+            if count < before:
+                return (f"{where}: histogram {name} count ran backwards "
+                        f"({before} -> {count})"), 0, set()
+            if wcount != count - before:
+                return (f"{where}: histogram {name} window_count {wcount!r} "
+                        f"!= {count} - {before}"), 0, set()
+            if wcount == 0 and any(k in h for k in WINDOW_QUANTILES):
+                return (f"{where}: histogram {name} has window quantiles "
+                        f"for an empty window (stale data)"), 0, set()
+            prev_hist_counts[name] = count
+
+    return None, len(samples), names
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    path = argv[1]
+    min_samples = 0
+    rest = argv[2:]
+    while rest:
+        if rest[0] == "--min-samples" and len(rest) > 1:
+            min_samples = int(rest[1])
+            rest = rest[2:]
+        else:
+            sys.stderr.write(__doc__)
+            return 2
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        return fail("top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        return fail(f'schema {doc.get("schema")!r}, expected {SCHEMA!r}')
+    interval = doc.get("sample_interval_ms")
+    if not isinstance(interval, (int, float)) or interval < 0:
+        return fail(f"bad sample_interval_ms: {interval!r}")
+    devices = doc.get("devices")
+    if not isinstance(devices, list):
+        return fail('missing or non-list "devices"')
+
+    err, rows, names = check_timeline(doc.get("aggregate"), "aggregate",
+                                      monotone_quarantine=True)
+    if err:
+        return fail(err)
+    if min_samples and rows < min_samples:
+        return fail(f"aggregate has {rows} samples, need >= {min_samples}")
+
+    dev_rows = 0
+    for d in devices:
+        if not isinstance(d, dict) or not isinstance(d.get("device"), int):
+            return fail("devices entries must be {device, timeline} objects")
+        err, n, _ = check_timeline(d.get("timeline"), f'device {d["device"]}',
+                                   monotone_quarantine=False)
+        if err:
+            return fail(err)
+        dev_rows += n
+
+    print(f"ok: aggregate {rows} samples ({len(names)} counters), "
+          f"{len(devices)} device timelines ({dev_rows} rows), "
+          f"interval {interval} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

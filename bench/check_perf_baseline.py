@@ -23,20 +23,23 @@ machine cancels out, a config-plane regression does not. Without the
 reference the guard falls back to raw times, where the 2x factor must also
 absorb hardware variance.
 
-On top of the cross-run baseline comparison, one *within-run* gate guards
-the observability contract: a disabled tracer must be free. The current
-report must carry BM_TraceOverhead_off (the BM_ConfigApply XCV200 workload
-with a null trace handle explicitly installed) within TRACE_OFF_FACTOR of
-BM_TraceOverhead_base (the identical workload never touching the tracer
-API). The two are registered adjacently in bench_microperf so they run
-back-to-back — same machine state, no normalization needed; gating against
-the minutes-earlier BM_ConfigApply_3 measurement was too drift-prone for a
-5% margin. Missing either metric fails the guard.
+On top of the cross-run baseline comparison, two *within-run* gates guard
+the observability contract: a disabled tracer and a disabled metrics
+sampler must both be free. The current report must carry
+BM_TraceOverhead_off (the BM_ConfigApply XCV200 workload with a null trace
+handle explicitly installed) within OFF_FACTOR of BM_TraceOverhead_base
+(the identical workload never touching the tracer API), and likewise
+BM_MetricsOverhead_off (the scheduler event loop with a null sampler
+explicitly installed) within OFF_FACTOR of BM_MetricsOverhead_base. Each
+pair is registered adjacently in bench_microperf so it runs back-to-back —
+same machine state, no normalization needed; gating against a
+minutes-earlier measurement was too drift-prone for a 5% margin. Missing
+either metric of a pair fails the guard.
 
 If the guard fires without a plausible code cause, or after an intentional
 hot-path change, refresh the baseline:
 
-    ./build/bench_microperf --benchmark_filter='BM_ConfigApply|BM_DirtyPreview|BM_BatcherFlush|BM_TraceOverhead|BM_RoutingGraphBuild'
+    ./build/bench_microperf --benchmark_filter='BM_ConfigApply|BM_DirtyPreview|BM_BatcherFlush|BM_TraceOverhead|BM_MetricsOverhead|BM_RoutingGraphBuild'
     cp BENCH_microperf.json bench/baselines/microperf_baseline.json
 
 Usage: check_perf_baseline.py <current.json> <baseline.json> [max_factor]
@@ -50,13 +53,17 @@ GUARDED_PREFIXES = (
     "BM_DirtyPreview",
     "BM_BatcherFlush",
     "BM_TraceOverhead",
+    "BM_MetricsOverhead",
 )
 REFERENCE_METRIC = "BM_RoutingGraphBuild_8"
 
-# Disabled-tracer gate: _off vs the adjacent untraced twin, same run.
-TRACE_OFF_METRIC = "BM_TraceOverhead_off"
-TRACE_BASE_METRIC = "BM_TraceOverhead_base"
-TRACE_OFF_FACTOR = 1.05
+# Disabled-observability gates: _off vs the adjacent untouched twin,
+# same run. One pair per plane (tracer, metrics sampler).
+OFF_GATES = (
+    ("BM_TraceOverhead_off", "BM_TraceOverhead_base"),
+    ("BM_MetricsOverhead_off", "BM_MetricsOverhead_base"),
+)
+OFF_FACTOR = 1.05
 
 
 def load_metrics(path):
@@ -69,20 +76,24 @@ def load_metrics(path):
     }
 
 
-def check_trace_overhead(current):
-    """Within-run gate: disabled tracer within TRACE_OFF_FACTOR of the
-    identical untraced workload. Returns True on pass."""
-    off = current.get(TRACE_OFF_METRIC)
-    base = current.get(TRACE_BASE_METRIC)
-    if off is None or base is None or base <= 0:
-        print(f"FAIL trace-overhead gate: need both {TRACE_OFF_METRIC} and "
-              f"{TRACE_BASE_METRIC} in the current report")
-        return False
-    ratio = off / base
-    verdict = "FAIL" if ratio > TRACE_OFF_FACTOR else "ok"
-    print(f"{verdict:4} {TRACE_OFF_METRIC}: {off:.3g} vs {TRACE_BASE_METRIC} "
-          f"{base:.3g} same-run ({ratio:.3f}x, limit {TRACE_OFF_FACTOR:.2f}x)")
-    return ratio <= TRACE_OFF_FACTOR
+def check_off_gates(current):
+    """Within-run gates: each disabled observability plane within
+    OFF_FACTOR of its identical untouched twin. Returns True on pass."""
+    passed = True
+    for off_name, base_name in OFF_GATES:
+        off = current.get(off_name)
+        base = current.get(base_name)
+        if off is None or base is None or base <= 0:
+            print(f"FAIL off-overhead gate: need both {off_name} and "
+                  f"{base_name} in the current report")
+            passed = False
+            continue
+        ratio = off / base
+        verdict = "FAIL" if ratio > OFF_FACTOR else "ok"
+        print(f"{verdict:4} {off_name}: {off:.3g} vs {base_name} "
+              f"{base:.3g} same-run ({ratio:.3f}x, limit {OFF_FACTOR:.2f}x)")
+        passed = passed and ratio <= OFF_FACTOR
+    return passed
 
 
 def main(argv):
@@ -93,7 +104,7 @@ def main(argv):
     baseline = load_metrics(argv[2])
     factor = float(argv[3]) if len(argv) > 3 else 2.0
 
-    failed_trace_gate = not check_trace_overhead(current)
+    failed_off_gates = not check_off_gates(current)
 
     cur_ref = current.pop(REFERENCE_METRIC, None)
     base_ref = baseline.pop(REFERENCE_METRIC, None)
@@ -122,7 +133,7 @@ def main(argv):
         print(f"{verdict:4} {name}: {cur:.3g} (normalized) vs baseline "
               f"{base:.3g} ({ratio:.2f}x, limit {factor:.1f}x)")
         failed = failed or ratio > factor
-    failed = failed or failed_trace_gate
+    failed = failed or failed_off_gates
     if failed:
         print("perf-regression guard FAILED — see bench/check_perf_baseline.py "
               "for the baseline-refresh procedure")

@@ -1,0 +1,59 @@
+#include "relogic/obs/prom_export.hpp"
+
+#include <sstream>
+
+namespace relogic::obs {
+
+namespace {
+
+using runtime::json_number;
+
+std::string sanitize(const std::string& name) {
+  std::string metric = name;
+  for (char& c : metric) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!metric.empty() && metric.front() >= '0' && metric.front() <= '9')
+    metric.insert(metric.begin(), '_');
+  return metric;
+}
+
+void emit(std::ostringstream& os, const std::string& name, const char* type,
+          const std::string& value) {
+  os << "# TYPE " << name << " " << type << "\n" << name << " " << value
+     << "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsTimeline::Snapshot& snap,
+                          const std::string& prefix) {
+  std::ostringstream os;
+  emit(os, prefix + "sim_time_ms", "gauge", json_number(snap.t.milliseconds()));
+  emit(os, prefix + "quarantined_devices", "gauge",
+       std::to_string(snap.quarantined_devices));
+  if (snap.sweep_col >= 0)
+    emit(os, prefix + "sweep_col", "gauge", std::to_string(snap.sweep_col));
+  for (const auto& [name, v] : snap.counters)
+    emit(os, prefix + sanitize(name), "counter", std::to_string(v));
+  for (const auto& [name, g] : snap.gauges)
+    emit(os, prefix + sanitize(name), "gauge", json_number(g.mean()));
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string metric = prefix + sanitize(name);
+    os << "# TYPE " << metric << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? json_number(h.bounds[i]) : "+Inf";
+      os << metric << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << metric << "_sum " << json_number(h.sum) << "\n";
+    os << metric << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace relogic::obs

@@ -185,6 +185,7 @@ void FleetManager::maybe_quarantine(SimTime now) {
     if (density <= cfg_.health.quarantine_threshold) continue;
     quarantined_[static_cast<std::size_t>(d)] = true;
     ++quarantined_count_;
+    quarantine_times_.push_back(now);
     if (tr_health_)
       tr_health_.instant("health", "quarantine device " + std::to_string(d),
                          now,
@@ -469,6 +470,7 @@ const std::vector<int>& FleetManager::dispatch() {
     // work); the offline planner replans from a clean slate.
     quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
     quarantined_count_ = 0;
+    quarantine_times_.clear();
   }
 
   // Event order over the not-yet-placed requests: arrival time, submission
@@ -621,6 +623,16 @@ DeviceReport FleetManager::run_device(
 
   sched::Scheduler scheduler(cfg_.rows, cfg_.cols, cost, cfg_.sched);
   scheduler.set_trace({tr.sched, tr.tasks, tr.health});
+  // Sim-clock metrics sampling: the sampler (and its live registry) lives
+  // on this worker's stack and writes into this worker's own report slot —
+  // thread-confined like everything else here (DESIGN.md §8.1). Samples
+  // land on the device's simulated clock, so the timeline is byte-identical
+  // across thread counts.
+  obs::TimelineSampler sampler(&report.timeline, cfg_.metrics.interval());
+  if (cfg_.metrics.enabled()) {
+    sampler.set_meter(tr.meter);
+    scheduler.set_metrics(&sampler);
+  }
   // Per-device roving self-test: the worker owns a private copy of the
   // device's injected fault map (run_device is const and runs on a pool
   // thread), so detections stay thread-local and deterministic.
@@ -767,6 +779,31 @@ DeviceReport FleetManager::run_device(
     for (const auto& [name, c] : t.counters())
       tr.meter.counter(name, s.makespan, static_cast<double>(c.value()));
   }
+  if constexpr (relogic::audit_enabled()) {
+    // Metrics-plane boundary: the timeline's closing row was accumulated
+    // live, event by event; the telemetry above was derived from RunStats
+    // after the run. For every counter both planes observe, the two must
+    // agree exactly. (tasks_completed/tasks_rejected are excluded: the
+    // end-of-run identity reclassifies placed-but-never-ran jobs in a way
+    // the live counters legitimately see as completed work in flight.)
+    if (!report.timeline.empty()) {
+      static constexpr const char* kCrossChecked[] = {
+          "tasks_admitted", "rearrangement_moves", "moved_clbs",
+          "selftest_moves", "swept_clbs",          "tested_clbs",
+          "sweep_rotations", "faulty_cells",       "faulty_clbs"};
+      const auto& last = report.timeline.samples().back();
+      for (const char* name : kCrossChecked) {
+        const auto it = last.counters.find(name);
+        const std::int64_t live = it == last.counters.end() ? 0 : it->second;
+        const std::int64_t total = t.counter_value(name);
+        RELOGIC_AUDIT_CHECK(
+            live == total, "FleetManager",
+            "device " + std::to_string(device) + " timeline counter " +
+                name + " diverged from end-of-run telemetry (" +
+                std::to_string(live) + " vs " + std::to_string(total) + ")");
+      }
+    }
+  }
   clear_log_context();
   return report;
 }
@@ -880,6 +917,29 @@ FleetReport FleetManager::run() {
   if (cfg_.health.enabled())
     report.aggregate.counter("quarantined_devices").add(quarantined_count_);
 
+  if (cfg_.metrics.enabled()) {
+    // Fold the per-device timelines into the fleet aggregate, in device-id
+    // order (DESIGN.md §7.5): union of sample times, carry-forward between
+    // a device's samples, rows tagged with the quarantined-device count as
+    // of each instant.
+    std::vector<const obs::MetricsTimeline*> parts;
+    parts.reserve(report.devices.size());
+    for (const DeviceReport& d : report.devices) parts.push_back(&d.timeline);
+    report.timeline = obs::MetricsTimeline::fold(parts, quarantine_times_);
+    if constexpr (relogic::audit_enabled()) {
+      for (const DeviceReport& d : report.devices)
+        d.timeline.audit("device " + std::to_string(d.device) + " timeline");
+      report.timeline.audit("fleet timeline");
+    }
+    if (tr_meter_ && !report.timeline.empty()) {
+      // Fleet-aggregate counter curves on the fleet meter lane (the final
+      // totals below still land at the makespan, on top of these).
+      for (const auto& row : report.timeline.samples())
+        for (const auto& [name, v] : row.counters)
+          tr_meter_.counter(name, row.t, static_cast<double>(v));
+    }
+  }
+
   if (tr_meter_) {
     for (const auto& [name, c] : report.aggregate.counters())
       tr_meter_.counter(name, report.makespan,
@@ -897,12 +957,22 @@ FleetReport FleetManager::run() {
   rr_next_ = 0;
   quarantined_.assign(static_cast<std::size_t>(cfg_.devices), false);
   quarantined_count_ = 0;
+  quarantine_times_.clear();
   return report;
 }
 
 double FleetReport::throughput_tasks_per_s() const {
   const double secs = makespan.seconds();
   return secs > 0 ? completed / secs : 0.0;
+}
+
+std::string FleetReport::metrics_json() const {
+  if (timeline.empty() && !config.metrics.enabled()) return "";
+  std::vector<std::pair<int, const obs::MetricsTimeline*>> parts;
+  parts.reserve(devices.size());
+  for (const DeviceReport& d : devices) parts.emplace_back(d.device, &d.timeline);
+  return obs::metrics_json_document(timeline, parts,
+                                    config.metrics.sample_interval_ms);
 }
 
 std::string FleetReport::to_json() const {

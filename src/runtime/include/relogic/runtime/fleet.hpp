@@ -44,6 +44,7 @@
 
 #include "relogic/config/controller.hpp"
 #include "relogic/health/fault.hpp"
+#include "relogic/obs/timeline.hpp"
 #include "relogic/obs/trace.hpp"
 #include "relogic/runtime/batcher.hpp"
 #include "relogic/runtime/telemetry.hpp"
@@ -95,6 +96,24 @@ struct FleetHealthConfig {
   double quarantine_threshold = 0.0;
 
   bool enabled() const { return selftest; }
+};
+
+/// Time-series metrics plane (obs::MetricsTimeline): when enabled, every
+/// device's discrete-event run snapshots its live telemetry registry each
+/// sample_interval_ms of *simulated* time — the sampler ticks are DES
+/// events, so the timelines are byte-identical across repeat runs and
+/// worker-thread counts, and a fleet-aggregate timeline is folded from the
+/// per-device ones after the pool joins (DESIGN.md §7.5).
+struct MetricsConfig {
+  /// Simulated-clock sampling period in milliseconds; <= 0 disables the
+  /// metrics plane entirely (no live registry, no per-event overhead
+  /// beyond one null-pointer test).
+  double sample_interval_ms = 0.0;
+
+  bool enabled() const { return sample_interval_ms > 0.0; }
+  SimTime interval() const {
+    return SimTime::ps(static_cast<std::int64_t>(sample_interval_ms * 1e9));
+  }
 };
 
 /// Configuration-plane selection of one device: which physical port model
@@ -149,6 +168,8 @@ struct FleetConfig {
   int threads = 0;
   /// Roving self-test, fault injection and quarantine policy.
   FleetHealthConfig health;
+  /// Sim-clock metrics sampling (off by default).
+  MetricsConfig metrics;
 };
 
 /// Everything measured about one device's run.
@@ -157,6 +178,10 @@ struct DeviceReport {
   sched::RunStats stats;
   BatchStats batch;
   Telemetry telemetry;
+  /// Sim-clock metrics timeline (empty unless FleetConfig::metrics is
+  /// enabled). Sampled inside the device's DES run; the closing row sits at
+  /// the device's makespan.
+  obs::MetricsTimeline timeline;
 };
 
 struct FleetReport {
@@ -184,6 +209,17 @@ struct FleetReport {
 
   /// Deterministic JSON document (same seed => byte-identical output).
   std::string to_json() const;
+
+  /// Fleet-aggregate metrics timeline: the per-device timelines folded in
+  /// device-id order over the union of their sample times (carry-forward
+  /// between a device's samples), rows tagged with the quarantined-device
+  /// count. Empty unless FleetConfig::metrics is enabled.
+  obs::MetricsTimeline timeline;
+
+  /// Deterministic metrics document (obs::metrics_json_document over the
+  /// aggregate and per-device timelines). Empty string when the metrics
+  /// plane was off.
+  std::string metrics_json() const;
 };
 
 class FleetManager {
@@ -320,6 +356,10 @@ class FleetManager {
   std::vector<std::vector<double>> fault_detect_ms_;
   std::vector<bool> quarantined_;
   int quarantined_count_ = 0;
+  /// Admission-clock instants at which devices were quarantined (one entry
+  /// per quarantined device, in quarantine order); tags the folded
+  /// aggregate timeline's rows with the quarantined-device count.
+  std::vector<SimTime> quarantine_times_;
   // ---- tracing (set_tracer) -----------------------------------------------
   struct DeviceTrace {
     obs::TraceTrack sched;   ///< DES lane (placement/config/relocation)

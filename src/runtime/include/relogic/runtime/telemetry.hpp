@@ -52,6 +52,7 @@ class Gauge {
     samples_ += other.samples_;
   }
   double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+  double sum() const { return sum_; }
   int samples() const { return samples_; }
 
  private:
@@ -122,6 +123,9 @@ class Telemetry {
   /// so iteration order is deterministic.
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   /// Folds another registry into this one (counters add, histograms merge,
   /// gauges average).
@@ -146,5 +150,9 @@ class Telemetry {
 /// Fixed float rendering used by all runtime JSON (shortest round-trippable
 /// form would vary across libcs; "%.6g" is stable and plenty for telemetry).
 std::string json_number(double v);
+
+/// JSON string literal with the control characters every exporter must
+/// escape (shared by the telemetry and metrics-timeline exporters).
+std::string json_quoted(const std::string& s);
 
 }  // namespace relogic::runtime

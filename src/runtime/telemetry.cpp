@@ -133,9 +133,7 @@ void Telemetry::merge(const Telemetry& other) {
   }
 }
 
-namespace {
-
-std::string quoted(const std::string& s) {
+std::string json_quoted(const std::string& s) {
   std::string out = "\"";
   for (char c : s) {
     switch (c) {
@@ -176,8 +174,6 @@ std::string quoted(const std::string& s) {
   return out + "\"";
 }
 
-}  // namespace
-
 std::string Telemetry::to_json(int indent) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   std::ostringstream os;
@@ -186,7 +182,7 @@ std::string Telemetry::to_json(int indent) const {
   os << pad << "  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
-    os << (first ? "\n" : ",\n") << pad << "    " << quoted(name) << ": "
+    os << (first ? "\n" : ",\n") << pad << "    " << json_quoted(name) << ": "
        << c.value();
     first = false;
   }
@@ -195,7 +191,7 @@ std::string Telemetry::to_json(int indent) const {
   os << pad << "  \"gauges\": {";
   first = true;
   for (const auto& [name, g] : gauges_) {
-    os << (first ? "\n" : ",\n") << pad << "    " << quoted(name)
+    os << (first ? "\n" : ",\n") << pad << "    " << json_quoted(name)
        << ": {\"mean\": " << json_number(g.mean())
        << ", \"samples\": " << g.samples() << "}";
     first = false;
@@ -205,7 +201,7 @@ std::string Telemetry::to_json(int indent) const {
   os << pad << "  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
-    os << (first ? "\n" : ",\n") << pad << "    " << quoted(name) << ": {"
+    os << (first ? "\n" : ",\n") << pad << "    " << json_quoted(name) << ": {"
        << "\"count\": " << h.count() << ", \"sum\": " << json_number(h.sum())
        << ", \"min\": " << json_number(h.min())
        << ", \"max\": " << json_number(h.max())

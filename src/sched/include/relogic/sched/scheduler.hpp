@@ -36,6 +36,10 @@
 #include "relogic/reloc/cost.hpp"
 #include "relogic/sched/workload.hpp"
 
+namespace relogic::obs {
+class TimelineSampler;  // obs/timeline.hpp
+}
+
 namespace relogic::sched {
 
 enum class ManagementPolicy { kNoRearrange, kHaltAndMove, kTransparent };
@@ -159,6 +163,14 @@ class Scheduler {
   /// Attaches trace lanes for subsequent runs (copies the handles).
   void set_trace(const SchedulerTrace& trace) { trace_ = trace; }
 
+  /// Attaches a metrics sampler for subsequent runs (nullptr detaches).
+  /// The engine updates the sampler's live registry as events execute and
+  /// snapshots it every sampler->interval() of simulated time, scheduled as
+  /// DES tick events — sample times are part of the deterministic event
+  /// order, never wall time (DESIGN.md §7.5). The sampler must outlive the
+  /// runs and is written only from the thread running them.
+  void set_metrics(obs::TimelineSampler* sampler) { metrics_ = sampler; }
+
   /// Enables the roving self-test for subsequent runs. `faults` carries the
   /// injected ground truth and receives detections; it must outlive the
   /// runs. Pass nullptr to sweep a fault-free device (coverage only).
@@ -182,6 +194,7 @@ class Scheduler {
   SelfTestConfig selftest_;
   health::FaultMap* faults_ = nullptr;
   SchedulerTrace trace_;
+  obs::TimelineSampler* metrics_ = nullptr;
 };
 
 }  // namespace relogic::sched

@@ -6,6 +6,7 @@
 
 #include "relogic/common/audit.hpp"
 #include "relogic/common/logging.hpp"
+#include "relogic/obs/timeline.hpp"
 
 namespace relogic::sched {
 
@@ -79,7 +80,7 @@ struct Job {
 };
 
 enum class EvKind { kReady, kConfigDone, kRunBegin, kEnd, kSweepStep,
-                    kSweepDone };
+                    kSweepDone, kMetricsTick };
 
 struct Ev {
   SimTime time;
@@ -98,13 +99,16 @@ class Engine {
  public:
   Engine(int rows, int cols, const reloc::RelocationCostModel& cost,
          const SchedulerConfig& cfg, const SelfTestConfig& selftest,
-         health::FaultMap* faults, const SchedulerTrace& trace)
+         health::FaultMap* faults, const SchedulerTrace& trace,
+         obs::TimelineSampler* metrics)
       : mgr_(rows, cols),
         cost_(&cost),
         cfg_(&cfg),
         st_(&selftest),
         faults_(faults),
-        tr_(trace) {}
+        tr_(trace),
+        metrics_(metrics),
+        live_(metrics ? &metrics->live() : nullptr) {}
 
   std::vector<Job> jobs;
   /// Jobs whose readiness is triggered by another job's end (prefetch
@@ -123,9 +127,19 @@ class Engine {
     if (st_->enabled) {
       push(Ev{sweep_period(), seq_++, EvKind::kSweepStep, -1});
     }
+    if (metrics_) {
+      RELOGIC_CHECK_MSG(metrics_->interval() > SimTime::zero(),
+                        "metrics sampler needs a positive interval");
+      sample_metrics();  // t = 0 baseline row
+      push(Ev{metrics_->interval(), seq_++, EvKind::kMetricsTick, -1});
+    }
     while (!queue_.empty()) {
       const Ev ev = queue_.top();
       queue_.pop();
+      // A metrics tick that outlived every other event would stretch the
+      // makespan past the last real event; drop it instead — finalize takes
+      // the closing sample at the true makespan.
+      if (ev.kind == EvKind::kMetricsTick && queue_.empty()) break;
       advance_to(ev.time);
       dispatch(ev);
     }
@@ -162,9 +176,23 @@ class Engine {
       on_sweep_done();
       return;
     }
+    if (ev.kind == EvKind::kMetricsTick) {
+      sample_metrics();
+      // Keep ticking while other work remains; when the tick was the last
+      // event the cadence ends (finalize takes the closing sample).
+      if (!queue_.empty())
+        push(Ev{now_ + metrics_->interval(), seq_++, EvKind::kMetricsTick, -1});
+      return;
+    }
     Job& job = jobs[static_cast<std::size_t>(ev.job)];
     switch (ev.kind) {
       case EvKind::kReady:
+        // First (and only) readiness event of this job: it is now in the
+        // device's hands, whatever happens to it later.
+        if (live_) {
+          live_->counter("tasks_admitted").add(1);
+          ++live_admitted_;
+        }
         try_start(job);
         break;
       case EvKind::kConfigDone:
@@ -178,14 +206,32 @@ class Engine {
         break;
       case EvKind::kSweepStep:
       case EvKind::kSweepDone:
+      case EvKind::kMetricsTick:
         break;  // handled above
+    }
+  }
+
+  /// Snapshots the live registry into the timeline at now_. Instantaneous
+  /// area state lands as gauge samples first, so every row carries the
+  /// occupancy alongside the event-driven counters.
+  void sample_metrics() {
+    live_->gauge("utilization").set(mgr_.utilization());
+    live_->gauge("fragmentation").set(mgr_.fragmentation());
+    metrics_->sample(now_, st_->enabled ? sweep_col_ : -1);
+  }
+
+  void reject_live(Job& job) {
+    job.rejected = true;
+    if (live_) {
+      live_->counter("tasks_rejected").add(1);
+      ++live_rejected_;
     }
   }
 
   void try_start(Job& job) {
     if (job.placed || job.done || job.rejected) return;
     if (job.fn.height > mgr_.rows() || job.fn.width > mgr_.cols()) {
-      job.rejected = true;
+      reject_live(job);
       if (tr_.tasks)
         tr_.tasks.instant("queue", job.fn.name + " rejected", now_,
                           {obs::arg("reason", "oversized")});
@@ -194,7 +240,7 @@ class Engine {
     // Expired waiters are rejected.
     if (cfg_->max_wait != SimTime::never() &&
         now_ - job.ready > cfg_->max_wait) {
-      job.rejected = true;
+      reject_live(job);
       if (tr_.tasks)
         tr_.tasks.instant("queue", job.fn.name + " rejected", now_,
                           {obs::arg("reason", "max-wait")});
@@ -265,14 +311,17 @@ class Engine {
     job.run_start = now_;
     job.running = true;
     job.end = now_ + job.fn.duration;
+    // Eligibility: ready, or the predecessor's end for chained functions
+    // (prefetching earlier does not count as delay).
+    SimTime eligible = job.ready;
+    if (job.predecessor) {
+      const Job& pred = jobs[static_cast<std::size_t>(*job.predecessor)];
+      if (pred.done) eligible = std::max(eligible, pred.end);
+    }
+    if (live_)
+      live_->histogram("queue_wait_ms").observe((now_ - eligible).milliseconds());
     if (tr_.tasks) {
-      // Queue-wait span: eligibility (ready, or the predecessor's end for
-      // chained functions) until execution begins.
-      SimTime eligible = job.ready;
-      if (job.predecessor) {
-        const Job& pred = jobs[static_cast<std::size_t>(*job.predecessor)];
-        if (pred.done) eligible = std::max(eligible, pred.end);
-      }
+      // Queue-wait span: eligibility until execution begins.
       tr_.tasks.complete("queue", job.fn.name, eligible, now_ - eligible,
                          {obs::arg_ms("config_start", job.config_start)});
     }
@@ -283,6 +332,10 @@ class Engine {
     job.running = false;
     job.done = true;
     job.end = now_;
+    if (live_) {
+      live_->counter("tasks_completed").add(1);
+      live_->histogram("turnaround_ms").observe((now_ - job.ready).milliseconds());
+    }
     if (tr_.tasks)
       tr_.tasks.complete("task", job.fn.name, job.run_start,
                          now_ - job.run_start,
@@ -415,6 +468,12 @@ class Engine {
       ++stats_.rearrangement_moves;
     }
     stats_.moved_clbs += mv.from.area();
+    if (live_) {
+      live_->counter(selftest ? "selftest_moves" : "rearrangement_moves")
+          .add(1);
+      live_->counter("moved_clbs").add(mv.from.area());
+      live_->histogram("relocation_ms").observe(cost.milliseconds());
+    }
     if (tr_.sched)
       tr_.sched.complete(
           "relocation", victim.fn.name, start, cost,
@@ -559,6 +618,10 @@ class Engine {
               mgr_.mask_faulty(clb);
               ++stats_.faulty_clbs;
               ++area_gen_;
+              if (live_) {
+                live_->counter("faulty_cells").add(fresh);
+                live_->counter("faulty_clbs").add(1);
+              }
               if (tr_.health)
                 tr_.health.instant("health", "fault-detected", now_,
                                    {obs::arg("row", r), obs::arg("col", c),
@@ -571,10 +634,15 @@ class Engine {
 
     stats_.swept_clbs += window.area();
     stats_.tested_clbs += sweep_claimed_;
+    if (live_) {
+      live_->counter("swept_clbs").add(window.area());
+      live_->counter("tested_clbs").add(sweep_claimed_);
+    }
     sweep_col_ += window.width;
     if (sweep_col_ >= mgr_.cols()) {
       sweep_col_ = 0;
       ++stats_.sweep_rotations;
+      if (live_) live_->counter("sweep_rotations").add(1);
       if (tr_.health)
         tr_.health.instant("health", "rotation", now_,
                            {obs::arg("rotation", stats_.sweep_rotations)});
@@ -620,6 +688,17 @@ class Engine {
       if (r.rejected) ++stats_.rejected;
       stats_.tasks.push_back(r);
     }
+    if (metrics_) {
+      // Reconcile the live counters with the authoritative end-of-run
+      // semantics (fleet.cpp "per-device telemetry"): every job counts as
+      // admitted even if its readiness never fired (a chained function
+      // whose ancestor never completed), and placed-but-never-ran jobs are
+      // rejected only at finalize time.
+      live_->counter("tasks_admitted")
+          .add(static_cast<std::int64_t>(jobs.size()) - live_admitted_);
+      live_->counter("tasks_rejected").add(stats_.rejected - live_rejected_);
+      sample_metrics();  // closing row at the makespan
+    }
   }
 
   area::AreaManager mgr_;
@@ -628,6 +707,10 @@ class Engine {
   const SelfTestConfig* st_;
   health::FaultMap* faults_;
   SchedulerTrace tr_;
+  obs::TimelineSampler* metrics_;    ///< nullptr = metrics plane off
+  runtime::Telemetry* live_;         ///< metrics_->live(), cached
+  std::int64_t live_admitted_ = 0;   ///< kReady events counted live
+  std::int64_t live_rejected_ = 0;   ///< explicit rejections counted live
   int sweep_col_ = 0;
   int sweep_claimed_ = 0;       ///< CLBs held by the current test window
   bool sweep_testing_ = false;  ///< a test transaction holds the port
@@ -667,7 +750,8 @@ void Scheduler::enable_selftest(const SelfTestConfig& selftest,
 }
 
 RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
-  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_, trace_);
+  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_, trace_,
+                metrics_);
   engine.jobs.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     Job j;
@@ -681,7 +765,8 @@ RunStats Scheduler::run_tasks(const std::vector<TaskArrival>& tasks) {
 
 RunStats Scheduler::run_apps(const std::vector<AppSpec>& apps, int overlap) {
   RELOGIC_CHECK(overlap >= 1);
-  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_, trace_);
+  Engine engine(rows_, cols_, cost_, cfg_, selftest_, faults_, trace_,
+                metrics_);
   int id = 0;
   for (std::size_t a = 0; a < apps.size(); ++a) {
     const AppSpec& app = apps[a];

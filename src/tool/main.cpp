@@ -36,6 +36,8 @@
 #include "relogic/health/fault.hpp"
 #include "relogic/health/rover.hpp"
 #include "relogic/netlist/benchmarks.hpp"
+#include "relogic/obs/prom_export.hpp"
+#include "relogic/obs/timeline.hpp"
 #include "relogic/obs/trace.hpp"
 #include "relogic/place/implement.hpp"
 #include "relogic/reloc/engine.hpp"
@@ -93,6 +95,13 @@ struct Options {
   // the wall clock, which breaks byte-identical output across runs.
   std::string trace_file;
   bool trace_wall = false;
+  // Metrics timeline (--metrics-out): sim-clock sampled time series. Fleet
+  // mode samples every metrics_interval_ms of simulated time inside each
+  // device's DES run; single-device mode samples at phase boundaries on the
+  // configuration-port clock.
+  std::string metrics_file;
+  double metrics_interval_ms = 5.0;
+  std::string metrics_format = "json";  // json | csv | prom
 };
 
 [[noreturn]] void usage(int code) {
@@ -164,7 +173,18 @@ struct Options {
       "                         JSON (load in ui.perfetto.dev)\n"
       "  --trace-wall           also stamp events with the wall clock (adds\n"
       "                         a wall_us arg; output is no longer\n"
-      "                         byte-identical across runs)\n");
+      "                         byte-identical across runs)\n"
+      "  --metrics-out FILE     write the sim-clock metrics timeline to FILE\n"
+      "                         (fleet: sampled every --metrics-interval-ms\n"
+      "                         of simulated time per device plus a folded\n"
+      "                         fleet aggregate; single-device: sampled at\n"
+      "                         phase boundaries on the port clock)\n"
+      "  --metrics-interval-ms N\n"
+      "                         fleet sampling period in simulated ms\n"
+      "                         (default 5)\n"
+      "  --metrics-format F     json (default, schema-versioned document) |\n"
+      "                         csv (aggregate timeline) | prom (Prometheus\n"
+      "                         text exposition of the final snapshot)\n");
   std::exit(code);
 }
 
@@ -333,6 +353,18 @@ Options parse_args(int argc, char** argv) {
       opt.trace_file = need(i);
     } else if (arg == "--trace-wall") {
       opt.trace_wall = true;
+    } else if (arg == "--metrics-out") {
+      opt.metrics_file = need(i);
+    } else if (arg == "--metrics-interval-ms") {
+      opt.metrics_interval_ms = std::stod(need(i));
+      RELOGIC_CHECK_MSG(opt.metrics_interval_ms > 0.0,
+                        "--metrics-interval-ms must be > 0");
+    } else if (arg == "--metrics-format") {
+      opt.metrics_format = need(i);
+      RELOGIC_CHECK_MSG(opt.metrics_format == "json" ||
+                            opt.metrics_format == "csv" ||
+                            opt.metrics_format == "prom",
+                        "--metrics-format json|csv|prom");
     } else if (arg == "--selftest") {
       opt.selftest = true;
     } else if (arg == "--fault-rate") {
@@ -389,6 +421,39 @@ std::unique_ptr<obs::Tracer> make_tracer(const Options& opt) {
   return std::make_unique<obs::Tracer>(topt);
 }
 
+/// Renders the metrics timeline in the requested --metrics-format and
+/// writes it to --metrics-out. `devices` feeds the per-device section of
+/// the JSON document (empty in single-device mode).
+int write_metrics(
+    const Options& opt, const obs::MetricsTimeline& timeline,
+    const std::vector<std::pair<int, const obs::MetricsTimeline*>>& devices,
+    double sample_interval_ms) {
+  std::string payload;
+  if (opt.metrics_format == "json") {
+    payload = obs::metrics_json_document(timeline, devices,
+                                         sample_interval_ms);
+  } else if (opt.metrics_format == "csv") {
+    payload = timeline.to_csv();
+  } else if (timeline.empty()) {
+    std::fprintf(stderr, "no metrics samples to export as %s\n",
+                 opt.metrics_format.c_str());
+    return 1;
+  } else {
+    payload = obs::to_prometheus(timeline.samples().back());
+  }
+  std::ofstream out(opt.metrics_file);
+  out << payload;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write metrics to %s\n",
+                 opt.metrics_file.c_str());
+    return 1;
+  }
+  std::printf("metrics written to %s (%s)\n", opt.metrics_file.c_str(),
+              opt.metrics_format.c_str());
+  return 0;
+}
+
 int finish_trace(const Options& opt, const obs::Tracer& tracer) {
   if (!tracer.write_json(opt.trace_file)) {
     std::fprintf(stderr, "failed to write trace to %s\n",
@@ -413,6 +478,8 @@ int run_fleet(const Options& opt) {
   cfg.health.window_cols = opt.sweep_window;
   cfg.health.step_period_ms = opt.sweep_period_ms;
   cfg.health.quarantine_threshold = opt.quarantine_threshold;
+  if (!opt.metrics_file.empty())
+    cfg.metrics.sample_interval_ms = opt.metrics_interval_ms;
 
   sched::WorkloadParams params;
   params.pattern = opt.workload;
@@ -504,6 +571,15 @@ int run_fleet(const Options& opt) {
   } else {
     std::printf("\n%s", report.to_json().c_str());
   }
+  if (!opt.metrics_file.empty()) {
+    std::vector<std::pair<int, const obs::MetricsTimeline*>> parts;
+    parts.reserve(report.devices.size());
+    for (const auto& d : report.devices)
+      parts.emplace_back(d.device, &d.timeline);
+    const int rc = write_metrics(opt, report.timeline, parts,
+                                 cfg.metrics.sample_interval_ms);
+    if (rc != 0) return rc;
+  }
   if (tracer) return finish_trace(opt, *tracer);
   return 0;
 }
@@ -586,6 +662,28 @@ int main(int argc, char** argv) {
     std::vector<config::ConfigOp> executed;
     const auto totals_before = controller.totals();
 
+    // Phase-boundary metrics sampling: the single-device tool has no DES
+    // run, so each completed phase lands one cumulative snapshot of the
+    // controller's totals at the port-busy instant it finished (phases that
+    // moved nothing coalesce into the previous row).
+    runtime::Telemetry metrics_live;
+    obs::MetricsTimeline metrics_timeline;
+    const auto sample_metrics = [&] {
+      if (opt.metrics_file.empty()) return;
+      const auto tot = controller.totals();
+      const auto set_abs = [&](const char* name, std::int64_t v) {
+        auto& c = metrics_live.counter(name);
+        c.add(v - c.value());
+      };
+      set_abs("config_transactions", tot.ops);
+      set_abs("frame_writes", tot.frames_written);
+      set_abs("frame_writes_clean_skipped", tot.frames_skipped);
+      set_abs("column_writes", tot.columns_touched);
+      metrics_live.gauge("port_busy_ms").set(tot.time.milliseconds());
+      metrics_timeline.record(tot.time, metrics_live);
+    };
+    sample_metrics();  // baseline: the initial circuit configurations
+
     // ---- explicit cell relocations ----------------------------------------
     for (const auto& [from, to] : opt.cell_moves) {
       place::Implementation* owner = nullptr;
@@ -606,6 +704,7 @@ int main(int argc, char** argv) {
       const auto report = engine.relocate_cell(*owner, index, to);
       std::printf("relocated %s\n", report.to_string().c_str());
     }
+    sample_metrics();  // after cell relocations
 
     // ---- whole-function moves ----------------------------------------------
     for (const auto& [name, origin] : opt.moves) {
@@ -626,6 +725,7 @@ int main(int argc, char** argv) {
                   report.frames_written,
                   report.config_time.to_string().c_str());
     }
+    sample_metrics();  // after whole-function moves
 
     // ---- defragmentation -----------------------------------------------------
     if (opt.defrag_request) {
@@ -657,6 +757,7 @@ int main(int argc, char** argv) {
       }
       std::printf("request slot: %s\n", plan->request_slot.to_string().c_str());
     }
+    sample_metrics();  // after defragmentation
 
     // ---- roving self-test (single-device): a full fabric-level rotation ---
     if (opt.selftest) {
@@ -692,6 +793,7 @@ int main(int argc, char** argv) {
       std::printf("selftest: %d/%d injected faults detected\n",
                   fault_map.detected_count(), fault_map.injected_count());
     }
+    sample_metrics();  // after the self-test rotation
 
     print_map("occupancy after rearrangement");
 
@@ -749,10 +851,23 @@ int main(int argc, char** argv) {
         std::ofstream out(opt.out_file, std::ios::binary);
         out.write(reinterpret_cast<const char*>(image.bytes.data()),
                   static_cast<std::streamsize>(image.bytes.size()));
+        out.flush();
+        if (!out) {
+          std::fprintf(stderr, "failed to write bitstream to %s\n",
+                       opt.out_file.c_str());
+          return 1;
+        }
         std::printf("wrote %zu bytes (%d frames, crc %08x) to %s\n",
                     image.bytes.size(), image.frame_count, image.crc,
                     opt.out_file.c_str());
       }
+    }
+    if (!opt.metrics_file.empty()) {
+      sample_metrics();  // closing row at the final port-busy instant
+      // Phase-driven sampling has no fixed period; 0 marks that in the
+      // schema (the fleet document carries the real interval instead).
+      const int rc = write_metrics(opt, metrics_timeline, {}, 0.0);
+      if (rc != 0) return rc;
     }
     if (tracer) return finish_trace(opt, *tracer);
     return 0;
