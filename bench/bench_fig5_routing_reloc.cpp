@@ -26,6 +26,9 @@ int main() {
               "lockstep");
 
   for (int distance = 2; distance <= 10; distance += 2) {
+    // A fresh device per distance point isolates occupancy state; only the
+    // first iteration builds the routing skeleton, the rest share it via
+    // the process-wide cache (acquire_routing_skeleton).
     fabric::Fabric fab(fabric::DeviceGeometry::tiny(16, 16));
     const fabric::DelayModel dm;
     config::BoundaryScanPort jtag;

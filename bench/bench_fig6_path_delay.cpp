@@ -25,6 +25,8 @@ int main() {
               "max delay/ns", "fuzziness/ns", "after disconnect/ns");
 
   for (int detour = 2; detour <= 12; detour += 2) {
+    // Fresh occupancy per detour length; connectivity comes from the
+    // shared cached skeleton after the first iteration.
     fabric::Fabric fab(fabric::DeviceGeometry::tiny(16, 16));
     const fabric::DelayModel dm;
     const auto& g = fab.graph();

@@ -68,11 +68,12 @@ void ConfigController::recompute_digests(std::vector<std::uint64_t>& out) const 
       }
     }
   }
+  const auto& skel = fabric_->graph().skeleton();
   for (const fabric::NetId n : fabric_->live_nets()) {
     const fabric::RouteTree& tree = fabric_->net(n);
     for (const fabric::RouteEdge& e : tree.edges)
       out[static_cast<std::size_t>(
-          index_.id(mapper_.pip_frame(fabric_->graph(), e)))] ^=
+          index_.id(mapper_.pip_frame(skel, e)))] ^=
           FrameImage::edge_token(e);
     for (const fabric::NodeId s : tree.sources)
       out[static_cast<std::size_t>(index_.id(
@@ -105,19 +106,19 @@ void ConfigController::audit_image() const {
 
 FrameAddress ConfigController::source_frame(const SourceChange& sc) const {
   // The output mux of a cell / pad enable lives in the node's own tile.
-  const auto& graph = fabric_->graph();
-  const auto info = graph.info(sc.node);
+  const auto& skel = fabric_->graph().skeleton();
+  const auto info = skel.info(sc.node);
   if (info.kind == fabric::NodeKind::kPad) {
     const int col = info.tile.col < fabric_->geometry().clb_cols / 2 ? 0 : 1;
     return FrameAddress{ColumnType::kIob, static_cast<std::int16_t>(col), 0};
   }
-  return mapper_.pip_frame(graph, fabric::RouteEdge{sc.node, sc.node});
+  return mapper_.pip_frame(skel, fabric::RouteEdge{sc.node, sc.node});
 }
 
 void ConfigController::frames_of(const ConfigOp& op, FrameSet& out) const {
   out.clear();
   const auto& g = fabric_->geometry();
-  const auto& graph = fabric_->graph();
+  const auto& skel = fabric_->graph().skeleton();
   const bool widen = granularity_ == WriteGranularity::kColumn;
   if (widen) {
     // Collect one marker id per touched column first (the column's first
@@ -137,7 +138,7 @@ void ConfigController::frames_of(const ConfigOp& op, FrameSet& out) const {
       } else {
         const FrameAddress f =
             std::holds_alternative<EdgeChange>(a)
-                ? mapper_.pip_frame(graph, std::get<EdgeChange>(a).edge)
+                ? mapper_.pip_frame(skel, std::get<EdgeChange>(a).edge)
                 : source_frame(std::get<SourceChange>(a));
         switch (f.type) {
           case ColumnType::kClb:
@@ -173,7 +174,7 @@ void ConfigController::frames_of(const ConfigOp& op, FrameSet& out) const {
       out.push_run(index_.cell_frame_base(cw->clb.col, cw->cell),
                    g.frames_per_cell_config);
     } else if (const auto* ec = std::get_if<EdgeChange>(&a)) {
-      out.push(index_.id(mapper_.pip_frame(graph, ec->edge)));
+      out.push(index_.id(mapper_.pip_frame(skel, ec->edge)));
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
       out.push(index_.id(source_frame(*sc)));
     }
@@ -217,7 +218,8 @@ void ConfigController::accumulate_deltas(const ConfigOp& op,
                                : it->second;
       if (!inserted) it->second = ec->add;
       if (on == ec->add) continue;
-      out.xor_delta(index_.id(mapper_.pip_frame(fabric_->graph(), ec->edge)),
+      out.xor_delta(index_.id(mapper_.pip_frame(fabric_->graph().skeleton(),
+                                                 ec->edge)),
                     FrameImage::edge_token(ec->edge));
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {
       const std::uint64_t key =
@@ -369,7 +371,8 @@ ApplyResult ConfigController::apply(const ConfigOp& op, const FrameSet& frames,
           fabric_->remove_edge(ec->net, ec->edge);
         ++effective;
         deltas_scratch_.xor_delta(
-            index_.id(mapper_.pip_frame(fabric_->graph(), ec->edge)),
+            index_.id(mapper_.pip_frame(fabric_->graph().skeleton(),
+                                        ec->edge)),
             FrameImage::edge_token(ec->edge));
       }
     } else if (const auto* sc = std::get_if<SourceChange>(&a)) {

@@ -42,11 +42,11 @@ std::vector<FrameAddress> FrameMapper::cell_frames(ClbCoord clb,
   return out;
 }
 
-FrameAddress FrameMapper::pip_frame(const fabric::RoutingGraph& graph,
+FrameAddress FrameMapper::pip_frame(const fabric::RoutingSkeleton& skeleton,
                                     fabric::RouteEdge edge) const {
   using fabric::NodeKind;
-  const auto to_info = graph.info(edge.to);
-  const auto from_info = graph.info(edge.from);
+  const auto to_info = skeleton.info(edge.to);
+  const auto from_info = skeleton.info(edge.from);
   // The controlling mux sits in the tile of the edge's destination; long
   // lines have no tile of their own, so their entry PIPs are controlled at
   // the source tile. IOB-column resources (pads) map to the IOB columns.

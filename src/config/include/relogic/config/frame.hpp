@@ -51,9 +51,16 @@ class FrameMapper {
   /// Frames holding the configuration of one logic cell.
   std::vector<FrameAddress> cell_frames(ClbCoord clb, int cell) const;
 
-  /// The frame controlling one PIP.
-  FrameAddress pip_frame(const fabric::RoutingGraph& graph,
+  /// The frame controlling one PIP. The mapping depends only on node
+  /// identity, so the primary overload takes the immutable skeleton (hot
+  /// paths in the controller pass it directly); the RoutingGraph form
+  /// forwards for callers holding a device view.
+  FrameAddress pip_frame(const fabric::RoutingSkeleton& skeleton,
                          fabric::RouteEdge edge) const;
+  FrameAddress pip_frame(const fabric::RoutingGraph& graph,
+                         fabric::RouteEdge edge) const {
+    return pip_frame(graph.skeleton(), edge);
+  }
 
   /// First routing frame index within a CLB column (frames below this hold
   /// logic-cell configuration).

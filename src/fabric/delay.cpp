@@ -2,12 +2,12 @@
 
 namespace relogic::fabric {
 
-SimTime DelayModel::path_delay(const RoutingGraph& graph,
+SimTime DelayModel::path_delay(const RoutingSkeleton& skeleton,
                                std::span<const NodeId> path) const {
   SimTime total = SimTime::zero();
   for (std::size_t i = 1; i < path.size(); ++i) {
     total += pip_delay;
-    total += node_delay(graph.info(path[i]).kind);
+    total += node_delay(skeleton.info(path[i]).kind);
   }
   return total;
 }

@@ -25,6 +25,10 @@ std::vector<NodeId> RouteTree::nodes() const {
   return out;
 }
 
+// Bring-up acquires the geometry's shared connectivity skeleton from the
+// process-wide cache (built once per geometry), so constructing the Nth
+// Fabric of a geometry allocates only per-device state — cell configs and
+// the routing-occupancy overlay — instead of rebuilding the PIP adjacency.
 Fabric::Fabric(DeviceGeometry geometry)
     : geom_(std::move(geometry)),
       graph_(geom_),

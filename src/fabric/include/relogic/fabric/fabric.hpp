@@ -80,6 +80,9 @@ class Fabric {
   const DeviceGeometry& geometry() const { return geom_; }
   RoutingGraph& graph() { return graph_; }
   const RoutingGraph& graph() const { return graph_; }
+  /// The immutable connectivity skeleton this device shares with every
+  /// other Fabric of the same geometry (see acquire_routing_skeleton).
+  const RoutingSkeleton& skeleton() const { return graph_.skeleton(); }
 
   // ---- listeners ---------------------------------------------------------
   void add_listener(FabricListener* listener);

@@ -22,11 +22,22 @@
 //             drive singles at any tile they cross.
 //  * Pads   — boundary-tile pads drive singles leaving the tile (input
 //             pads) and are driven by singles arriving at it (output pads).
+//
+// Skeleton / overlay split (DESIGN.md §2 addendum): connectivity depends
+// only on the DeviceGeometry, never on what is placed or routed, so it is
+// factored into an immutable, shareable `RoutingSkeleton` (CSR adjacency +
+// node-id layout) built once per geometry and held in a process-wide cache
+// (`acquire_routing_skeleton`). The per-device `RoutingGraph` is reduced to
+// a skeleton handle plus this device's mutable occupancy overlay, making
+// `Fabric` bring-up O(nodes) instead of O(edges) after the first device of
+// a geometry — the difference between ~100 ms and µs at XCV1000 scale.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "relogic/common/geometry.hpp"
@@ -78,17 +89,73 @@ struct NodeInfo {
 ClbCoord step(ClbCoord c, Dir d, int n = 1);
 Dir opposite(Dir d);
 
-class RoutingGraph {
+namespace detail {
+
+/// Allocator that default-initializes on resize — for trivial element
+/// types, resize() leaves the new elements uninitialized instead of
+/// zero-filling them. The skeleton builders size their CSR arrays exactly
+/// and then write every element, so the value-initializing resize() would
+/// memset ~40 MB per array at XCV1000 only to overwrite it immediately.
+template <class T, class A = std::allocator<T>>
+class default_init_allocator : public A {
+  using traits = std::allocator_traits<A>;
+
  public:
-  explicit RoutingGraph(const DeviceGeometry& geom);
+  template <class U>
+  struct rebind {
+    using other =
+        default_init_allocator<U, typename traits::template rebind_alloc<U>>;
+  };
+  using A::A;
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), p, std::forward<Args>(args)...);
+  }
+};
 
-  RoutingGraph(const RoutingGraph&) = delete;
-  RoutingGraph& operator=(const RoutingGraph&) = delete;
-  RoutingGraph(RoutingGraph&&) = default;
-  RoutingGraph& operator=(RoutingGraph&&) = default;
+}  // namespace detail
 
-  const DeviceGeometry& geometry() const { return *geom_; }
+/// Edge storage of the CSR arrays (uninitialized-on-resize; see
+/// detail::default_init_allocator).
+using EdgeList = std::vector<NodeId, detail::default_init_allocator<NodeId>>;
+
+/// Immutable connectivity skeleton of one device geometry: the node-id
+/// layout and the full PIP adjacency in CSR form. A skeleton carries no
+/// occupancy and never changes after construction, so one instance is
+/// safely shared — without locking — by every Fabric of the same geometry
+/// across all fleet worker threads.
+///
+/// The CSR keeps two views of each fanout row over one offsets array:
+/// `fanout()` iterates the historical PIP-enumeration order — router
+/// exploration order is part of the determinism contract (the fig5 bench
+/// output is byte-pinned to it) — while `has_edge()` binary-searches a
+/// row-sorted mirror, replacing the seed's linear membership scan.
+class RoutingSkeleton {
+ public:
+  /// Builds a skeleton with the two-pass counting build: pass 1 counts each
+  /// node's out-degree, a prefix sum sizes the CSR arrays exactly, pass 2
+  /// fills edges in place; rows are then sorted. No per-node allocations.
+  static std::shared_ptr<const RoutingSkeleton> build(
+      const DeviceGeometry& geom);
+
+  /// Reference builder: the seed's staging algorithm, verbatim —
+  /// vector-of-vectors adjacency filled through the *checked public* node-id
+  /// constructors, then flattened. Kept for the skeleton-cache audit and as
+  /// the within-run baseline of the perf gate on the counting build.
+  /// Deliberately does NOT share build()'s enumeration: its independent
+  /// emission derives every id through the bounds-checked public API, so
+  /// `same_adjacency` cross-checks both the CSR assembly and the hoisted
+  /// unchecked id arithmetic the fast enumeration uses.
+  static std::shared_ptr<const RoutingSkeleton> build_reference(
+      const DeviceGeometry& geom);
+
+  const DeviceGeometry& geometry() const { return geom_; }
   std::size_t node_count() const { return node_count_; }
+  std::size_t edge_count() const { return fanout_edges_.size(); }
 
   // ---- node id construction -------------------------------------------
   NodeId out_pin(ClbCoord t, int cell, bool registered) const;
@@ -106,11 +173,150 @@ class RoutingGraph {
   bool wire_target(ClbCoord t, Dir d, int span, ClbCoord& out) const;
 
   // ---- adjacency --------------------------------------------------------
+  /// Fanout in PIP-enumeration order (the order routers explore).
   std::span<const NodeId> fanout(NodeId n) const;
-  /// True if a PIP from `from` to `to` exists.
+  /// True if a PIP from `from` to `to` exists. Binary search over the
+  /// sorted row mirror.
   bool has_edge(NodeId from, NodeId to) const;
 
-  // ---- occupancy ---------------------------------------------------------
+  /// Byte-identical adjacency (CSR offsets, edges, and the sorted mirror).
+  /// Used by the skeleton-cache audit: a cached skeleton must equal a
+  /// fresh single-use build.
+  bool same_adjacency(const RoutingSkeleton& other) const {
+    return fanout_offsets_ == other.fanout_offsets_ &&
+           fanout_edges_ == other.fanout_edges_ &&
+           sorted_edges_ == other.sorted_edges_;
+  }
+
+ private:
+  /// Computes the node-id layout only; adjacency is filled by a builder.
+  explicit RoutingSkeleton(const DeviceGeometry& geom);
+
+  /// Emits every PIP as emit(from, to) in a deterministic order, forming
+  /// ids by unchecked addition from hoisted per-tile bases (the loop
+  /// structure guarantees bounds). Used by build(); ten million emissions
+  /// per pass at XCV1000 made the checked constructors the dominant cost.
+  template <class Emit>
+  void enumerate_pips(Emit&& emit) const;
+
+  /// enumerate_pips restricted to tiles in rows [row_begin, row_end) — the
+  /// unit of work of the parallel fill. Every from-node is owned by one
+  /// tile row except long-column lines, which every row crosses; their
+  /// per-band write position is computable because each tile contributes a
+  /// fixed number of edges to each long line it crosses.
+  template <class Emit>
+  void enumerate_pips_rows(int row_begin, int row_end, Emit&& emit) const;
+
+  /// The seed's emission loop: same PIPs in the same order, but every id
+  /// derived through the checked public constructors. Used by
+  /// build_reference(); kept separate on purpose — agreement between the
+  /// two enumerations is exactly what the cache audit verifies.
+  template <class Emit>
+  void enumerate_pips_reference(Emit&& emit) const;
+
+  void build_sorted_mirror();
+
+  DeviceGeometry geom_;
+  int tile_stride_ = 0;
+  std::size_t tile_nodes_ = 0;
+  std::size_t long_row_base_ = 0;
+  std::size_t long_col_base_ = 0;
+  std::size_t pad_base_ = 0;
+  std::size_t node_count_ = 0;
+
+  // CSR adjacency in PIP-enumeration order, plus the row-sorted mirror for
+  // membership tests; both share fanout_offsets_.
+  std::vector<std::uint32_t> fanout_offsets_;
+  EdgeList fanout_edges_;
+  EdgeList sorted_edges_;
+};
+
+/// Returns the process-wide shared skeleton for `geom`, building it on the
+/// first request for that geometry (keyed on every geometry field — `tiny`
+/// and `tiny_dense` get distinct skeletons even where their routing pools
+/// coincide). Thread-safe: fleet workers bringing up devices concurrently
+/// serialize only on the cache map, and a skeleton is built exactly once.
+/// In RELOGIC_AUDIT builds the first cache hit per entry cross-checks the
+/// cached adjacency against a fresh single-use build.
+std::shared_ptr<const RoutingSkeleton> acquire_routing_skeleton(
+    const DeviceGeometry& geom);
+
+/// Number of distinct geometries currently cached.
+std::size_t routing_skeleton_cache_size();
+
+/// Drops all cache entries (skeletons still referenced by live Fabrics
+/// remain valid through their shared_ptr). Test hook — forces the next
+/// acquire to take the cold path.
+void clear_routing_skeleton_cache();
+
+/// Cross-checks every cached skeleton against a fresh reference build,
+/// throwing AuditError on the first divergence. Callable from any build
+/// (tests invoke it directly); periodic call sites are RELOGIC_AUDIT-gated.
+void audit_routing_skeleton_cache();
+
+/// Per-device view of the routing pool: an immutable shared skeleton plus
+/// this device's occupancy overlay (which net holds each node). All
+/// connectivity queries forward to the skeleton; only occupy/release touch
+/// device-local state, so constructing a RoutingGraph for a geometry whose
+/// skeleton is already cached allocates just the occupancy vector.
+class RoutingGraph {
+ public:
+  /// Acquires the shared skeleton for `geom` (building it if this is the
+  /// first device of the geometry) and allocates an empty overlay.
+  explicit RoutingGraph(const DeviceGeometry& geom);
+  /// Wraps an already-acquired skeleton (fleet workers sharing one).
+  explicit RoutingGraph(std::shared_ptr<const RoutingSkeleton> skeleton);
+
+  RoutingGraph(const RoutingGraph&) = delete;
+  RoutingGraph& operator=(const RoutingGraph&) = delete;
+  RoutingGraph(RoutingGraph&&) = default;
+  RoutingGraph& operator=(RoutingGraph&&) = default;
+
+  /// The immutable connectivity this device shares with its geometry.
+  const RoutingSkeleton& skeleton() const { return *skel_; }
+  /// The owning handle (identity tested by the cache tests; lets callers
+  /// hold connectivity past this graph's lifetime).
+  const std::shared_ptr<const RoutingSkeleton>& skeleton_ptr() const {
+    return skel_;
+  }
+
+  const DeviceGeometry& geometry() const { return skel_->geometry(); }
+  std::size_t node_count() const { return skel_->node_count(); }
+
+  // ---- node id construction (forwarded to the skeleton) -----------------
+  NodeId out_pin(ClbCoord t, int cell, bool registered) const {
+    return skel_->out_pin(t, cell, registered);
+  }
+  NodeId in_pin(ClbCoord t, int cell, CellPort p) const {
+    return skel_->in_pin(t, cell, p);
+  }
+  NodeId single(ClbCoord t, Dir d, int index) const {
+    return skel_->single(t, d, index);
+  }
+  NodeId hex(ClbCoord t, Dir d, int index) const {
+    return skel_->hex(t, d, index);
+  }
+  NodeId long_row(int row, int track) const {
+    return skel_->long_row(row, track);
+  }
+  NodeId long_col(int col, int track) const {
+    return skel_->long_col(col, track);
+  }
+  NodeId pad(ClbCoord t, int index) const { return skel_->pad(t, index); }
+
+  NodeInfo info(NodeId n) const { return skel_->info(n); }
+
+  bool wire_target(ClbCoord t, Dir d, int span, ClbCoord& out) const {
+    return skel_->wire_target(t, d, span, out);
+  }
+
+  // ---- adjacency (forwarded to the skeleton) ----------------------------
+  std::span<const NodeId> fanout(NodeId n) const { return skel_->fanout(n); }
+  bool has_edge(NodeId from, NodeId to) const {
+    return skel_->has_edge(from, to);
+  }
+
+  // ---- occupancy (device-local overlay) ---------------------------------
   NetId occupant(NodeId n) const { return occupancy_[n]; }
   bool is_free(NodeId n) const { return occupancy_[n] == kNoNet; }
   /// Claims a node for a net. A node already held by the same net is fine
@@ -121,23 +327,7 @@ class RoutingGraph {
   std::size_t occupied_count() const { return occupied_count_; }
 
  private:
-  void build_edges();
-  void add_edge(NodeId from, NodeId to);
-
-  const DeviceGeometry* geom_;
-  int tile_stride_ = 0;
-  std::size_t tile_nodes_ = 0;
-  std::size_t long_row_base_ = 0;
-  std::size_t long_col_base_ = 0;
-  std::size_t pad_base_ = 0;
-  std::size_t node_count_ = 0;
-
-  // CSR adjacency.
-  std::vector<std::uint32_t> fanout_offsets_;
-  std::vector<NodeId> fanout_edges_;
-  // Build-time staging (cleared after build).
-  std::vector<std::vector<NodeId>> staging_;
-
+  std::shared_ptr<const RoutingSkeleton> skel_;
   std::vector<NetId> occupancy_;
   std::size_t occupied_count_ = 0;
 };

@@ -55,7 +55,8 @@ std::vector<NodeId> Router::find_path_from(std::span<const NodeId> seeds,
                                            NetId net, NodeId sink,
                                            const RouteOptions& opt) const {
   const auto& graph = fabric_->graph();
-  const NodeInfo sink_info = graph.info(sink);
+  const auto& skel = graph.skeleton();
+  const NodeInfo sink_info = skel.info(sink);
   RELOGIC_CHECK_MSG(
       sink_info.kind == NodeKind::kInPin || sink_info.kind == NodeKind::kPad,
       "route sink must be an input pin or a pad");
@@ -97,7 +98,7 @@ std::vector<NodeId> Router::find_path_from(std::span<const NodeId> seeds,
   }
 
   for (NodeId s : seeds) {
-    const NodeInfo info = graph.info(s);
+    const NodeInfo info = skel.info(s);
     // Seeds belonging to the net are never blocked by their own occupancy;
     // the sink itself is never a seed (a trivial path would leave the sink
     // orphaned when a parallel branch is later pruned).
@@ -132,8 +133,8 @@ std::vector<NodeId> Router::find_path_from(std::span<const NodeId> seeds,
     if (++expansions > opt.max_expansions) break;
 
     const bool item_in_net = graph.occupant(item_node) == net;
-    for (NodeId next : graph.fanout(item_node)) {
-      const NodeInfo info = graph.info(next);
+    for (NodeId next : skel.fanout(item_node)) {
+      const NodeInfo info = skel.info(next);
       if (next == sink) {
         if (node_blocked(graph, next, net, opt, info)) continue;
       } else if (info.kind == NodeKind::kInPin || info.kind == NodeKind::kPad ||
@@ -174,14 +175,15 @@ std::vector<NodeId> Router::find_path_from(std::span<const NodeId> seeds,
 std::vector<NodeId> Router::find_path_to_net(NodeId from, NetId net,
                                              const RouteOptions& opt) const {
   const auto& graph = fabric_->graph();
+  const auto& skel = graph.skeleton();
   {
-    const auto kind = graph.info(from).kind;
+    const auto kind = skel.info(from).kind;
     RELOGIC_CHECK_MSG(kind == NodeKind::kOutPin || kind == NodeKind::kPad,
                       "source-join must start at an output pin or pad");
   }
   auto is_target = [&](NodeId n) {
     if (graph.occupant(n) != net) return false;
-    const NodeKind k = graph.info(n).kind;
+    const NodeKind k = skel.info(n).kind;
     return k == NodeKind::kSingle || k == NodeKind::kHex ||
            k == NodeKind::kLongRow || k == NodeKind::kLongCol;
   };
@@ -215,8 +217,8 @@ std::vector<NodeId> Router::find_path_to_net(NodeId from, NetId net,
     if (bg != best_g.end() && item.g > bg->second) continue;
     if (++expansions > opt.max_expansions) break;
 
-    for (NodeId next : graph.fanout(item.node)) {
-      const NodeInfo info = graph.info(next);
+    for (NodeId next : skel.fanout(item.node)) {
+      const NodeInfo info = skel.info(next);
       if (!is_target(next)) {
         if (info.kind == NodeKind::kInPin || info.kind == NodeKind::kPad ||
             info.kind == NodeKind::kOutPin)
@@ -234,7 +236,7 @@ std::vector<NodeId> Router::find_path_to_net(NodeId from, NetId net,
       open.push(QueueItem{g, g, next});
     }
   }
-  throw ResourceError("no join path from " + graph.info(from).to_string() +
+  throw ResourceError("no join path from " + skel.info(from).to_string() +
                       " into net tree");
 }
 

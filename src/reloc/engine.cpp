@@ -792,7 +792,7 @@ RelocationEngine::optimize_function_routing(place::Implementation& impl,
       const SimTime base =
           attach == delays.end() ? SimTime::zero() : attach->second;
       const SimTime candidate =
-          base + dm.path_delay(fabric().graph(), path);
+          base + dm.path_delay(fabric().graph().skeleton(), path);
       if (candidate + min_gain >= current) {
         out.worst_delay_after = std::max(out.worst_delay_after, current);
         continue;  // not worth a reconfiguration

@@ -54,9 +54,15 @@ std::vector<RouteEdge> needed_edges(const fabric::Fabric& fabric, NetId net,
 namespace {
 std::vector<RouteEdge> complement(const fabric::RouteTree& tree,
                                   const std::vector<RouteEdge>& kept) {
+  // Sorted membership test: trees pruned during fleet-scale net surgery
+  // carry hundreds of edges, where the linear scan per edge was the same
+  // O(n^2) shape the routing skeleton's has_edge just shed.
+  std::vector<RouteEdge> sorted_kept = kept;
+  std::sort(sorted_kept.begin(), sorted_kept.end());
   std::vector<RouteEdge> removed;
+  removed.reserve(tree.edges.size() - kept.size());
   for (const auto& e : tree.edges) {
-    if (std::find(kept.begin(), kept.end(), e) == kept.end()) {
+    if (!std::binary_search(sorted_kept.begin(), sorted_kept.end(), e)) {
       removed.push_back(e);
     }
   }

@@ -653,7 +653,11 @@ DeviceReport FleetManager::run_device(
 
   // Replay the configuration traffic of every placed task against a real
   // fabric through the transaction batcher, so the report carries measured
-  // (not estimated) transaction counts for batched vs unbatched.
+  // (not estimated) transaction counts for batched vs unbatched. Workers
+  // running this concurrently race to acquire_routing_skeleton: the first
+  // of a geometry builds its connectivity once, everyone else shares the
+  // immutable skeleton and allocates only the per-device occupancy overlay
+  // — device bring-up is O(nodes), not the ~100 ms edge rebuild it was.
   fabric::Fabric fab(geom);
   if (cfg_.health.enabled()) faults.install(fab);
   config::ConfigController controller(fab, port, plane.granularity);
@@ -898,6 +902,10 @@ FleetReport FleetManager::run() {
   // aggregate counter must equal the sum of its per-device contributions —
   // the merge must neither drop nor double-count a device.
   if constexpr (relogic::audit_enabled()) {
+    // Workers acquired routing skeletons concurrently during the run; a
+    // racily half-built or geometry-aliased cache entry must not survive
+    // the join unnoticed.
+    fabric::audit_routing_skeleton_cache();
     for (const DeviceReport& d : report.devices)
       d.telemetry.audit("device " + std::to_string(d.device));
     report.aggregate.audit("fleet aggregate");

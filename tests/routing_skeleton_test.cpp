@@ -1,0 +1,125 @@
+// Unit tests: the shared immutable RoutingSkeleton, its process-wide
+// per-geometry cache, and the per-device occupancy overlay (PR 9).
+//
+// The load-bearing contract: the two-pass counting CSR build must produce
+// byte-identical adjacency — same offsets, same PIP-enumeration edge order,
+// same sorted mirror — as the seed staging algorithm kept alive as
+// RoutingSkeleton::build_reference. Everything downstream (router
+// exploration order, fig5/fig6 byte-pinned outputs) rides on that.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "relogic/fabric/fabric.hpp"
+
+namespace relogic::fabric {
+namespace {
+
+TEST(RoutingSkeleton, CountingBuildMatchesSeedStagingBuild) {
+  // All three paper presets the benches exercise. build_reference emits
+  // through the checked public node-id constructors while build uses the
+  // hoisted unchecked arithmetic, so agreement here cross-checks both the
+  // CSR assembly and the fast enumeration.
+  for (auto p : {DevicePreset::kXCV50, DevicePreset::kXCV200,
+                 DevicePreset::kXCV1000}) {
+    const auto geom = DeviceGeometry::preset(p);
+    const auto fast = RoutingSkeleton::build(geom);
+    const auto seed = RoutingSkeleton::build_reference(geom);
+    EXPECT_EQ(fast->node_count(), seed->node_count()) << geom.name;
+    EXPECT_EQ(fast->edge_count(), seed->edge_count()) << geom.name;
+    EXPECT_TRUE(fast->same_adjacency(*seed)) << geom.name;
+  }
+}
+
+TEST(RoutingSkeleton, SortedMirrorAgreesWithEnumerationOrderRows) {
+  // has_edge answers from the row-sorted mirror; fanout() serves the
+  // enumeration-order rows. Every enumerated edge must be found and a
+  // guaranteed non-edge must not be.
+  const auto skel = RoutingSkeleton::build(DeviceGeometry::tiny(6, 6));
+  std::size_t checked = 0;
+  for (std::size_t n = 0; n < skel->node_count(); ++n) {
+    const auto from = static_cast<NodeId>(n);
+    const auto row = skel->fanout(from);
+    for (NodeId to : row) {
+      EXPECT_TRUE(skel->has_edge(from, to));
+      ++checked;
+    }
+    // Self-loops never occur in the PIP set, so `from` itself is a
+    // membership probe that must miss in every row.
+    EXPECT_FALSE(skel->has_edge(from, from));
+  }
+  EXPECT_EQ(checked, skel->edge_count());
+}
+
+TEST(RoutingSkeletonCache, SameGeometryYieldsSameSkeletonInstance) {
+  clear_routing_skeleton_cache();
+  const auto geom = DeviceGeometry::tiny(5, 7);
+  const auto a = acquire_routing_skeleton(geom);
+  const auto b = acquire_routing_skeleton(geom);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(routing_skeleton_cache_size(), 1u);
+
+  // Fabrics are thin clients of the same cache: two devices of one
+  // geometry share the instance outright.
+  Fabric f1(geom);
+  Fabric f2(geom);
+  EXPECT_EQ(&f1.skeleton(), &f2.skeleton());
+  EXPECT_EQ(&f1.skeleton(), a.get());
+  EXPECT_EQ(routing_skeleton_cache_size(), 1u);
+}
+
+TEST(RoutingSkeletonCache, DistinctGeometriesGetDistinctSkeletons) {
+  // tiny and tiny_dense share dimensions but differ in routing pool
+  // fields; the cache keys on every geometry field, so they must not
+  // alias even when their node counts happen to line up.
+  clear_routing_skeleton_cache();
+  const auto sparse = acquire_routing_skeleton(DeviceGeometry::tiny(8, 8));
+  const auto dense =
+      acquire_routing_skeleton(DeviceGeometry::tiny_dense(8, 8));
+  EXPECT_NE(sparse.get(), dense.get());
+  EXPECT_EQ(routing_skeleton_cache_size(), 2u);
+
+  // The audit walk (cached adjacency vs a fresh reference rebuild) must
+  // hold for whatever the cache currently contains.
+  audit_routing_skeleton_cache();
+}
+
+TEST(RoutingSkeletonCache, ClearDropsEntriesButNotLiveHandles) {
+  clear_routing_skeleton_cache();
+  const auto geom = DeviceGeometry::tiny(4, 4);
+  const auto held = acquire_routing_skeleton(geom);
+  EXPECT_EQ(routing_skeleton_cache_size(), 1u);
+  clear_routing_skeleton_cache();
+  EXPECT_EQ(routing_skeleton_cache_size(), 0u);
+  // The shared_ptr keeps the dropped skeleton alive; a re-acquire builds
+  // a fresh instance with identical adjacency.
+  const auto rebuilt = acquire_routing_skeleton(geom);
+  EXPECT_NE(held.get(), rebuilt.get());
+  EXPECT_TRUE(held->same_adjacency(*rebuilt));
+}
+
+TEST(RoutingGraphOverlay, OccupancyIsolatedBetweenFabricsSharingSkeleton) {
+  const auto geom = DeviceGeometry::tiny(6, 6);
+  Fabric f1(geom);
+  Fabric f2(geom);
+  ASSERT_EQ(&f1.skeleton(), &f2.skeleton());
+
+  const auto n = f1.graph().single(ClbCoord{2, 3}, Dir::kE, 0);
+  ASSERT_TRUE(f1.graph().is_free(n));
+  ASSERT_TRUE(f2.graph().is_free(n));
+
+  f1.graph().occupy(n, NetId{7});
+  EXPECT_FALSE(f1.graph().is_free(n));
+  EXPECT_EQ(f1.graph().occupied_count(), 1u);
+  // The sibling device sharing the skeleton must not see the claim.
+  EXPECT_TRUE(f2.graph().is_free(n));
+  EXPECT_EQ(f2.graph().occupied_count(), 0u);
+
+  f1.graph().release(n);
+  EXPECT_TRUE(f1.graph().is_free(n));
+  EXPECT_EQ(f1.graph().occupied_count(), 0u);
+}
+
+}  // namespace
+}  // namespace relogic::fabric
