@@ -1,0 +1,71 @@
+// BackendRegistry<T>: a small named-singleton registry for pluggable
+// backend implementations (kernel backends today; any family of stateless
+// strategy objects tomorrow).
+//
+// Backends are registered once — typically from a function-local static
+// initializer in the family's own translation unit, which sidesteps
+// cross-TU static-initialization-order hazards — and looked up by name
+// from configuration strings (environment variables, CLI flags). Entries
+// are immutable after registration; lookups after the initial registration
+// burst are lock-protected reads of a stable vector, so sharing the
+// registry across the fleet's worker threads is safe.
+//
+// Names are matched exactly (callers normalize case if they accept user
+// input). Registration order is preserved: names() reports backends in the
+// order they were registered, which keeps any "first registered is the
+// reference" convention visible and deterministic.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "relogic/common/error.hpp"
+
+namespace relogic {
+
+template <typename T>
+class BackendRegistry {
+ public:
+  BackendRegistry() = default;
+  BackendRegistry(const BackendRegistry&) = delete;
+  BackendRegistry& operator=(const BackendRegistry&) = delete;
+
+  /// Registers a backend under `name`. The registry does not own the
+  /// pointer; backends are expected to be immortal singletons. Duplicate
+  /// names are a programming error.
+  void add(std::string name, const T* backend) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) {
+      RELOGIC_CHECK_MSG(e.first != name,
+                        "backend '" + name + "' registered twice");
+    }
+    entries_.emplace_back(std::move(name), backend);
+  }
+
+  /// The backend registered under `name`, or nullptr.
+  const T* find(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) {
+      if (e.first == name) return e.second;
+    }
+    return nullptr;
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.first);
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, const T*>> entries_;
+};
+
+}  // namespace relogic

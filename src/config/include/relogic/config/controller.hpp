@@ -22,11 +22,23 @@
 //
 // The data path runs on the flat structures of config/frame_index.hpp:
 // frame sets are sorted dense-id vectors (FrameSet), content deltas live in
-// a flat epoch-cleared map (FrameDeltaMap), and pricing is a single pass
+// a flat zero-invariant map (FrameDeltaMap), and pricing is a single pass
 // over a sorted id range that buckets per column while accumulating port
 // time — O(frames), not O(columns x frames). The controller keeps mutable
 // scratch buffers so steady-state ops allocate nothing; like the Fabric it
 // drives, a controller must not be shared across threads.
+//
+// The inner loops dispatch through a config::KernelBackend (kernel.hpp).
+// A *reference* backend ("serial") runs the preserved PR 5 scalar path —
+// sort-based frame mapping, hash-map action overlays, per-run virtual port
+// pricing, AoS digest recompute. Non-reference backends ("openmp", "simd")
+// run the optimized path: frame mapping through per-op word bitmaps, the
+// op's delta accumulated against the SoA cell-token columns
+// (cell_columns.hpp) with token-level overlays, the digest commit fused
+// with the dirty scan in one kernel sweep, and pricing from a memoized
+// port-time table. Both paths are pinned byte-identical — digests,
+// ApplyResult fields, ConfigTotals, frame sets — by the golden-equivalence
+// suite at every granularity (DESIGN.md §9).
 //
 // The controller performs *configuration*; it never touches user state. The
 // interaction between configuration writes and live user logic is what the
@@ -43,10 +55,12 @@
 #include <vector>
 
 #include "relogic/common/time.hpp"
+#include "relogic/config/cell_columns.hpp"
 #include "relogic/config/frame.hpp"
 #include "relogic/config/frame_image.hpp"
 #include "relogic/config/frame_index.hpp"
 #include "relogic/config/granularity.hpp"
+#include "relogic/config/kernel.hpp"
 #include "relogic/config/port.hpp"
 #include "relogic/fabric/fabric.hpp"
 #include "relogic/obs/trace.hpp"
@@ -143,8 +157,11 @@ struct ConfigTotals {
 
 class ConfigController {
  public:
+  /// `kernel` selects the hot-loop backend; nullptr means
+  /// default_kernel_backend() ($RELOGIC_KERNEL_BACKEND, else "simd").
   ConfigController(fabric::Fabric& fabric, const ConfigPort& port,
-                   WriteGranularity granularity);
+                   WriteGranularity granularity,
+                   const KernelBackend* kernel = nullptr);
 
   /// Legacy two-regime constructor: `column_granular` selects whole-column
   /// rewrites (kColumn, the JBits regime the paper measured) versus minimal
@@ -167,6 +184,11 @@ class ConfigController {
   const FrameIndex& index() const { return index_; }
   /// Shadow copy of the device's frame contents (dirty-frame diffing).
   const FrameImage& image() const { return image_; }
+  /// The kernel backend this controller's hot loops run on.
+  const KernelBackend& kernel() const { return *kernel_; }
+  /// SoA mirror of per-cell configuration state in FrameIndex order.
+  const CellColumns& columns() const { return columns_; }
+  CellColumns& columns() { return columns_; }
 
   /// Frames a ConfigOp would write, without applying it. Widened to whole
   /// columns under kColumn; the exact mapped frame set otherwise (for
@@ -281,6 +303,50 @@ class ConfigController {
  private:
   /// The frame controlling a net-source attach/detach (output mux / pad).
   FrameAddress source_frame(const SourceChange& sc) const;
+  /// Whether the optimized (non-reference-kernel) data path runs.
+  bool fast_path() const { return !kernel_->reference(); }
+
+  // ---- optimized path (non-reference kernels) ------------------------------
+  /// frames_of for kFrame / kDirtyFrame via a per-op frame bitmap: mark
+  /// each action's frame run, kernel-expand to sorted ids, clear only the
+  /// marked words. Output identical to the sort-based reference path.
+  void frames_of_fast(const ConfigOp& op, FrameSet& out) const;
+  /// accumulate_deltas against the SoA token columns with an epoch-stamped
+  /// per-slot token overlay instead of the cell hash map. Cell deltas come
+  /// out as run_base_/run_delta_ RUNS (one frames_per_cell run per distinct
+  /// cell the op touches, delta possibly XOR-cancelled to 0) instead of a
+  /// per-frame map; edge/source deltas — provably disjoint frame ids, see
+  /// FrameMapper::first_routing_frame — go into `net_out` as before.
+  void accumulate_deltas_fast(const ConfigOp& op, FrameDeltaMap& net_out,
+                              bool count_net_frames) const;
+  /// Resets the sequence-persistent overlays (cell epoch bump + edge/source
+  /// maps). The per-op run state is reset by begin_op_fast().
+  void clear_overlays_fast() const;
+  /// Starts a new per-op epoch for the run collectors.
+  void begin_op_fast() const;
+  /// price_full over an already-sorted id array via the kernel's one-pass
+  /// pricing with the memoized port-time table.
+  ApplyResult price_ids(const std::int32_t* ids, int n) const;
+  /// kDirtyFrame pricing of the collected cell runs plus the net dirty ids:
+  /// per-column frame counts + one memoized port transaction per touched
+  /// column in ascending column order — identical to pricing the sorted
+  /// dirty id list, because a column's frames are id-contiguous.
+  ApplyResult price_runs(const std::int32_t* net_dirty, int n_net) const;
+  /// apply() body on the optimized path. `frames` supplies the op frame
+  /// count for frames_skipped; nullptr means count internally (4 per
+  /// distinct cell + distinct net frames) without materializing ids.
+  ApplyResult apply_fast(const ConfigOp& op, const FrameSet* frames,
+                         bool allow_lut_ram_columns);
+  /// preview() body on the optimized kDirtyFrame path (same `frames`
+  /// convention as apply_fast).
+  ApplyResult preview_fast(const ConfigOp& op, const FrameSet* frames) const;
+  /// LUT-RAM legality with the column set derived from the op's actions
+  /// (identical to the frame-derived set — widening never adds columns).
+  void check_lut_ram_columns_fast(const ConfigOp& op) const;
+  /// Charges totals, trace and logging for one applied op (shared tail of
+  /// the reference and fast apply paths).
+  ApplyResult finish_apply(const ConfigOp& op, ApplyResult result,
+                           int effective);
   /// Absolute per-frame content digest of the fabric as it stands: XOR of
   /// the diff-from-default token of every non-default cell config plus the
   /// tokens of every live PIP and attached source. audit_image compares
@@ -306,10 +372,12 @@ class ConfigController {
 
   fabric::Fabric* fabric_;
   const ConfigPort* port_;
+  const KernelBackend* kernel_;
   FrameMapper mapper_;
   WriteGranularity granularity_;
   FrameIndex index_;
   FrameImage image_;
+  CellColumns columns_;
   ConfigTotals totals_;
   obs::TraceTrack trace_;
   /// Fabric content digests at construction — the erased-state baseline the
@@ -347,6 +415,60 @@ class ConfigController {
   mutable std::unordered_map<std::uint64_t, bool> overlay_sources_;
   /// check_lut_ram_columns: packed {row, col, cell} keys the op rewrites.
   mutable std::vector<std::uint64_t> rewrites_scratch_;
+
+  // ---- fast-path state (non-reference kernels) -----------------------------
+  /// Dense column id per frame id (kernel pricing reads it per frame).
+  std::vector<std::uint16_t> col_of_;
+  /// Memoized port write_time by same-column run length (1..max_run_). The
+  /// port model is a pure function of (frames, frame_bits), so the memo is
+  /// byte-identical to calling the virtual per run.
+  mutable std::vector<SimTime> time_memo_;
+  mutable std::vector<std::uint8_t> memo_valid_;
+  int max_run_ = 0;
+  int frame_bits_ = 0;
+  /// Per-op frame bitmap for frames_of_fast + the touched-word list that
+  /// lets it clear in O(op) instead of O(device).
+  mutable std::vector<std::uint64_t> op_words_;
+  mutable std::vector<std::int32_t> op_word_marks_;
+  /// Distinct-CLB-column bitmap for the fast LUT-RAM check.
+  mutable std::vector<std::uint64_t> col_words_;
+  /// Token-level cell overlay of simulate_deltas / preview_sequence:
+  /// epoch-stamped per slot (slot layout = CellColumns), packed so one
+  /// cache line serves both fields. Token equality stands in for config
+  /// equality — a colliding pair would produce delta 0 on the reference
+  /// path too, so outputs stay identical.
+  struct CellOverlay {
+    std::uint64_t tok;
+    std::uint32_t stamp;
+  };
+  mutable std::vector<CellOverlay> overlay_;
+  mutable std::uint32_t overlay_epoch_ = 1;
+  /// Per-op run collectors: one entry per distinct (col, cell) the op
+  /// touches — a run's frames depend only on the cell's column position,
+  /// so every row of the same (col, cell) folds into ONE run (their deltas
+  /// can XOR-cancel, exactly as the reference FrameDeltaMap merges them).
+  /// run_delta_ accumulates before ^ after per write, which telescopes to
+  /// op-entry token ^ final token per touched cell (0 when writes cancel
+  /// or rewrite identically). runkey_* is indexed by
+  /// col * cells_per_clb + cell — small enough to stay cache-hot.
+  mutable std::vector<std::int32_t> run_base_;
+  mutable std::vector<std::uint64_t> run_delta_;
+  /// Dense column of each run, recorded at run creation (1 + CLB col —
+  /// saves the col_of_ load in pricing).
+  mutable std::vector<std::int32_t> run_col_;
+  mutable std::vector<std::int32_t> runkey_idx_;
+  mutable std::vector<std::uint32_t> runkey_stamp_;
+  mutable std::uint32_t op_epoch_ = 1;
+  /// price_runs: per-dense-column frame counts + the touched-column list
+  /// (epoch-stamped; all per-column arrays are total_columns()-sized and
+  /// cache-hot). Column visit order doesn't affect the result — frame and
+  /// column counts and the SimTime sum are all commutative.
+  mutable std::vector<std::int32_t> col_count_;
+  mutable std::vector<std::uint32_t> col_stamp_;
+  mutable std::vector<std::int32_t> col_list_;
+  /// Distinct net (edge/source) frames of the current op — counting-mode
+  /// substitute for |frames_of(op)| on the net side.
+  mutable int net_frame_marks_ = 0;
 };
 
 }  // namespace relogic::config

@@ -92,14 +92,58 @@ class FrameImage {
     return touched_[static_cast<std::size_t>(id)] != 0;
   }
 
+  // ---- raw views for the kernel backends (config/kernel.hpp) ---------------
+  // KernelBackend::commit_scan fuses the per-op delta commit with the dirty
+  // scan in one sweep; it mutates the digest/touched arrays and the tracked
+  // counter directly instead of going through apply_delta_id per frame.
+  std::uint64_t* digest_data() { return hash_.data(); }
+  std::uint8_t* ever_touched_data() { return touched_.data(); }
+  std::size_t& tracked_counter() { return tracked_; }
+
   // ---- content tokens (XOR-composable) ------------------------------------
+  // Defined inline so the per-action token recomputation in the controller's
+  // hot loop (and the SoA column maintenance in cell_columns.hpp) inlines
+  // instead of paying a cross-TU call per cell — a measured cost of the old
+  // out-of-line definitions at XCV1000 op rates.
+
+  /// splitmix64 finaliser — the standard 64-bit avalanche mix.
+  static constexpr std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
   /// Token of one logic cell's configuration at a given row. Tokens of the
   /// default (erased) configuration are non-zero; only *differences* matter.
-  static std::uint64_t cell_token(int row, const fabric::LogicCellConfig& cfg);
+  static constexpr std::uint64_t cell_token(
+      int row, const fabric::LogicCellConfig& cfg) {
+    // Pack every configuration field; two configs differing in any field get
+    // different pre-mix words, so equal tokens <=> equal (row, cfg) up to a
+    // 64-bit hash collision.
+    std::uint64_t w =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(row));
+    w = (w << 16) | cfg.lut;
+    w = (w << 2) | static_cast<std::uint64_t>(cfg.reg);
+    w = (w << 1) | static_cast<std::uint64_t>(cfg.lut_mode);
+    w = (w << 1) | static_cast<std::uint64_t>(cfg.d_src);
+    w = (w << 1) | static_cast<std::uint64_t>(cfg.uses_ce);
+    w = (w << 1) | static_cast<std::uint64_t>(cfg.init);
+    w = (w << 8) | cfg.clock_domain;
+    w = (w << 1) | static_cast<std::uint64_t>(cfg.used);
+    return mix64(w);
+  }
+
   /// Token of one "on" PIP.
-  static std::uint64_t edge_token(fabric::RouteEdge e);
+  static constexpr std::uint64_t edge_token(fabric::RouteEdge e) {
+    return mix64((static_cast<std::uint64_t>(e.from) << 32) ^
+                 static_cast<std::uint64_t>(e.to) ^ 0xedfe0b5ull);
+  }
+
   /// Token of one attached net source.
-  static std::uint64_t source_token(fabric::NodeId n);
+  static constexpr std::uint64_t source_token(fabric::NodeId n) {
+    return mix64(static_cast<std::uint64_t>(n) ^ 0x50a7ce00ull);
+  }
 
  private:
   FrameIndex index_;

@@ -21,16 +21,20 @@
 //    allocate nothing.
 //  * FrameDeltaMap — a flat map from frame id to a 64-bit XOR content
 //    delta, direct-indexed over the device's bounded frame universe
-//    (DeviceGeometry::total_frames(), a few thousand even on the XCV1000)
-//    with epoch-stamped O(1) clear. Replaces the per-op
-//    std::map<FrameAddress, uint64_t> allocations in delta simulation and
-//    apply.
+//    (DeviceGeometry::total_frames(), a few thousand even on the XCV1000).
+//    The delta array is zero-invariant (every untouched entry holds 0) and
+//    a word bitmap mirrors the touched set, so the kernel backends
+//    (config/kernel.hpp) can scan for dirty frames with word-at-a-time
+//    bit tricks instead of walking a stamp array; clear() is O(touched).
+//    Replaces the per-op std::map<FrameAddress, uint64_t> allocations in
+//    delta simulation and apply.
 //
 // tests/flatpath_test.cpp pins the equivalence against a reference
 // implementation of the old set/map semantics on randomized op streams.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -182,6 +186,25 @@ class FrameSet {
     ids_.swap(merge_);
   }
 
+  /// In-place sorted union with the merge routed through a caller-supplied
+  /// kernel: `merge(a, na, b, nb, out)` must append the sorted union of the
+  /// two sorted unique ranges to `out`. Lets the batcher run its running
+  /// unions through the selected config::KernelBackend.
+  template <typename MergeFn>
+  void union_via(const FrameSet& other, MergeFn&& merge) {
+    if (other.ids_.empty()) return;
+    merge_.clear();
+    merge_.reserve(ids_.size() + other.ids_.size());
+    merge(ids_.data(), static_cast<int>(ids_.size()), other.ids_.data(),
+          static_cast<int>(other.ids_.size()), merge_);
+    ids_.swap(merge_);
+  }
+
+  /// Direct access to the underlying id vector so kernel fills (e.g.
+  /// KernelBackend::expand_bits) can append without per-id call overhead.
+  /// The caller must leave the vector sorted and unique, or normalize().
+  std::vector<std::int32_t>& raw_ids() { return ids_; }
+
   /// Keep only ids satisfying `pred` (normalized order preserved).
   template <typename Pred>
   void filter(Pred pred) {
@@ -196,54 +219,89 @@ class FrameSet {
 };
 
 /// Flat frame-id -> XOR-delta map, direct-indexed over the device's frame
-/// universe with epoch-stamped clearing: reset() sizes it once per
-/// geometry, clear() is O(touched), and lookups are a single array read.
+/// universe: reset() sizes it once per geometry, clear() is O(touched),
+/// and lookups are a single array read.
+///
+/// Invariant: delta_[id] == 0 for every id not touched since the last
+/// clear(), and words_ has a set bit exactly for the touched ids — so the
+/// kernel backends can sweep (words, delta) directly without a stamp
+/// indirection, and delta(id) is an unconditional load.
 class FrameDeltaMap {
  public:
   /// Sizes the map for a universe of `total_frames` ids and clears it.
   void reset(int total_frames) {
     if (static_cast<int>(delta_.size()) != total_frames) {
       delta_.assign(static_cast<std::size_t>(total_frames), 0);
-      stamp_.assign(static_cast<std::size_t>(total_frames), 0);
-      epoch_ = 1;
+      words_.assign(static_cast<std::size_t>((total_frames + 63) / 64), 0);
+      touched_.clear();
     }
     clear();
   }
 
   void clear() {
-    touched_.clear();
-    if (++epoch_ == 0) {  // stamp wrap: restart the epoch space
-      std::fill(stamp_.begin(), stamp_.end(), 0);
-      epoch_ = 1;
+    for (std::int32_t id : touched_) {
+      delta_[static_cast<std::size_t>(id)] = 0;
+      // Every set bit of this word belongs to a touched id, so zeroing the
+      // whole word (possibly more than once) restores the invariant.
+      words_[static_cast<std::size_t>(id) >> 6] = 0;
     }
+    touched_.clear();
   }
 
   void xor_delta(std::int32_t id, std::uint64_t d) {
     if (d == 0) return;
-    if (stamp_[static_cast<std::size_t>(id)] != epoch_) {
-      stamp_[static_cast<std::size_t>(id)] = epoch_;
-      delta_[static_cast<std::size_t>(id)] = d;
+    const std::size_t w = static_cast<std::size_t>(id) >> 6;
+    const std::uint64_t m = std::uint64_t{1} << (id & 63);
+    if (!(words_[w] & m)) {
+      words_[w] |= m;
       touched_.push_back(id);
-    } else {
-      delta_[static_cast<std::size_t>(id)] ^= d;
     }
+    delta_[static_cast<std::size_t>(id)] ^= d;
+  }
+
+  /// XORs the same delta into the contiguous id run [base, base + count) —
+  /// a cell write's frame group is one such run in FrameIndex order. Cell
+  /// frame bases are frames_per_cell-aligned, so on real geometries the run
+  /// sits inside one bitmap word and takes the single-mask path.
+  void xor_delta_run(std::int32_t base, int count, std::uint64_t d) {
+    if (d == 0 || count <= 0) return;
+    const int off = base & 63;
+    if (off + count <= 64) {
+      const std::size_t w = static_cast<std::size_t>(base) >> 6;
+      const std::uint64_t m =
+          (count == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1)
+          << off;
+      std::uint64_t fresh = m & ~words_[w];
+      words_[w] |= m;
+      while (fresh) {
+        const int b = std::countr_zero(fresh);
+        fresh &= fresh - 1;
+        touched_.push_back(static_cast<std::int32_t>((w << 6) + b));
+      }
+      for (int i = 0; i < count; ++i)
+        delta_[static_cast<std::size_t>(base + i)] ^= d;
+      return;
+    }
+    for (int i = 0; i < count; ++i) xor_delta(base + i, d);
   }
 
   std::uint64_t delta(std::int32_t id) const {
-    return stamp_[static_cast<std::size_t>(id)] == epoch_
-               ? delta_[static_cast<std::size_t>(id)]
-               : 0;
+    return delta_[static_cast<std::size_t>(id)];
   }
 
   /// Ids ever touched since the last clear(), in first-touch order; a
   /// touched id's delta may have XOR-cancelled back to zero.
   const std::vector<std::int32_t>& touched() const { return touched_; }
 
+  // Raw views for the kernel backends (config/kernel.hpp).
+  const std::uint64_t* delta_data() const { return delta_.data(); }
+  const std::uint64_t* words() const { return words_.data(); }
+  int word_count() const { return static_cast<int>(words_.size()); }
+
  private:
   std::vector<std::uint64_t> delta_;
-  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint64_t> words_;  ///< touched-id bitmap
   std::vector<std::int32_t> touched_;
-  std::uint32_t epoch_ = 1;
 };
 
 }  // namespace relogic::config

@@ -1,0 +1,246 @@
+#include "relogic/config/kernel.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <string>
+
+#include "relogic/config/port.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace relogic::config {
+
+// ---- scalar base implementations -------------------------------------------
+// These are the shared defaults: every backend inherits them and overrides
+// only what it accelerates, so correctness lives in exactly one place.
+
+void KernelBackend::scan_dirty(const std::uint64_t* words, int nwords,
+                               const std::uint64_t* delta,
+                               std::vector<std::int32_t>& out) const {
+  for (int w = 0; w < nwords; ++w) {
+    std::uint64_t bits = words[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int32_t id = static_cast<std::int32_t>(w * 64 + b);
+      if (delta[static_cast<std::size_t>(id)] != 0) out.push_back(id);
+    }
+  }
+}
+
+void KernelBackend::expand_bits(const std::uint64_t* words, int nwords,
+                                std::vector<std::int32_t>& out) const {
+  for (int w = 0; w < nwords; ++w) {
+    std::uint64_t bits = words[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      out.push_back(static_cast<std::int32_t>(w * 64 + b));
+    }
+  }
+}
+
+void KernelBackend::commit_scan(const std::uint64_t* words, int nwords,
+                                const std::uint64_t* delta,
+                                std::uint64_t* digest,
+                                std::uint8_t* ever_touched,
+                                std::size_t& tracked,
+                                std::vector<std::int32_t>* dirty) const {
+  for (int w = 0; w < nwords; ++w) {
+    std::uint64_t bits = words[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int32_t id = static_cast<std::int32_t>(w * 64 + b);
+      const std::uint64_t d = delta[static_cast<std::size_t>(id)];
+      if (d == 0) continue;  // XOR-cancelled: not dirty, not committed
+      digest[static_cast<std::size_t>(id)] ^= d;
+      if (!ever_touched[static_cast<std::size_t>(id)]) {
+        ever_touched[static_cast<std::size_t>(id)] = 1;
+        ++tracked;
+      }
+      if (dirty) dirty->push_back(id);
+    }
+  }
+}
+
+PriceResult KernelBackend::price(const std::int32_t* ids, int n,
+                                 const PriceTables& tables) const {
+  PriceResult r;
+  r.frames = n;
+  int i = 0;
+  while (i < n) {
+    const std::uint16_t col = tables.column_of[ids[i]];
+    int j = i + 1;
+    while (j < n && tables.column_of[ids[j]] == col) ++j;
+    const int run = j - i;
+    SimTime t;
+    if (tables.time_memo != nullptr && run <= tables.max_run) {
+      if (!tables.memo_valid[run]) {
+        tables.time_memo[run] = tables.port->write_time(run, tables.frame_bits);
+        tables.memo_valid[run] = 1;
+      }
+      t = tables.time_memo[run];
+    } else {
+      t = tables.port->write_time(run, tables.frame_bits);
+    }
+    r.time += t;
+    ++r.columns;
+    i = j;
+  }
+  return r;
+}
+
+void KernelBackend::union_ids(const std::int32_t* a, int na,
+                              const std::int32_t* b, int nb,
+                              std::vector<std::int32_t>& out) const {
+  int i = 0, j = 0;
+  while (i < na && j < nb) {
+    const std::int32_t x = a[i], y = b[j];
+    if (x < y) {
+      out.push_back(x);
+      ++i;
+    } else if (y < x) {
+      out.push_back(y);
+      ++j;
+    } else {
+      out.push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), a + i, a + na);
+  out.insert(out.end(), b + j, b + nb);
+}
+
+namespace detail {
+
+// One (col, cell) group: XOR-fold the non-default cells' token difference
+// and spread it over the group's frame run. Shared by every backend; the
+// parallel backends only change how columns are distributed.
+void sweep_group(const CellSweepCtx& ctx, int col, int cell,
+                 std::uint64_t* out) {
+  const int g = col * ctx.cells_per_clb + cell;
+  const int lo = g * ctx.rows;
+  const int hi = lo + ctx.rows;
+  std::uint64_t d = 0;
+  const int w0 = lo >> 6;
+  const int w1 = (hi - 1) >> 6;
+  for (int w = w0; w <= w1; ++w) {
+    std::uint64_t bits = ctx.nondefault[w];
+    if (w == w0) bits &= ~std::uint64_t{0} << (lo & 63);
+    if (w == w1 && (hi & 63) != 0)
+      bits &= (std::uint64_t{1} << (hi & 63)) - 1;
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const int slot = w * 64 + b;
+      d ^= ctx.row_default[slot - lo] ^ ctx.tokens[slot];
+    }
+  }
+  if (d == 0) return;
+  const std::int32_t base = ctx.clb_base + col * ctx.frames_per_clb_column +
+                            cell * ctx.frames_per_cell;
+  for (int f = 0; f < ctx.frames_per_cell; ++f)
+    out[static_cast<std::size_t>(base + f)] ^= d;
+}
+
+void sweep_column(const CellSweepCtx& ctx, int col, std::uint64_t* out) {
+  for (int cell = 0; cell < ctx.cells_per_clb; ++cell)
+    sweep_group(ctx, col, cell, out);
+}
+
+// Defined in kernel_simd.cpp (runtime-dispatched AVX2/NEON/scalar).
+const KernelBackend& simd_kernel();
+
+}  // namespace detail
+
+void KernelBackend::cell_digest_sweep(const CellSweepCtx& ctx,
+                                      std::uint64_t* out) const {
+  for (int col = 0; col < ctx.clb_cols; ++col)
+    detail::sweep_column(ctx, col, out);
+}
+
+namespace {
+
+// ---- serial: the reference backend -----------------------------------------
+// reference() == true makes ConfigController run the preserved PR 5 scalar
+// path end to end; the method implementations above are still used by the
+// golden-equivalence suite as the semantic reference for the kernel ops
+// themselves.
+class SerialKernel final : public KernelBackend {
+ public:
+  std::string name() const override { return "serial"; }
+  bool reference() const override { return true; }
+};
+
+// ---- openmp: deterministic column-band parallel sweeps ---------------------
+// Only the full-device digest sweep is worth a fork/join: each CLB column's
+// frame run is disjoint in the output array, so a static-scheduled parallel
+// loop over columns is race-free and byte-identical at any thread count
+// (the PR 9 tile-band argument). The per-op kernels — a few hundred frames
+// — stay inherited scalar.
+class OpenMpKernel final : public KernelBackend {
+ public:
+  std::string name() const override { return "openmp"; }
+  std::string variant() const override {
+#ifdef _OPENMP
+    return "openmp";
+#else
+    return "scalar";  // compiled without OpenMP: scalar fallback
+#endif
+  }
+
+  void cell_digest_sweep(const CellSweepCtx& ctx,
+                         std::uint64_t* out) const override {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+    for (int col = 0; col < ctx.clb_cols; ++col)
+      detail::sweep_column(ctx, col, out);
+#else
+    KernelBackend::cell_digest_sweep(ctx, out);
+#endif
+  }
+};
+
+BackendRegistry<KernelBackend>& build_registry() {
+  static BackendRegistry<KernelBackend>* registry = [] {
+    static BackendRegistry<KernelBackend> r;
+    static const SerialKernel serial;
+    static const OpenMpKernel openmp;
+    r.add("serial", &serial);
+    r.add("openmp", &openmp);
+    r.add("simd", &detail::simd_kernel());
+    return &r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+BackendRegistry<KernelBackend>& kernel_registry() { return build_registry(); }
+
+const KernelBackend* kernel_backend(std::string_view name) {
+  return kernel_registry().find(name);
+}
+
+const KernelBackend& default_kernel_backend() {
+  static const KernelBackend* chosen = [] {
+    const char* env = std::getenv("RELOGIC_KERNEL_BACKEND");
+    const std::string name = (env != nullptr && *env != '\0') ? env : "simd";
+    const KernelBackend* k = kernel_backend(name);
+    RELOGIC_CHECK_MSG(k != nullptr,
+                      "RELOGIC_KERNEL_BACKEND names unknown kernel backend '" +
+                          name + "'");
+    return k;
+  }();
+  return *chosen;
+}
+
+std::vector<std::string> kernel_backend_names() {
+  return kernel_registry().names();
+}
+
+}  // namespace relogic::config

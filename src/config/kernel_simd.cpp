@@ -1,0 +1,259 @@
+// The "simd" kernel backend: vector inner loops, dispatched at runtime.
+//
+// x86-64 builds carry an AVX2 flavour of each accelerated loop compiled
+// with a function-level target attribute (the rest of the library keeps
+// the portable baseline ISA) and select it once at startup with
+// __builtin_cpu_supports; aarch64 uses NEON (baseline there, no dispatch
+// needed); everything else — and x86 machines without AVX2 — runs the
+// inherited scalar implementations. variant() reports which flavour won,
+// and the bench smoke test asserts the scalar fallback is exercised when
+// vector hardware is absent.
+//
+// What is vectorized, and why it cannot change results:
+//  * scan_dirty / commit_scan / expand_bits walk the touched-word bitmap;
+//    the vector flavour tests 4 words (256 frame ids) at a time and skips
+//    all-zero blocks, then hands populated words to the same bit-loop the
+//    scalar path runs — identical visit order, identical output.
+//  * cell_digest_sweep XOR-folds each (col, cell) group's token
+//    differences; when the group's occupancy range is saturated the fold
+//    runs 4 lanes wide. XOR is associative and commutative, so the lane
+//    fold order cannot change the digest.
+#include <bit>
+#include <cstdint>
+
+#include "relogic/config/kernel.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define RELOGIC_SIMD_X86 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define RELOGIC_SIMD_NEON 1
+#endif
+
+namespace relogic::config {
+namespace detail {
+namespace {
+
+// Scalar tail shared by all flavours: drain the set bits of one word.
+template <typename PerId>
+inline void drain_word(std::uint64_t bits, int w, PerId&& per_id) {
+  while (bits) {
+    const int b = std::countr_zero(bits);
+    bits &= bits - 1;
+    per_id(static_cast<std::int32_t>(w * 64 + b));
+  }
+}
+
+/// True iff every bit of the slot range [lo, hi) is set in `words`.
+inline bool range_all_set(const std::uint64_t* words, int lo, int hi) {
+  const int w0 = lo >> 6;
+  const int w1 = (hi - 1) >> 6;
+  for (int w = w0; w <= w1; ++w) {
+    std::uint64_t need = ~std::uint64_t{0};
+    if (w == w0) need &= ~std::uint64_t{0} << (lo & 63);
+    if (w == w1 && (hi & 63) != 0) need &= (std::uint64_t{1} << (hi & 63)) - 1;
+    if ((words[w] & need) != need) return false;
+  }
+  return true;
+}
+
+#ifdef RELOGIC_SIMD_X86
+
+__attribute__((target("avx2"))) bool block_zero_avx2(const std::uint64_t* p) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  return _mm256_testz_si256(v, v) != 0;
+}
+
+/// XOR-fold tokens[lo..hi) ^ defaults[0..hi-lo) four lanes wide.
+__attribute__((target("avx2"))) std::uint64_t xor_fold_avx2(
+    const std::uint64_t* tokens, const std::uint64_t* defaults, int n) {
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tokens + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(defaults + i));
+    acc = _mm256_xor_si256(acc, _mm256_xor_si256(t, d));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t out = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+  for (; i < n; ++i) out ^= tokens[i] ^ defaults[i];
+  return out;
+}
+
+bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // RELOGIC_SIMD_X86
+
+#ifdef RELOGIC_SIMD_NEON
+
+inline bool block_zero_neon(const std::uint64_t* p) {
+  const uint64x2_t a = vorrq_u64(vld1q_u64(p), vld1q_u64(p + 2));
+  return (vgetq_lane_u64(a, 0) | vgetq_lane_u64(a, 1)) == 0;
+}
+
+inline std::uint64_t xor_fold_neon(const std::uint64_t* tokens,
+                                   const std::uint64_t* defaults, int n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  int i = 0;
+  for (; i + 2 <= n; i += 2)
+    acc = veorq_u64(acc, veorq_u64(vld1q_u64(tokens + i),
+                                   vld1q_u64(defaults + i)));
+  std::uint64_t out = vgetq_lane_u64(acc, 0) ^ vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) out ^= tokens[i] ^ defaults[i];
+  return out;
+}
+
+#endif  // RELOGIC_SIMD_NEON
+
+class SimdKernel final : public KernelBackend {
+ public:
+  SimdKernel() {
+#ifdef RELOGIC_SIMD_X86
+    if (detect_avx2()) variant_ = "avx2";
+#elif defined(RELOGIC_SIMD_NEON)
+    variant_ = "neon";
+#endif
+  }
+
+  std::string name() const override { return "simd"; }
+  std::string variant() const override { return variant_; }
+
+  void scan_dirty(const std::uint64_t* words, int nwords,
+                  const std::uint64_t* delta,
+                  std::vector<std::int32_t>& out) const override {
+    for_populated_words(words, nwords, [&](std::uint64_t bits, int w) {
+      drain_word(bits, w, [&](std::int32_t id) {
+        if (delta[static_cast<std::size_t>(id)] != 0) out.push_back(id);
+      });
+    });
+  }
+
+  void expand_bits(const std::uint64_t* words, int nwords,
+                   std::vector<std::int32_t>& out) const override {
+    for_populated_words(words, nwords, [&](std::uint64_t bits, int w) {
+      drain_word(bits, w, [&](std::int32_t id) { out.push_back(id); });
+    });
+  }
+
+  void commit_scan(const std::uint64_t* words, int nwords,
+                   const std::uint64_t* delta, std::uint64_t* digest,
+                   std::uint8_t* ever_touched, std::size_t& tracked,
+                   std::vector<std::int32_t>* dirty) const override {
+    for_populated_words(words, nwords, [&](std::uint64_t bits, int w) {
+      drain_word(bits, w, [&](std::int32_t id) {
+        const std::uint64_t d = delta[static_cast<std::size_t>(id)];
+        if (d == 0) return;
+        digest[static_cast<std::size_t>(id)] ^= d;
+        if (!ever_touched[static_cast<std::size_t>(id)]) {
+          ever_touched[static_cast<std::size_t>(id)] = 1;
+          ++tracked;
+        }
+        if (dirty) dirty->push_back(id);
+      });
+    });
+  }
+
+  void cell_digest_sweep(const CellSweepCtx& ctx,
+                         std::uint64_t* out) const override {
+    const bool vec = variant_[0] != 's';  // "avx2" / "neon"
+    if (!vec) {
+      KernelBackend::cell_digest_sweep(ctx, out);
+      return;
+    }
+    for (int col = 0; col < ctx.clb_cols; ++col) {
+      for (int cell = 0; cell < ctx.cells_per_clb; ++cell) {
+        const int g = col * ctx.cells_per_clb + cell;
+        const int lo = g * ctx.rows;
+        std::uint64_t d;
+        if (range_all_set(ctx.nondefault, lo, lo + ctx.rows)) {
+          d = xor_fold(ctx.tokens + lo, ctx.row_default, ctx.rows);
+        } else {
+          d = 0;
+          sweep_group_delta(ctx, lo, &d);
+        }
+        if (d == 0) continue;
+        const std::int32_t base = ctx.clb_base +
+                                  col * ctx.frames_per_clb_column +
+                                  cell * ctx.frames_per_cell;
+        for (int f = 0; f < ctx.frames_per_cell; ++f)
+          out[static_cast<std::size_t>(base + f)] ^= d;
+      }
+    }
+  }
+
+ private:
+  // Visit each non-zero bitmap word; vector flavours skip 4-word all-zero
+  // blocks in one test.
+  template <typename PerWord>
+  void for_populated_words(const std::uint64_t* words, int nwords,
+                           PerWord&& per_word) const {
+    int w = 0;
+#ifdef RELOGIC_SIMD_X86
+    if (variant_[0] == 'a') {
+      for (; w + 4 <= nwords; w += 4) {
+        if (block_zero_avx2(words + w)) continue;
+        for (int k = 0; k < 4; ++k)
+          if (words[w + k]) per_word(words[w + k], w + k);
+      }
+    }
+#elif defined(RELOGIC_SIMD_NEON)
+    for (; w + 4 <= nwords; w += 4) {
+      if (block_zero_neon(words + w)) continue;
+      for (int k = 0; k < 4; ++k)
+        if (words[w + k]) per_word(words[w + k], w + k);
+    }
+#endif
+    for (; w < nwords; ++w)
+      if (words[w]) per_word(words[w], w);
+  }
+
+  static std::uint64_t xor_fold(const std::uint64_t* tokens,
+                                const std::uint64_t* defaults, int n) {
+#ifdef RELOGIC_SIMD_X86
+    return xor_fold_avx2(tokens, defaults, n);
+#elif defined(RELOGIC_SIMD_NEON)
+    return xor_fold_neon(tokens, defaults, n);
+#else
+    std::uint64_t out = 0;
+    for (int i = 0; i < n; ++i) out ^= tokens[i] ^ defaults[i];
+    return out;
+#endif
+  }
+
+  // Masked fold for partially occupied groups (scalar — sparse by
+  // definition).
+  static void sweep_group_delta(const CellSweepCtx& ctx, int lo,
+                                std::uint64_t* d) {
+    const int hi = lo + ctx.rows;
+    const int w0 = lo >> 6;
+    const int w1 = (hi - 1) >> 6;
+    for (int w = w0; w <= w1; ++w) {
+      std::uint64_t bits = ctx.nondefault[w];
+      if (w == w0) bits &= ~std::uint64_t{0} << (lo & 63);
+      if (w == w1 && (hi & 63) != 0)
+        bits &= (std::uint64_t{1} << (hi & 63)) - 1;
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const int slot = w * 64 + b;
+        *d ^= ctx.row_default[slot - lo] ^ ctx.tokens[slot];
+      }
+    }
+  }
+
+  std::string variant_ = "scalar";
+};
+
+}  // namespace
+
+const KernelBackend& simd_kernel() {
+  static const SimdKernel kernel;
+  return kernel;
+}
+
+}  // namespace detail
+}  // namespace relogic::config

@@ -52,6 +52,11 @@ DeviceGeometry DeviceGeometry::preset(DevicePreset p) {
       g.clb_rows = 64;
       g.clb_cols = 96;
       break;
+    case DevicePreset::kXCV4000:
+      g.name = "XCV4000";
+      g.clb_rows = 128;
+      g.clb_cols = 192;
+      break;
   }
   return g;
 }

@@ -80,9 +80,11 @@ bool Fabric::set_cell_config(ClbCoord c, int cell,
   if (slot == stored) return false;  // identical rewrite: no effect, no event
   const LogicCellConfig before = slot;
   used_cells_ += (stored.used ? 1 : 0) - (before.used ? 1 : 0);
-  lut_ram_per_col_[static_cast<std::size_t>(c.col)] +=
+  const int lut_ram_delta =
       (stored.used && stored.lut_mode == LutMode::kRam ? 1 : 0) -
       (before.used && before.lut_mode == LutMode::kRam ? 1 : 0);
+  lut_ram_per_col_[static_cast<std::size_t>(c.col)] += lut_ram_delta;
+  live_lut_ram_total_ += lut_ram_delta;
   slot = stored;
   for (auto* l : listeners_) l->on_cell_changed(c, cell, before, stored);
   return true;
@@ -95,6 +97,14 @@ void Fabric::inject_fault(ClbCoord c, int cell, CellFault fault) {
   // Re-corrupt the stored value so the memory is consistent with the fault
   // from the moment of injection (notifies listeners iff a bit flips).
   set_cell_config(c, cell, this->cell(c, cell));
+}
+
+std::vector<int> Fabric::fault_cell_indices() const {
+  std::vector<int> out;
+  out.reserve(faults_.size());
+  for (const auto& [idx, fault] : faults_) out.push_back(idx);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 const CellFault* Fabric::fault_at(ClbCoord c, int cell) const {

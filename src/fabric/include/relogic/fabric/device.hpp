@@ -25,6 +25,10 @@ enum class DevicePreset {
   kXCV600,
   kXCV800,
   kXCV1000,
+  /// Synthetic beyond-family size point (no Virtex part this large existed;
+  /// the 4000-class geometry extrapolates the XCV row/col progression) used
+  /// to measure how the SoA/kernel data path scales past XCV1000.
+  kXCV4000,
 };
 
 struct DeviceGeometry {

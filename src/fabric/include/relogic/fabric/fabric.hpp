@@ -111,6 +111,10 @@ class Fabric {
   /// The fault installed on a cell, if any.
   const CellFault* fault_at(ClbCoord c, int cell) const;
   int injected_fault_count() const { return static_cast<int>(faults_.size()); }
+  /// Linear cell indices ((row * cols + col) * cells_per_clb + cell) of
+  /// every injected fault, sorted ascending. Lets the config plane's SoA
+  /// fault-mask column resync without probing fault_at per cell.
+  std::vector<int> fault_cell_indices() const;
 
   /// True if no cell of the CLB is configured.
   bool clb_free(ClbCoord c) const { return !clb(c).any_used(); }
@@ -126,6 +130,9 @@ class Fabric {
   int live_lut_ram_in_col(int col) const {
     return lut_ram_per_col_[static_cast<std::size_t>(col)];
   }
+  /// Live LUT-RAM cells device-wide — lets the config legality check skip
+  /// its per-column scan entirely on LUT-RAM-free fabrics.
+  int live_lut_ram_total() const { return live_lut_ram_total_; }
 
   // ---- nets ----------------------------------------------------------------
   /// Creates an empty net and returns its id (ids start at 1).
@@ -197,6 +204,7 @@ class Fabric {
   std::vector<ClbConfig> clbs_;
   /// Per-CLB-column count of live LUT-RAM cells (see live_lut_ram_in_col).
   std::vector<int> lut_ram_per_col_;
+  int live_lut_ram_total_ = 0;
   /// Injected configuration-memory defects, keyed by linear cell index.
   std::unordered_map<int, CellFault> faults_;
   std::vector<RouteTree> nets_;     // index 0 unused

@@ -1,0 +1,83 @@
+#include "relogic/reloc/calibrate.hpp"
+
+#include "relogic/common/error.hpp"
+#include "relogic/config/controller.hpp"
+#include "relogic/netlist/benchmarks.hpp"
+#include "relogic/place/implement.hpp"
+#include "relogic/reloc/engine.hpp"
+
+namespace relogic::reloc {
+namespace {
+
+/// Average columns_touched over every cell of `nl` whose storage mode is
+/// `want`, each relocated one CLB below its region on a fresh device (a
+/// relocation mutates the implementation, so each sample gets its own
+/// fabric — that also keeps the samples order-independent).
+int measure_case(const fabric::DeviceGeometry& geom,
+                 const config::ConfigPort& port, const netlist::Netlist& nl,
+                 fabric::RegMode want) {
+  const auto mapped = netlist::map_netlist(nl);
+  long long sum = 0;
+  int samples = 0;
+  for (int i = 0;; ++i) {
+    fabric::Fabric fab(geom);
+    const fabric::DelayModel dm;
+    config::ConfigController ctl(fab, port,
+                                 config::WriteGranularity::kColumn);
+    place::Implementer implementer(fab, dm);
+    place::Router router(fab, dm);
+    RelocationEngine engine(ctl, router, /*sim=*/nullptr);
+    place::ImplementOptions opts;
+    opts.region =
+        place::suggest_region(mapped, ClbCoord{8, 8}, fab.geometry());
+    auto impl = implementer.implement(mapped, opts);
+    if (i >= impl.cell_count()) break;
+    const place::CellSite site = impl.sites[i];
+    if (fab.cell(site.clb, site.cell).reg != want) continue;
+    const place::CellSite dest{
+        ClbCoord{impl.region.row + impl.region.height + 1, site.clb.col},
+        site.cell};
+    const RelocationReport rep = engine.relocate_cell(impl, i, dest);
+    sum += rep.columns_touched;
+    ++samples;
+  }
+  RELOGIC_CHECK_MSG(samples > 0, "calibration fixture produced no cell of "
+                                 "the requested storage mode");
+  return static_cast<int>((sum + samples / 2) / samples);
+}
+
+}  // namespace
+
+CostParams CalibratedColumns::apply_to(CostParams base) const {
+  base.comb_column_writes = comb_column_writes;
+  base.ff_column_writes = ff_column_writes;
+  base.gated_column_writes = gated_column_writes;
+  base.latch_column_writes = latch_column_writes;
+  return base;
+}
+
+CalibratedColumns calibrate_cost_params(const fabric::DeviceGeometry& geom,
+                                        const config::ConfigPort& port) {
+  using netlist::bench::ClockingStyle;
+  CalibratedColumns c;
+  // Canonical fixtures: small circuits with minimal connectivity so the
+  // measurement reflects the procedure's intrinsic footprint (replica
+  // cell, its nets, the aux circuit) rather than a particular workload's
+  // fan-out. One fixture per storage case of Sec. 2.
+  c.comb_column_writes = measure_case(
+      geom, port, netlist::bench::random_logic("calib_comb", 6, 2, 1, 9),
+      fabric::RegMode::kNone);
+  c.ff_column_writes = measure_case(
+      geom, port,
+      netlist::bench::shift_register(4, ClockingStyle::kFreeRunning),
+      fabric::RegMode::kFF);
+  c.gated_column_writes = measure_case(
+      geom, port,
+      netlist::bench::shift_register(4, ClockingStyle::kGatedClock),
+      fabric::RegMode::kFF);
+  c.latch_column_writes = measure_case(
+      geom, port, netlist::bench::async_pipeline(4), fabric::RegMode::kLatch);
+  return c;
+}
+
+}  // namespace relogic::reloc

@@ -81,7 +81,12 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
 
   if (pending_ops_ > 0 && (options_.max_columns > 0 || options_.max_frames > 0)) {
     merged_scratch_ = pending_frames_;
-    merged_scratch_.union_with(op_frames_);
+    merged_scratch_.union_via(
+        op_frames_, [k = &controller_->kernel()](const std::int32_t* a, int na,
+                                                 const std::int32_t* b, int nb,
+                                                 std::vector<std::int32_t>& out) {
+          k->union_ids(a, na, b, nb, out);
+        });
     if (options_.max_columns > 0 &&
         controller_->column_count(merged_scratch_) > options_.max_columns) {
       flush();
@@ -99,7 +104,12 @@ void TransactionBatcher::enqueue(const config::ConfigOp& op) {
     pending_.label += " + " + op.label;
     pending_.actions.insert(pending_.actions.end(), op.actions.begin(),
                             op.actions.end());
-    pending_frames_.union_with(op_frames_);
+    pending_frames_.union_via(
+        op_frames_, [k = &controller_->kernel()](const std::int32_t* a, int na,
+                                                 const std::int32_t* b, int nb,
+                                                 std::vector<std::int32_t>& out) {
+          k->union_ids(a, na, b, nb, out);
+        });
     ++pending_ops_;
   }
   for (const config::ConfigAction& a : op.actions) {

@@ -1,0 +1,94 @@
+// Regression pin for reloc::calibrate_cost_params (ROADMAP leftover:
+// "recalibrate or derive the CostParams column counts from the
+// frame-accurate plane").
+//
+// The calibration helper measures the per-case column-transaction counts
+// by running the real RelocationEngine over canonical fixtures on the
+// XCV200 — everything underneath (placement, routing, the engine's op
+// sequences, the config plane's column accounting) is deterministic, so
+// the measured values are exact integers. Pinning them here means an
+// engine or router change that shifts the real column footprint of a
+// relocation fails this test instead of silently skewing every consumer
+// of the cost model.
+//
+// The CostParams *defaults* stay at the legacy column-regime measurement
+// (8/9/17/17): the fig4/5/6 benches and the schedulers price with the
+// defaults, and their outputs are pinned elsewhere. The relationship is
+// asserted loosely below — comb agrees exactly and ff within one column,
+// while the frame-accurate gated/latch counts run higher than the legacy
+// numbers because the engine's Fig. 3/4 procedure also pays the auxiliary
+// relocation circuit's configure and teardown columns, which the legacy
+// measurement amortized across a whole workload.
+#include <gtest/gtest.h>
+
+#include "relogic/config/port.hpp"
+#include "relogic/fabric/device.hpp"
+#include "relogic/reloc/calibrate.hpp"
+#include "relogic/reloc/cost.hpp"
+
+namespace relogic::reloc {
+namespace {
+
+using fabric::DeviceGeometry;
+using fabric::RegMode;
+
+TEST(CostCalibration, Xcv200ColumnCountsArePinned) {
+  config::BoundaryScanPort jtag;  // the paper's configuration port
+  const CalibratedColumns c =
+      calibrate_cost_params(DeviceGeometry::xcv200(), jtag);
+
+  // The frame-accurate plane's measured per-case column counts on the
+  // paper's device. Exact by construction; update only with an engine or
+  // router change whose column-footprint shift is understood.
+  EXPECT_EQ(c.comb_column_writes, 8);
+  EXPECT_EQ(c.ff_column_writes, 8);
+  EXPECT_EQ(c.gated_column_writes, 24);
+  EXPECT_EQ(c.latch_column_writes, 23);
+
+  // Structure the cost model's defaults encode, re-derived from the
+  // engine: plain two-phase copies are cheapest, the state-acquisition FF
+  // case costs no less, and the aux-circuit cases dominate by 2x or more.
+  EXPECT_LE(c.comb_column_writes, c.ff_column_writes);
+  EXPECT_GE(c.gated_column_writes, 2 * c.ff_column_writes);
+  EXPECT_GE(c.latch_column_writes, 2 * c.ff_column_writes);
+
+  // Agreement with the legacy defaults where they are comparable.
+  const CostParams defaults;
+  EXPECT_EQ(c.comb_column_writes, defaults.comb_column_writes);
+  EXPECT_NEAR(c.ff_column_writes, defaults.ff_column_writes, 1);
+  EXPECT_GE(c.gated_column_writes, defaults.gated_column_writes);
+  EXPECT_GE(c.latch_column_writes, defaults.latch_column_writes);
+}
+
+TEST(CostCalibration, AppliedParamsPriceWithMeasuredOrdering) {
+  config::BoundaryScanPort jtag;
+  const auto geom = DeviceGeometry::xcv200();
+  const CalibratedColumns c = calibrate_cost_params(geom, jtag);
+  const RelocationCostModel model(geom, jtag, c.apply_to());
+
+  // A model built from the measured counts preserves the paper's case
+  // ordering: combinational <= free-running FF < gated-clock FF, and the
+  // latch case prices like the gated one (both use the aux circuit).
+  const SimTime comb = model.cell_time(RegMode::kNone, false);
+  const SimTime ff = model.cell_time(RegMode::kFF, false);
+  const SimTime gated = model.cell_time(RegMode::kFF, true);
+  const SimTime latch = model.cell_time(RegMode::kLatch, false);
+  EXPECT_LE(comb, ff);
+  EXPECT_LT(ff, gated);
+  EXPECT_GT(latch, ff);
+
+  // apply_to only touches the four column counts.
+  const CostParams defaults;
+  const CostParams applied = c.apply_to();
+  EXPECT_EQ(applied.comb_wait_cycles, defaults.comb_wait_cycles);
+  EXPECT_EQ(applied.ff_wait_cycles, defaults.ff_wait_cycles);
+  EXPECT_EQ(applied.gated_wait_cycles, defaults.gated_wait_cycles);
+  EXPECT_EQ(applied.clock_period, defaults.clock_period);
+  EXPECT_EQ(applied.frame_granular_frames_per_txn,
+            defaults.frame_granular_frames_per_txn);
+  EXPECT_EQ(applied.dirty_write_fraction, defaults.dirty_write_fraction);
+  EXPECT_EQ(applied.gated_column_writes, c.gated_column_writes);
+}
+
+}  // namespace
+}  // namespace relogic::reloc

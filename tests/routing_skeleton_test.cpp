@@ -17,12 +17,13 @@ namespace relogic::fabric {
 namespace {
 
 TEST(RoutingSkeleton, CountingBuildMatchesSeedStagingBuild) {
-  // All three paper presets the benches exercise. build_reference emits
-  // through the checked public node-id constructors while build uses the
-  // hoisted unchecked arithmetic, so agreement here cross-checks both the
-  // CSR assembly and the fast enumeration.
+  // The three paper presets the benches exercise, plus the synthetic
+  // 4000-class size point. build_reference emits through the checked public
+  // node-id constructors while build uses the hoisted unchecked arithmetic,
+  // so agreement here cross-checks both the CSR assembly and the fast
+  // enumeration.
   for (auto p : {DevicePreset::kXCV50, DevicePreset::kXCV200,
-                 DevicePreset::kXCV1000}) {
+                 DevicePreset::kXCV1000, DevicePreset::kXCV4000}) {
     const auto geom = DeviceGeometry::preset(p);
     const auto fast = RoutingSkeleton::build(geom);
     const auto seed = RoutingSkeleton::build_reference(geom);
